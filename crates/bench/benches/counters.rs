@@ -1,0 +1,113 @@
+//! Throughput of the counter structures (the wall-clock companion to
+//! experiment E11): centralized counter, counting tree (diffracting-tree
+//! baseline), lock-free static bitonic/periodic networks, and the
+//! adaptive network at several cuts.
+
+use std::sync::Arc;
+
+use acn_bitonic::{
+    bitonic_network, periodic_network, AtomicNetworkCounter, CentralCounter, Counter,
+    ReactiveTreeCounter, TreeCounter,
+};
+use acn_core::LocalAdaptiveNetwork;
+use acn_topology::{Cut, Tree, WiringStyle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_sequential_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_next");
+    group.throughput(Throughput::Elements(1));
+
+    let central = CentralCounter::new();
+    group.bench_function("central", |b| b.iter(|| std::hint::black_box(central.next())));
+
+    for leaves in [8usize, 64] {
+        let tree = TreeCounter::new(leaves);
+        group.bench_with_input(BenchmarkId::new("tree", leaves), &tree, |b, t| {
+            b.iter(|| std::hint::black_box(t.next()))
+        });
+    }
+
+    for w in [8usize, 32] {
+        let net = AtomicNetworkCounter::new(bitonic_network(w));
+        group.bench_with_input(BenchmarkId::new("bitonic", w), &net, |b, n| {
+            b.iter(|| std::hint::black_box(n.next()))
+        });
+    }
+    let periodic = AtomicNetworkCounter::new(periodic_network(8));
+    group.bench_function("periodic/8", |b| b.iter(|| std::hint::black_box(periodic.next())));
+
+    let reactive = ReactiveTreeCounter::new(6);
+    group.bench_function("reactive_tree_folded/64", |b| {
+        b.iter(|| std::hint::black_box(reactive.next()))
+    });
+    let reactive_open = ReactiveTreeCounter::new(6);
+    reactive_open.unfold_root();
+    reactive_open.unfold_root();
+    group.bench_function("reactive_tree_unfolded/64", |b| {
+        b.iter(|| std::hint::black_box(reactive_open.next()))
+    });
+
+    group.finish();
+}
+
+fn bench_adaptive_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_push");
+    group.throughput(Throughput::Elements(1));
+    let w = 64;
+    let tree = Tree::new(w);
+    for level in 0..=tree.max_level() {
+        let mut net =
+            LocalAdaptiveNetwork::with_cut(w, Cut::uniform(&tree, level), WiringStyle::Ahs);
+        let mut wire = 0usize;
+        group.bench_with_input(BenchmarkId::new("uniform_level", level), &level, |b, _| {
+            b.iter(|| {
+                wire = (wire + 7) % w;
+                std::hint::black_box(net.push(wire))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_4threads_1000ops");
+    let run = |counter: Arc<dyn Counter>| {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    std::hint::black_box(counter.next());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    };
+    group.bench_function("central", |b| {
+        b.iter(|| run(Arc::new(CentralCounter::new())));
+    });
+    group.bench_function("tree/64", |b| {
+        b.iter(|| run(Arc::new(TreeCounter::new(64))));
+    });
+    group.bench_function("bitonic/16", |b| {
+        b.iter(|| run(Arc::new(AtomicNetworkCounter::new(bitonic_network(16)))));
+    });
+    group.bench_function("reactive_tree/64", |b| {
+        b.iter(|| {
+            let tree = ReactiveTreeCounter::new(6);
+            tree.unfold_root();
+            run(Arc::new(tree))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_counters,
+    bench_adaptive_cuts,
+    bench_concurrent_counters
+);
+criterion_main!(benches);

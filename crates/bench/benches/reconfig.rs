@@ -1,0 +1,80 @@
+//! Cost of the adaptive machinery itself: split/merge state transfer,
+//! convergence of the decentralized rules, size estimation, and routing
+//! resolution.
+
+use acn_bench::util::seeded_ring;
+use acn_core::component::{merge_components, split_component, Component};
+use acn_core::{ConvergedNetwork, LocalAdaptiveNetwork, NeighborCache};
+use acn_estimator::estimate_size;
+use acn_topology::{network_input_address, ComponentId, Cut, Tree, WiringStyle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_state_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_transfer");
+    for w in [8usize, 64, 256] {
+        let tree = Tree::new(w);
+        let parent = Component::with_tokens(&tree, &ComponentId::root(), 3 * w as u64 + 1);
+        group.bench_with_input(BenchmarkId::new("split", w), &parent, |b, p| {
+            b.iter(|| split_component(&tree, p, WiringStyle::Ahs).expect("settled"))
+        });
+        let children = split_component(&tree, &parent, WiringStyle::Ahs).expect("settled");
+        group.bench_with_input(BenchmarkId::new("merge", w), &children, |b, ch| {
+            b.iter(|| {
+                merge_components(&tree, &ComponentId::root(), ch, WiringStyle::Ahs)
+                    .expect("settled")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("converge_from_scratch");
+    group.sample_size(10);
+    for n in [32usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || seeded_ring(n, 42),
+                |ring| ConvergedNetwork::new(1 << 12, ring),
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("size_estimation");
+    for n in [64usize, 4096] {
+        let ring = seeded_ring(n, 7);
+        let node = ring.nodes().next().expect("non-empty");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ring, |b, r| {
+            b.iter(|| estimate_size(r, node))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    let w = 1 << 10;
+    let tree = Tree::new(w);
+    let net = ConvergedNetwork::new(w, seeded_ring(128, 3));
+    let addr = network_input_address(&tree, 0, WiringStyle::Ahs);
+    let mut cache = NeighborCache::new();
+    let _ = cache.resolve(net.cut(), &addr);
+    group.bench_function("warm_resolve", |b| {
+        b.iter(|| cache.resolve(net.cut(), &addr))
+    });
+    let mut push_net = LocalAdaptiveNetwork::with_cut(64, Cut::root(), WiringStyle::Ahs);
+    group.bench_function("push_root_cut", |b| b.iter(|| push_net.push(0)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_state_transfer,
+    bench_convergence,
+    bench_estimation,
+    bench_routing_resolution
+);
+criterion_main!(benches);

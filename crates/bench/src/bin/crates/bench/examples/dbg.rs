@@ -1,0 +1,16 @@
+fn main() {
+    use acn_core::LocalAdaptiveNetwork;
+    use acn_topology::{Cut, Tree, WiringStyle};
+    let tree = Tree::new(16);
+    for level in 0..=tree.max_level() {
+        let mut net = LocalAdaptiveNetwork::with_cut(16, Cut::uniform(&tree, level), WiringStyle::Ahs);
+        let outs: Vec<usize> = (0..8).map(|t| net.push((t*7) % 16)).collect();
+        println!("level {level}: {outs:?}");
+    }
+    // and wire-0 only
+    for level in 0..=tree.max_level() {
+        let mut net = LocalAdaptiveNetwork::with_cut(16, Cut::uniform(&tree, level), WiringStyle::Ahs);
+        let outs: Vec<usize> = (0..8).map(|_| net.push(0)).collect();
+        println!("level {level} wire0: {outs:?}");
+    }
+}

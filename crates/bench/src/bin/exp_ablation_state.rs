@@ -1,0 +1,4 @@
+//! Runs experiment `exp12_ablation_state` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp12_ablation_state::run());
+}

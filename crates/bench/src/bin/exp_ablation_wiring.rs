@@ -1,0 +1,4 @@
+//! Runs experiment `exp13_ablation_wiring` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp13_ablation_wiring::run());
+}

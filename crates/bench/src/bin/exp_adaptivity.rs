@@ -1,0 +1,4 @@
+//! Runs experiment `exp10_adaptivity` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp10_adaptivity::run());
+}

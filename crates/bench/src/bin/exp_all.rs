@@ -1,0 +1,27 @@
+//! Runs the full experiment suite of the reproduction (DESIGN.md §4)
+//! and prints every report. This is the program that regenerates the
+//! measured numbers recorded in EXPERIMENTS.md.
+fn main() {
+    let reports: Vec<fn() -> String> = vec![
+        acn_bench::exp01_step_property::run,
+        acn_bench::exp02_depth_bound::run,
+        acn_bench::exp03_width_bound::run,
+        acn_bench::exp04_size_estimation::run,
+        acn_bench::exp05_level_estimates::run,
+        acn_bench::exp06_component_counts::run,
+        acn_bench::exp07_effective_dims::run,
+        acn_bench::exp08_figure3::run,
+        acn_bench::exp09_routing::run,
+        acn_bench::exp10_adaptivity::run,
+        acn_bench::exp11_motivation::run,
+        acn_bench::exp12_ablation_state::run,
+        acn_bench::exp13_ablation_wiring::run,
+        acn_bench::exp14_contention::run,
+        acn_bench::exp15_generality::run,
+        acn_bench::exp16_overlay::run,
+        acn_bench::exp17_reconfig_cost::run,
+    ];
+    for run in reports {
+        print!("{}", run());
+    }
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `exp06_component_counts` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp06_component_counts::run());
+}

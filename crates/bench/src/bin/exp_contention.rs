@@ -1,0 +1,4 @@
+//! Runs experiment `exp14_contention` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp14_contention::run());
+}

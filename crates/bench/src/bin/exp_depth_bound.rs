@@ -1,0 +1,4 @@
+//! Runs experiment `exp02_depth_bound` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp02_depth_bound::run());
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `exp07_effective_dims` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp07_effective_dims::run());
+}

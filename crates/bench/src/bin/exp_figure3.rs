@@ -1,0 +1,4 @@
+//! Runs experiment `exp08_figure3` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp08_figure3::run());
+}

@@ -1,0 +1,22 @@
+//! Emits Graphviz DOT for the paper's three figures (render with
+//! `dot -Tsvg`). Writes figure1.dot / figure2.dot / figure3.dot to the
+//! current directory and echoes them to stdout.
+use acn_bench::figures::{figure1_dot, figure2_dot, figure3_dot};
+use acn_topology::{ComponentId, Cut, Tree};
+
+fn main() {
+    let tree = Tree::new(8);
+    let root = ComponentId::root();
+    let mut cut = Cut::root();
+    cut.split(&tree, &root).expect("root splits");
+    cut.split(&tree, &root.child(0)).expect("top bitonic splits");
+    let figures = [
+        ("figure1.dot", figure1_dot(8)),
+        ("figure2.dot", figure2_dot(8, &cut)),
+        ("figure3.dot", figure3_dot(8, &cut)),
+    ];
+    for (path, dot) in figures {
+        std::fs::write(path, &dot).expect("write figure");
+        println!("wrote {path}:\n{dot}");
+    }
+}

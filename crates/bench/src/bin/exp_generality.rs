@@ -1,0 +1,4 @@
+//! Runs experiment `exp15_generality` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp15_generality::run());
+}

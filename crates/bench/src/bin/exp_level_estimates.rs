@@ -1,0 +1,4 @@
+//! Runs experiment `exp05_level_estimates` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp05_level_estimates::run());
+}

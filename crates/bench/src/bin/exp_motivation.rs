@@ -1,0 +1,4 @@
+//! Runs experiment `exp11_motivation` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp11_motivation::run());
+}

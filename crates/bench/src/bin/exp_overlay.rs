@@ -1,0 +1,4 @@
+//! Runs experiment `exp16_overlay` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp16_overlay::run());
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `exp17_reconfig_cost` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp17_reconfig_cost::run());
+}

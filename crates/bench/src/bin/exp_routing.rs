@@ -1,0 +1,4 @@
+//! Runs experiment `exp09_routing` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp09_routing::run());
+}

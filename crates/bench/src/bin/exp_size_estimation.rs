@@ -1,0 +1,4 @@
+//! Runs experiment `exp04_size_estimation` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp04_size_estimation::run());
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `exp01_step_property` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp01_step_property::run());
+}

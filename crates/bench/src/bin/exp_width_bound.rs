@@ -1,0 +1,4 @@
+//! Runs experiment `exp03_width_bound` and prints its report.
+fn main() {
+    print!("{}", acn_bench::exp03_width_bound::run());
+}

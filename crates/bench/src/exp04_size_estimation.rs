@@ -1,0 +1,74 @@
+//! E4 (Lemmas 3.1/3.2): with high probability, **every** node's size
+//! estimate lies in `[N/10, 10N]`.
+//!
+//! For each system size we build many independent seeded rings, run the
+//! two-step estimator at every node, and report the fraction of nodes
+//! inside the band plus the extreme ratios.
+
+use acn_estimator::estimate_size;
+
+use crate::util::{section, seeded_ring, Table};
+
+/// Runs the experiment and returns the rendered report.
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new(&[
+        "N",
+        "rings",
+        "nodes measured",
+        "frac in [N/10,10N]",
+        "min ratio",
+        "max ratio",
+    ]);
+    for &n in &[16usize, 64, 256, 1024, 4096, 16384] {
+        let rings = if n <= 1024 { 20 } else { 5 };
+        let mut measured = 0usize;
+        let mut inside = 0usize;
+        let mut min_ratio = f64::INFINITY;
+        let mut max_ratio: f64 = 0.0;
+        for seed in 0..rings as u64 {
+            let ring = seeded_ring(n, seed * 7717 + 13);
+            for node in ring.nodes().collect::<Vec<_>>() {
+                let est = estimate_size(&ring, node).size;
+                let ratio = est / n as f64;
+                measured += 1;
+                if (0.1..=10.0).contains(&ratio) {
+                    inside += 1;
+                }
+                min_ratio = min_ratio.min(ratio);
+                max_ratio = max_ratio.max(ratio);
+            }
+        }
+        table.row(&[
+            n.to_string(),
+            rings.to_string(),
+            measured.to_string(),
+            format!("{:.4}", inside as f64 / measured as f64),
+            format!("{min_ratio:.3}"),
+            format!("{max_ratio:.3}"),
+        ]);
+    }
+    section(
+        "E4 / Lemmas 3.1-3.2 — size estimates within a factor of 10",
+        &format!(
+            "{}\nExpected (paper): fraction -> 1 as N grows (w.h.p. bound 1 - 3/N^2).\n",
+            table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn estimates_mostly_in_band() {
+        let report = super::run();
+        // Every row should report a fraction of at least 0.99.
+        for line in report.lines() {
+            if let Some(frac) = line.split_whitespace().nth(3) {
+                if let Ok(f) = frac.parse::<f64>() {
+                    assert!(f >= 0.99, "low in-band fraction: {line}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! E5 (Lemma 3.3): with high probability, every node's level estimate
+//! lies in `[l* - 4, l* + 4]`.
+//!
+//! Reports the full histogram of `l_v - l*` across many seeded rings.
+
+use acn_estimator::{ideal_level, node_level};
+
+use crate::util::{section, seeded_ring, Table};
+
+/// Runs the experiment and returns the rendered report.
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new(&["N", "l*", "-2", "-1", "0", "+1", "+2", "|dev|>4"]);
+    for &n in &[32usize, 128, 512, 2048, 8192] {
+        let lstar = ideal_level(n) as i64;
+        let mut hist = [0usize; 5]; // deviations -2..=+2
+        let mut out_of_lemma = 0usize;
+        let rings = if n <= 2048 { 10 } else { 3 };
+        for seed in 0..rings as u64 {
+            let ring = seeded_ring(n, seed * 31 + 5);
+            for node in ring.nodes().collect::<Vec<_>>() {
+                let dev = node_level(&ring, node) as i64 - lstar;
+                if dev.abs() > 4 {
+                    out_of_lemma += 1;
+                } else if (-2..=2).contains(&dev) {
+                    hist[(dev + 2) as usize] += 1;
+                }
+            }
+        }
+        table.row(&[
+            n.to_string(),
+            lstar.to_string(),
+            hist[0].to_string(),
+            hist[1].to_string(),
+            hist[2].to_string(),
+            hist[3].to_string(),
+            hist[4].to_string(),
+            out_of_lemma.to_string(),
+        ]);
+    }
+    section(
+        "E5 / Lemma 3.3 — level estimates within [l*-4, l*+4]",
+        &format!(
+            "{}\nExpected (paper): the |dev|>4 column is 0; mass concentrates at deviation 0.\n",
+            table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn no_deviation_beyond_lemma() {
+        let report = super::run();
+        for line in report.lines() {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            if cells.len() == 8 && cells[0].chars().all(|c| c.is_ascii_digit()) {
+                assert_eq!(cells[7], "0", "lemma 3.3 violated: {line}");
+            }
+        }
+    }
+}

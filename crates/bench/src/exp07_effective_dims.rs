@@ -1,0 +1,76 @@
+//! E7 (Theorem 3.6): the converged network has effective width
+//! `Omega(N / log^2 N)` and effective depth `O(log^2 N)`.
+//!
+//! We sweep `N`, measure both dimensions, and report the ratios to the
+//! theorem's envelopes; a static network is shown for contrast (its
+//! dimensions ignore `N` entirely — the paper's motivating problem).
+
+use acn_core::ConvergedNetwork;
+use acn_topology::{effective_depth, effective_width, ComponentDag, Cut, Tree};
+
+use crate::util::{section, seeded_ring, Table};
+
+/// Runs the experiment and returns the rendered report.
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new(&[
+        "N",
+        "eff width",
+        "N/log^2 N",
+        "width ratio",
+        "eff depth",
+        "log^2 N",
+        "depth ratio",
+    ]);
+    for &n in &[16usize, 64, 256, 1024, 4096] {
+        let net = ConvergedNetwork::new(1 << 13, seeded_ring(n, 0xD1CE + n as u64));
+        let s = net.snapshot();
+        let log2n = (n as f64).log2();
+        let wenv = n as f64 / (log2n * log2n);
+        let denv = log2n * log2n;
+        table.row(&[
+            n.to_string(),
+            s.effective_width.to_string(),
+            format!("{wenv:.1}"),
+            format!("{:.2}", s.effective_width as f64 / wenv),
+            s.effective_depth.to_string(),
+            format!("{denv:.1}"),
+            format!("{:.2}", s.effective_depth as f64 / denv),
+        ]);
+    }
+
+    // The static contrast: a fixed-width BITONIC[64] at balancer
+    // granularity has the same dimensions for every N.
+    let tree = Tree::new(64);
+    let dag = ComponentDag::new(&tree, &Cut::balancers(&tree));
+    let static_line = format!(
+        "Static BITONIC[64] (balancer cut): effective width {} and depth {} for every N.",
+        effective_width(&dag),
+        effective_depth(&dag)
+    );
+
+    section(
+        "E7 / Theorem 3.6 — effective width Omega(N/log^2 N), depth O(log^2 N)",
+        &format!(
+            "{}\n{static_line}\nExpected (paper): width ratio bounded below, depth ratio bounded above,\nboth by constants independent of N.\n",
+            table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratios_are_bounded() {
+        let report = super::run();
+        for line in report.lines() {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            if cells.len() == 7 && cells[0].chars().all(|c| c.is_ascii_digit()) {
+                let width_ratio: f64 = cells[3].parse().expect("width ratio");
+                let depth_ratio: f64 = cells[6].parse().expect("depth ratio");
+                assert!(width_ratio >= 0.1, "width too small: {line}");
+                assert!(depth_ratio <= 3.0, "depth too large: {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! A2 (ablation, DESIGN.md §3.2): the paper's literal (even, even)
+//! merger wiring fails the step property; the Aspnes–Herlihy–Shavit
+//! (even, odd) pairing counts.
+
+use acn_bitonic::step::verify_sequential;
+use acn_bitonic::from_cut_wiring;
+use acn_topology::{Cut, CutWiring, Tree, WiringStyle};
+
+use crate::util::{section, Lcg, Table};
+
+/// Runs the experiment and returns the rendered report.
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new(&["w", "schedules", "AHS failures", "literal failures"]);
+    for &w in &[4usize, 8, 16] {
+        let tree = Tree::new(w);
+        let cut = Cut::balancers(&tree);
+        let ahs = from_cut_wiring(&CutWiring::with_style(&tree, &cut, WiringStyle::Ahs));
+        let literal =
+            from_cut_wiring(&CutWiring::with_style(&tree, &cut, WiringStyle::PaperLiteral));
+        let schedules = 50usize;
+        let mut ahs_failures = 0usize;
+        let mut literal_failures = 0usize;
+        for seed in 0..schedules as u64 {
+            let mut a = Lcg(seed * 13 + 1);
+            let mut b = Lcg(seed * 13 + 1);
+            if !verify_sequential(&ahs, 4 * w, |_| a.below(w)).counts {
+                ahs_failures += 1;
+            }
+            if !verify_sequential(&literal, 4 * w, |_| b.below(w)).counts {
+                literal_failures += 1;
+            }
+        }
+        table.row(&[
+            w.to_string(),
+            schedules.to_string(),
+            ahs_failures.to_string(),
+            literal_failures.to_string(),
+        ]);
+    }
+    section(
+        "A2 — wiring ablation (AHS pairing vs. the paper's literal prose)",
+        &format!(
+            "{}\nExpected: AHS never fails; the literal (even, even) pairing fails on\nmost schedules that load both halves (see DESIGN.md section 3.2).\n",
+            table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ahs_clean_literal_broken() {
+        let report = super::run();
+        for line in report.lines() {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            if cells.len() == 4 && cells[0].chars().all(|c| c.is_ascii_digit()) {
+                assert_eq!(cells[2], "0", "AHS wiring failed: {line}");
+                let literal: usize = cells[3].parse().expect("literal failures");
+                assert!(literal > 0, "literal wiring unexpectedly counted: {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! G1 — the paper's generality claim, demonstrated positively.
+//!
+//! Section 1.2 of the paper remarks that "the same technique can be used
+//! for any distributed data structure which can be decomposed in a
+//! recursive way", working out only the bitonic network. The
+//! `acn-periodic` crate transfers the whole construction — recursive
+//! decomposition, mod-k components, profile-flow split/merge — to the
+//! `PERIODIC[w]` network of Dowd–Perl–Rudolph–Saks. This experiment
+//! verifies the Theorem 2.1 analogue for it:
+//!
+//! - **exhaustively**: every one of the 97,337 cuts of the `P_8`
+//!   decomposition tree is driven with sequential tokens on adversarial
+//!   input wires and must emit a strict global round-robin. (Components
+//!   are port-blind counters, so quiescent outputs are a deterministic
+//!   function of per-component totals — sequential verification covers
+//!   every asynchronous interleaving.)
+//! - **dynamically**: random split/merge storms interleaved with tokens
+//!   on `P_16`/`P_32` must preserve the round robin across the
+//!   reconfigurations.
+
+use acn_periodic::{AdaptivePeriodic, PCut, PId, PTree};
+
+use crate::util::{section, Lcg, Table};
+
+/// Runs the experiment and returns the rendered report.
+#[must_use]
+pub fn run() -> String {
+    let mut table = Table::new(&["part", "w", "cuts", "tokens/cut", "violations"]);
+
+    // Part A: exhaustive over P_8.
+    let tree = PTree::new(8);
+    let cuts = PCut::enumerate_all(&tree);
+    let mut violations = 0usize;
+    for cut in &cuts {
+        let mut net = AdaptivePeriodic::with_cut(8, cut.clone());
+        let mut rng = Lcg(0x9E51);
+        for t in 0..32usize {
+            if net.push(rng.below(8)) != t % 8 {
+                violations += 1;
+            }
+        }
+    }
+    table.row(&[
+        "A (exhaustive, sequential)".into(),
+        "8".into(),
+        cuts.len().to_string(),
+        "32".into(),
+        violations.to_string(),
+    ]);
+
+    // Part B: reconfiguration storms on wider trees.
+    for &w in &[16usize, 32] {
+        let tree = PTree::new(w);
+        let mut violations = 0usize;
+        let trials = 25;
+        for seed in 0..trials {
+            let mut net = AdaptivePeriodic::new(w);
+            let mut rng = Lcg(seed as u64 * 6151 + 11);
+            let mut pushed = 0usize;
+            for _ in 0..1200 {
+                match rng.below(4) {
+                    0 => {
+                        let splittable: Vec<PId> = net
+                            .cut()
+                            .leaves()
+                            .iter()
+                            .filter(|l| tree.info(l).map(|i| i.width >= 4).unwrap_or(false))
+                            .cloned()
+                            .collect();
+                        if !splittable.is_empty() {
+                            let pick = splittable[rng.below(splittable.len())].clone();
+                            net.split(&pick).expect("splittable leaf");
+                        }
+                    }
+                    1 => {
+                        let parents: Vec<PId> =
+                            net.cut().leaves().iter().filter_map(|l| l.parent()).collect();
+                        if !parents.is_empty() {
+                            let pick = parents[rng.below(parents.len())].clone();
+                            let _ = net.merge(&pick);
+                        }
+                    }
+                    _ => {
+                        if net.push(rng.below(w)) != pushed % w {
+                            violations += 1;
+                        }
+                        pushed += 1;
+                    }
+                }
+            }
+        }
+        table.row(&[
+            "B (split/merge storms)".into(),
+            w.to_string(),
+            trials.to_string(),
+            "~600".into(),
+            violations.to_string(),
+        ]);
+    }
+
+    section(
+        "G1 — generality: an adaptive PERIODIC network (Theorem 2.1 analogue)",
+        &format!(
+            "{}\nExpected: 0 violations — the adaptive technique transfers to the second\nclassical counting network, substantiating the paper's Section 1.2 claim.\n",
+            table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn storms_are_clean() {
+        // The exhaustive part is release-only (97k cuts); the unit test
+        // exercises the storm part via a trimmed run of the harness on
+        // the smaller tree inside `acn-periodic`'s own tests. Here just
+        // verify the harness runs on a sample.
+        let tree = acn_periodic::PTree::new(8);
+        let cuts = acn_periodic::PCut::enumerate_all(&tree);
+        assert_eq!(cuts.len(), 97_337);
+        for cut in cuts.iter().step_by(997) {
+            let mut net = acn_periodic::AdaptivePeriodic::with_cut(8, cut.clone());
+            for t in 0..16usize {
+                assert_eq!(net.push((t * 3) % 8), t % 8, "cut {cut}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Graphviz DOT renderings of the paper's three figures.
+//!
+//! The paper's figures are structural diagrams; this module regenerates
+//! them from the implementation so they can be rendered with `dot -Tsvg`:
+//!
+//! - **Figure 1** — the recursive structure of `BITONIC[w]`: the six-way
+//!   decomposition with its inter-component wiring.
+//! - **Figure 2** — the decomposition tree `T_w` with a highlighted cut.
+//! - **Figure 3** — the component network induced by a cut, labelled
+//!   with its effective width and depth.
+
+use std::fmt::Write as _;
+
+use acn_topology::{
+    child_output_destination, effective_depth, effective_width, ChildOutput, ComponentDag,
+    ComponentId, ComponentKind, Cut, Tree, WiringStyle,
+};
+
+/// Figure 1: the one-level decomposition of `BITONIC[w]` as a DOT graph.
+/// Edge labels carry the number of wires.
+#[must_use]
+pub fn figure1_dot(w: usize) -> String {
+    let tree = Tree::new(w);
+    let root = ComponentId::root();
+    let mut dot = String::new();
+    let _ = writeln!(dot, "digraph figure1 {{");
+    let _ = writeln!(dot, "  rankdir=LR; node [shape=box, style=rounded];");
+    let _ = writeln!(dot, "  label=\"Recursive structure of BITONIC[{w}] (paper Fig. 1)\";");
+    let names = ["Btop", "Bbot", "Mtop", "Mbot", "Xtop", "Xbot"];
+    for (i, name) in names.iter().enumerate() {
+        let info = tree.info(&root.child(i as u8)).expect("valid child");
+        let _ = writeln!(dot, "  {name} [label=\"{}[{}]\"];", info.kind.tag(), info.width);
+    }
+    // Count wires per (child, sibling) pair.
+    let mut wires = std::collections::BTreeMap::new();
+    let half = w / 2;
+    for child in 0..6 {
+        for port in 0..half {
+            if let ChildOutput::Sibling { child: s, .. } = child_output_destination(
+                ComponentKind::Bitonic,
+                w,
+                child,
+                port,
+                WiringStyle::Ahs,
+            ) {
+                *wires.entry((child, s)).or_insert(0usize) += 1;
+            }
+        }
+    }
+    let _ = writeln!(dot, "  in [shape=plaintext, label=\"{w} inputs\"];");
+    let _ = writeln!(dot, "  out [shape=plaintext, label=\"{w} outputs\"];");
+    let _ = writeln!(dot, "  in -> Btop [label=\"{half}\"]; in -> Bbot [label=\"{half}\"];");
+    for ((from, to), count) in wires {
+        let _ = writeln!(dot, "  {} -> {} [label=\"{count}\"];", names[from], names[to]);
+    }
+    let _ = writeln!(dot, "  Xtop -> out [label=\"{half}\"]; Xbot -> out [label=\"{half}\"];");
+    let _ = writeln!(dot, "}}");
+    dot
+}
+
+/// Figure 2: the decomposition tree `T_w` with the leaves of `cut`
+/// highlighted (doubled border), as a DOT graph.
+#[must_use]
+pub fn figure2_dot(w: usize, cut: &Cut) -> String {
+    let tree = Tree::new(w);
+    let mut dot = String::new();
+    let _ = writeln!(dot, "digraph figure2 {{");
+    let _ = writeln!(dot, "  node [shape=box];");
+    let _ = writeln!(dot, "  label=\"Decomposition tree T_{w} with a cut (paper Fig. 2)\";");
+    for info in tree.iter_preorder() {
+        let name = node_name(&info.id);
+        let peripheries = if cut.contains(&info.id) { 3 } else { 1 };
+        let _ = writeln!(
+            dot,
+            "  {name} [label=\"{}[{}]\\n{}\", peripheries={peripheries}];",
+            info.kind.tag(),
+            info.width,
+            info.id
+        );
+        if let Some(parent) = info.id.parent() {
+            let _ = writeln!(dot, "  {} -> {name};", node_name(&parent));
+        }
+        // Do not expand below cut leaves (matches the paper's "solid
+        // subtrees" elision) — but only when the cut is shallow enough
+        // to make the figure readable.
+    }
+    let _ = writeln!(dot, "}}");
+    dot
+}
+
+/// Figure 3: the component network induced by `cut`, labelled with its
+/// effective width and depth, as a DOT graph.
+#[must_use]
+pub fn figure3_dot(w: usize, cut: &Cut) -> String {
+    let tree = Tree::new(w);
+    let dag = ComponentDag::new(&tree, cut);
+    let width = effective_width(&dag);
+    let depth = effective_depth(&dag);
+    let mut dot = String::new();
+    let _ = writeln!(dot, "digraph figure3 {{");
+    let _ = writeln!(dot, "  rankdir=LR; node [shape=box, style=rounded];");
+    let _ = writeln!(
+        dot,
+        "  label=\"Cut implementation of BITONIC[{w}]: effective width {width}, depth {depth} (paper Fig. 3)\";"
+    );
+    for (i, v) in dag.vertices().iter().enumerate() {
+        let info = tree.info(v).expect("valid leaf");
+        let shape = if dag.input_layer().contains(&i) {
+            ", color=blue"
+        } else if dag.output_layer().contains(&i) {
+            ", color=red"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            dot,
+            "  v{i} [label=\"{}[{}]\\n{}\"{shape}];",
+            info.kind.tag(),
+            info.width,
+            v
+        );
+    }
+    for e in dag.edges() {
+        let _ = writeln!(dot, "  v{} -> v{} [label=\"{}\"];", e.from, e.to, e.wires);
+    }
+    let _ = writeln!(dot, "}}");
+    dot
+}
+
+fn node_name(id: &ComponentId) -> String {
+    if id.is_root() {
+        "root".to_owned()
+    } else {
+        let digits: Vec<String> = id.path().iter().map(u8::to_string).collect();
+        format!("n{}", digits.join("_"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_mentions_all_components() {
+        let dot = figure1_dot(8);
+        for name in ["Btop", "Bbot", "Mtop", "Mbot", "Xtop", "Xbot"] {
+            assert!(dot.contains(name), "{name} missing:\n{dot}");
+        }
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn figure2_highlights_cut_leaves() {
+        let tree = Tree::new(8);
+        let mut cut = Cut::root();
+        cut.split(&tree, &ComponentId::root()).unwrap();
+        let dot = figure2_dot(8, &cut);
+        assert_eq!(dot.matches("peripheries=3").count(), 6);
+    }
+
+    #[test]
+    fn figure3_reports_paper_numbers() {
+        let tree = Tree::new(8);
+        let root = ComponentId::root();
+        let mut cut = Cut::root();
+        cut.split(&tree, &root).unwrap();
+        cut.split(&tree, &root.child(0)).unwrap();
+        let dot = figure3_dot(8, &cut);
+        assert!(dot.contains("effective width 2, depth 5"), "{dot}");
+    }
+}

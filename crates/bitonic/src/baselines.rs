@@ -1,0 +1,193 @@
+//! Baseline shared counters: centralized counter and counting tree.
+//!
+//! These are the structures the paper's related-work section compares
+//! against (Section 1.3): a single centralized counter (maximal
+//! contention, minimal latency) and the balancer-tree counters that
+//! diffracting trees \[SZ96\] optimize.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A source of consecutive counter values. All implementations are
+/// linearizable or (for network-based counters) satisfy the quiescent
+/// step property on the values handed out.
+pub trait Counter: Send + Sync {
+    /// Fetches the next counter value.
+    fn next(&self) -> u64;
+}
+
+/// The trivial centralized counter: a single atomic fetch-and-increment.
+///
+/// # Example
+///
+/// ```
+/// use acn_bitonic::{CentralCounter, Counter};
+///
+/// let c = CentralCounter::new();
+/// assert_eq!(c.next(), 0);
+/// assert_eq!(c.next(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CentralCounter {
+    value: AtomicU64,
+}
+
+impl CentralCounter {
+    /// A counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        CentralCounter { value: AtomicU64::new(0) }
+    }
+}
+
+impl Counter for CentralCounter {
+    fn next(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// A counting tree in the style of diffracting trees \[SZ96\]: a complete
+/// binary tree of toggle balancers routes each token to one of `L`
+/// leaves, and leaf `i` hands out the values `i, i + L, i + 2L, ...`.
+///
+/// The toggles are atomic fetch-and-increment parities, which makes the
+/// structure lock-free. (The *prism* arrays of \[SZ96\], which pair up
+/// concurrent tokens to bypass the root toggle, are a shared-memory
+/// contention optimization; this implementation models the tree itself,
+/// which is what determines the values handed out.)
+///
+/// # Example
+///
+/// ```
+/// use acn_bitonic::{TreeCounter, Counter};
+///
+/// let c = TreeCounter::new(4);
+/// let mut got: Vec<u64> = (0..8).map(|_| c.next()).collect();
+/// got.sort();
+/// assert_eq!(got, (0..8).collect::<Vec<u64>>());
+/// ```
+#[derive(Debug)]
+pub struct TreeCounter {
+    leaves: usize,
+    /// Toggle counters of internal nodes, heap-indexed from 1.
+    toggles: Vec<AtomicU64>,
+    /// Per-leaf next value: leaf i hands out i + leaves * n.
+    leaf_counts: Vec<AtomicU64>,
+}
+
+impl TreeCounter {
+    /// A counting tree with `leaves` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is not a power of two or is zero.
+    #[must_use]
+    pub fn new(leaves: usize) -> Self {
+        assert!(leaves >= 1 && leaves.is_power_of_two(), "leaves must be a power of two");
+        TreeCounter {
+            leaves,
+            toggles: (0..leaves).map(|_| AtomicU64::new(0)).collect(),
+            leaf_counts: (0..leaves).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The number of leaves (the tree's width).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.leaves
+    }
+}
+
+impl Counter for TreeCounter {
+    fn next(&self) -> u64 {
+        // Walk from the root (heap index 1) to a leaf.
+        let mut node = 1usize;
+        while node < self.leaves {
+            let bit = self.toggles[node].fetch_add(1, Ordering::Relaxed) % 2;
+            node = 2 * node + bit as usize;
+        }
+        // A toggle tree visits its leaves in bit-reversed round-robin
+        // order, so the *logical* leaf index (the one that makes handed
+        // out values consecutive) is the bit reversal of the heap path.
+        let depth = self.leaves.trailing_zeros();
+        let heap_leaf = node - self.leaves;
+        let leaf = if depth == 0 {
+            0
+        } else {
+            (heap_leaf.reverse_bits() >> (usize::BITS - depth)) & (self.leaves - 1)
+        };
+        let round = self.leaf_counts[leaf].fetch_add(1, Ordering::Relaxed);
+        leaf as u64 + round * self.leaves as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn central_counter_is_sequential() {
+        let c = CentralCounter::new();
+        let got: Vec<u64> = (0..10).map(|_| c.next()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn tree_counter_sequential_values_are_a_permutation_of_a_prefix() {
+        for leaves in [1usize, 2, 4, 8, 16] {
+            let c = TreeCounter::new(leaves);
+            let n = 5 * leaves + 3;
+            let got: HashSet<u64> = (0..n).map(|_| c.next()).collect();
+            // Sequential use of a counting tree yields exactly 0..n.
+            assert_eq!(got, (0..n as u64).collect(), "leaves={leaves}");
+        }
+    }
+
+    #[test]
+    fn tree_counter_concurrent_values_are_distinct() {
+        let c = Arc::new(TreeCounter::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..500).map(|_| c.next()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate counter values handed out");
+    }
+
+    #[test]
+    fn central_counter_concurrent_values_are_distinct() {
+        let c = Arc::new(CentralCounter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..500).map(|_| c.next()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        all.sort_unstable();
+        let n = all.len();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert_eq!(all, (0..n as u64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn tree_counter_rejects_non_power_of_two() {
+        let _ = TreeCounter::new(6);
+    }
+}

@@ -1,0 +1,50 @@
+//! Static balancer-level counting networks and baseline counters.
+//!
+//! This crate provides the classical, *fixed-width* data structures that
+//! the adaptive construction of Tirthapura (ICDCS 2005) builds upon and is
+//! compared against:
+//!
+//! - [`BalancingNetwork`] — a generic acyclic network of 2×2 balancers
+//!   with sequential, adversarially-interleaved, and lock-free concurrent
+//!   execution engines;
+//! - [`bitonic_network`] — the Aspnes–Herlihy–Shavit `BITONIC[w]` counting
+//!   network (isomorphic to Batcher's bitonic sorting network);
+//! - [`periodic_network`] — the `PERIODIC[w]` network of
+//!   Dowd–Perl–Rudolph–Saks;
+//! - [`step`] — the step property (the defining invariant of counting
+//!   networks) and checking harnesses;
+//! - [`TreeCounter`] and [`CentralCounter`] — the baseline synchronization
+//!   structures used in the paper's related-work comparison (diffracting
+//!   trees, centralized counting).
+//!
+//! # Example
+//!
+//! ```
+//! use acn_bitonic::{bitonic_network, NetworkState};
+//!
+//! let net = bitonic_network(8);
+//! let mut state = NetworkState::new(&net);
+//! // Feed 20 tokens into arbitrary input wires; outputs are round-robin.
+//! let mut outputs = vec![0u64; 8];
+//! for i in 0..20 {
+//!     let out = net.route(&mut state, i % 3);
+//!     outputs[out] += 1;
+//! }
+//! assert!(acn_bitonic::step::is_step_sequence(&outputs));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod concurrent;
+mod construct;
+mod network;
+mod reactive;
+pub mod step;
+
+pub use baselines::{CentralCounter, Counter, TreeCounter};
+pub use reactive::ReactiveTreeCounter;
+pub use concurrent::AtomicNetworkCounter;
+pub use construct::{bitonic_network, from_cut_wiring, periodic_network};
+pub use network::{BalancingNetwork, Dest, NetworkState};

@@ -1,0 +1,377 @@
+//! A reactive counting tree, after Della-Libera–Shavit's *reactive
+//! diffracting trees* \[DLS00\] (paper Section 1.3).
+//!
+//! The related work the paper positions against: a shared-memory toggle
+//! tree whose *size* reacts to load — subtrees **fold** into a single
+//! counter when traffic is light (less latency) and **unfold** when
+//! traffic is heavy (less contention). This implementation captures the
+//! fold/unfold semantics with exact value-preserving state transfer, the
+//! same discipline as the adaptive network's split/merge:
+//!
+//! - a folded node emulates its subtree *in toggle order*. With the
+//!   usual bit-reversed leaf-value assignment (cf. [`TreeCounter`]) the
+//!   values a subtree at position `lo` controls form the arithmetic
+//!   progression `bitrev(lo) + j * (L/span)`, and the toggle order walks
+//!   it in sequence — so a folded node is simply
+//!   `value(k) = bitrev(lo) + (k mod span) * (L/span) + L * (k/span)`.
+//!   In particular the fully folded root is a plain `0, 1, 2, ...`
+//!   counter;
+//! - **unfold** splits the counter exactly: the left child gets
+//!   `ceil(k/2)`, the right `floor(k/2)`, and the toggle resumes at
+//!   parity `k mod 2`;
+//! - **fold** sums the children. Because the folded enumeration matches
+//!   the toggle order, *every* reachable state is an exact fold/unfold
+//!   image — no settledness gate is needed (unlike the counting
+//!   network's merge, where in-flight tokens force the owed-multiset
+//!   machinery).
+//!
+//! The *diffraction* (prism) machinery of \[SZ96\]/\[DLS00\] is a
+//! shared-memory contention optimization orthogonal to the values handed
+//! out; it is not modelled (same note as [`TreeCounter`]).
+//!
+//! [`TreeCounter`]: crate::TreeCounter
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::baselines::Counter;
+
+/// A node of the reactive tree.
+#[derive(Debug)]
+enum Node {
+    /// A folded subtree acting as one counter over its leaf range.
+    Folded {
+        /// Emissions so far.
+        count: AtomicU64,
+    },
+    /// An active toggle routing tokens to the two children.
+    Active {
+        toggle: AtomicU64,
+        left: Box<Node>,
+        right: Box<Node>,
+        /// Visits since the last adaptation decision (load signal).
+        visits: AtomicU64,
+    },
+}
+
+/// A reactive counting tree with up to `2^max_depth` leaves.
+///
+/// # Example
+///
+/// ```
+/// use acn_bitonic::{Counter, ReactiveTreeCounter};
+///
+/// let tree = ReactiveTreeCounter::new(3); // up to 8 leaves
+/// assert_eq!(tree.next(), 0);
+/// assert_eq!(tree.next(), 1);
+/// tree.unfold_root();
+/// // Values keep flowing densely after the reconfiguration.
+/// let mut got: Vec<u64> = (0..6).map(|_| tree.next()).collect();
+/// got.sort();
+/// assert_eq!(got, vec![2, 3, 4, 5, 6, 7]);
+/// ```
+#[derive(Debug)]
+pub struct ReactiveTreeCounter {
+    root: RwLock<Node>,
+    /// Total leaves of the *fully unfolded* tree (the modulus `L`).
+    leaves: u64,
+}
+
+impl ReactiveTreeCounter {
+    /// A tree with up to `2^max_depth` leaves, starting fully folded
+    /// (one counter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth > 20`.
+    #[must_use]
+    pub fn new(max_depth: u32) -> Self {
+        assert!(max_depth <= 20, "tree too deep");
+        ReactiveTreeCounter {
+            root: RwLock::new(Node::Folded { count: AtomicU64::new(0) }),
+            leaves: 1 << max_depth,
+        }
+    }
+
+    /// The modulus `L` (leaves of the fully unfolded tree).
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.leaves
+    }
+
+    /// Number of folded counters currently active (1 = fully folded).
+    #[must_use]
+    pub fn active_counters(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Folded { .. } => 1,
+                Node::Active { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root.read())
+    }
+
+    /// Unfolds the root (doubling available parallelism at the top).
+    /// No-op if already active or at maximum depth.
+    pub fn unfold_root(&self) {
+        let mut root = self.root.write();
+        Self::unfold_node(&mut root, self.leaves);
+    }
+
+    /// Folds the whole tree back into a single counter.
+    pub fn fold_root(&self) {
+        let mut root = self.root.write();
+        let total = Self::fold_node(&root, self.leaves);
+        *root = Node::Folded { count: AtomicU64::new(total) };
+    }
+
+    /// One adaptation round: every active toggle with fewer than
+    /// `fold_below` visits since the last round folds; every folded
+    /// counter with more than `unfold_above` visits unfolds (visits are
+    /// approximated by emission deltas). Returns (folds, unfolds).
+    pub fn adapt(&self, fold_below: u64, unfold_above: u64) -> (usize, usize) {
+        let mut root = self.root.write();
+        let leaves = self.leaves;
+        fn walk(
+            node: &mut Node,
+            span: u64,
+            fold_below: u64,
+            unfold_above: u64,
+            folds: &mut usize,
+            unfolds: &mut usize,
+        ) {
+            match node {
+                Node::Folded { count } => {
+                    // Unfold hot counters (visit proxy: emissions since
+                    // creation — adequate for a load experiment).
+                    if span > 1 && count.load(Ordering::Relaxed) >= unfold_above {
+                        ReactiveTreeCounter::unfold_node(node, span);
+                        *unfolds += 1;
+                    }
+                }
+                Node::Active { visits, left, right, .. } => {
+                    let v = visits.swap(0, Ordering::Relaxed);
+                    if v < fold_below {
+                        let total = ReactiveTreeCounter::fold_node(node, span);
+                        *node = Node::Folded { count: AtomicU64::new(total) };
+                        *folds += 1;
+                    } else {
+                        walk(left, span / 2, fold_below, unfold_above, folds, unfolds);
+                        walk(right, span / 2, fold_below, unfold_above, folds, unfolds);
+                    }
+                }
+            }
+        }
+        let (mut folds, mut unfolds) = (0, 0);
+        walk(&mut root, leaves, fold_below, unfold_above, &mut folds, &mut unfolds);
+        (folds, unfolds)
+    }
+
+    /// Unfolds a folded node in place (exact value-preserving transfer):
+    /// in toggle order the left child received every even-indexed
+    /// emission so far, the right every odd-indexed one.
+    fn unfold_node(node: &mut Node, span: u64) {
+        let Node::Folded { count } = node else { return };
+        if span < 2 {
+            return; // single leaves cannot unfold
+        }
+        let k = count.load(Ordering::Relaxed);
+        let k_left = k - k / 2;
+        let k_right = k / 2;
+        *node = Node::Active {
+            toggle: AtomicU64::new(k % 2),
+            left: Box::new(Node::Folded { count: AtomicU64::new(k_left) }),
+            right: Box::new(Node::Folded { count: AtomicU64::new(k_right) }),
+            visits: AtomicU64::new(0),
+        };
+    }
+
+    /// Total emissions of a subtree (the folded counter value).
+    fn fold_node(node: &Node, span: u64) -> u64 {
+        match node {
+            Node::Folded { count } => count.load(Ordering::Relaxed),
+            Node::Active { left, right, .. } => {
+                Self::fold_node(left, span / 2) + Self::fold_node(right, span / 2)
+            }
+        }
+    }
+
+    /// Routes one token and returns its counter value.
+    fn descend(&self, leaves: u64) -> u64 {
+        let root = self.root.read();
+        let mut node: &Node = &root;
+        let mut span = leaves;
+        let mut lo = 0u64;
+        loop {
+            match node {
+                Node::Folded { count } => {
+                    let k = count.fetch_add(1, Ordering::Relaxed);
+                    let base = bitrev(lo, leaves);
+                    let stride = leaves / span;
+                    return base + (k % span) * stride + leaves * (k / span);
+                }
+                Node::Active { toggle, left, right, visits } => {
+                    visits.fetch_add(1, Ordering::Relaxed);
+                    let bit = toggle.fetch_add(1, Ordering::Relaxed) % 2;
+                    span /= 2;
+                    if bit == 0 {
+                        node = left;
+                    } else {
+                        lo += span;
+                        node = right;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reverses the low `log2(span)` bits of `v` (the toggle-tree visiting
+/// order within a subtree of `span` leaves).
+fn bitrev(v: u64, span: u64) -> u64 {
+    let bits = span.trailing_zeros();
+    if bits == 0 {
+        return 0;
+    }
+    v.reverse_bits() >> (64 - bits)
+}
+
+impl Counter for ReactiveTreeCounter {
+    fn next(&self) -> u64 {
+        self.descend(self.leaves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn folded_tree_is_a_plain_counter() {
+        let tree = ReactiveTreeCounter::new(4);
+        let got: Vec<u64> = (0..20).map(|_| tree.next()).collect();
+        assert_eq!(got, (0..20).collect::<Vec<u64>>());
+        assert_eq!(tree.active_counters(), 1);
+        // Any fold state matches what the eager TreeCounter hands out.
+        let reference = crate::TreeCounter::new(16);
+        let tree2 = ReactiveTreeCounter::new(4);
+        tree2.unfold_root();
+        for _ in 0..40 {
+            assert_eq!(tree2.next(), reference.next());
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_value_stream() {
+        for warmup in 0..20u64 {
+            let tree = ReactiveTreeCounter::new(3);
+            let mut seen: Vec<u64> = (0..warmup).map(|_| tree.next()).collect();
+            tree.unfold_root();
+            assert_eq!(tree.active_counters(), 2);
+            for _ in 0..24 {
+                seen.push(tree.next());
+            }
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (0..warmup + 24).collect::<Vec<u64>>(),
+                "warmup {warmup}: duplicated or skipped values"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_preserves_value_stream() {
+        for warmup in 0..20u64 {
+            let tree = ReactiveTreeCounter::new(3);
+            tree.unfold_root();
+            tree.unfold_root(); // idempotent on an active root
+            let mut seen: Vec<u64> = (0..warmup).map(|_| tree.next()).collect();
+            tree.fold_root();
+            assert_eq!(tree.active_counters(), 1);
+            for _ in 0..24 {
+                seen.push(tree.next());
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..warmup + 24).collect::<Vec<u64>>(), "warmup {warmup}");
+        }
+    }
+
+    #[test]
+    fn deep_reconfiguration_storm_keeps_values_dense() {
+        let tree = ReactiveTreeCounter::new(4);
+        let mut seen = Vec::new();
+        let mut state = 0x5EEDu64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..300 {
+            match rng() % 5 {
+                0 => tree.unfold_root(),
+                1 => tree.fold_root(),
+                2 => {
+                    let _ = tree.adapt(1, 4);
+                }
+                _ => seen.push(tree.next()),
+            }
+        }
+        let n = seen.len() as u64;
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len() as u64, n, "duplicates under reconfiguration");
+        // Values are dense: the set is exactly 0..n.
+        assert_eq!(seen, (0..n).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn adapt_unfolds_under_load_and_folds_when_idle() {
+        let tree = ReactiveTreeCounter::new(4);
+        for _ in 0..100 {
+            let _ = tree.next();
+        }
+        let (_, unfolds) = tree.adapt(0, 50);
+        assert!(unfolds >= 1, "hot counter did not unfold");
+        assert!(tree.active_counters() > 1);
+        // Idle: everything folds back.
+        let (folds, _) = tree.adapt(u64::MAX, u64::MAX);
+        assert!(folds >= 1, "idle tree did not fold");
+        assert_eq!(tree.active_counters(), 1);
+        // Still dense afterwards.
+        let v = tree.next();
+        assert_eq!(v, 100);
+    }
+
+    #[test]
+    fn concurrent_values_distinct_across_reconfigurations() {
+        let tree = Arc::new(ReactiveTreeCounter::new(4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    got.push(tree.next());
+                }
+                got
+            }));
+        }
+        for _ in 0..50 {
+            tree.unfold_root();
+            std::thread::yield_now();
+            tree.fold_root();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate values under concurrent reconfiguration");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the static counting networks.
+
+use acn_bitonic::step::{is_step_sequence, verify_interleaved, verify_sequential};
+use acn_bitonic::{bitonic_network, periodic_network};
+use proptest::prelude::*;
+
+proptest! {
+    /// The bitonic network counts for arbitrary sequential schedules.
+    #[test]
+    fn bitonic_counts(
+        logw in 1u32..6,
+        wires in proptest::collection::vec(any::<usize>(), 1..150),
+    ) {
+        let w = 1usize << logw;
+        let net = bitonic_network(w);
+        let mut i = 0;
+        let v = verify_sequential(&net, wires.len(), |_| {
+            let wire = wires[i % wires.len()];
+            i += 1;
+            wire
+        });
+        prop_assert!(v.counts);
+    }
+
+    /// The periodic network counts for arbitrary sequential schedules.
+    #[test]
+    fn periodic_counts(
+        logw in 1u32..5,
+        wires in proptest::collection::vec(any::<usize>(), 1..100),
+    ) {
+        let w = 1usize << logw;
+        let net = periodic_network(w);
+        let mut i = 0;
+        let v = verify_sequential(&net, wires.len(), |_| {
+            let wire = wires[i % wires.len()];
+            i += 1;
+            wire
+        });
+        prop_assert!(v.counts);
+    }
+
+    /// The bitonic network keeps the quiescent step property under
+    /// arbitrary interleavings.
+    #[test]
+    fn bitonic_counts_interleaved(
+        logw in 1u32..5,
+        tokens in 1usize..80,
+        schedule in proptest::collection::vec(any::<usize>(), 1..400),
+        inputs in proptest::collection::vec(any::<usize>(), 1..80),
+    ) {
+        let w = 1usize << logw;
+        let net = bitonic_network(w);
+        let mut s = 0;
+        let mut i = 0;
+        let v = verify_interleaved(
+            &net,
+            tokens,
+            |_| { let x = inputs[i % inputs.len()]; i += 1; x },
+            |n| { let x = schedule[s % schedule.len()] % n.max(1); s += 1; x },
+        );
+        prop_assert!(v.counts);
+        prop_assert_eq!(v.final_outputs.iter().sum::<u64>(), tokens as u64);
+    }
+
+    /// Step sequences are exactly the sorted-and-tight sequences.
+    #[test]
+    fn step_checker_semantics(counts in proptest::collection::vec(0u64..6, 0..10)) {
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        let sorted = counts.windows(2).all(|p| p[0] >= p[1]);
+        prop_assert_eq!(is_step_sequence(&counts), sorted && max - min <= 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! A thread-safe shared-memory adaptive counting network.
+//!
+//! Counting networks were born as shared-memory structures (the paper's
+//! lineage runs through Aspnes–Herlihy–Shavit and diffracting trees);
+//! [`SharedAdaptiveNetwork`] brings the *adaptive* construction into that
+//! setting. Tokens from many threads traverse the component graph with
+//! **per-component locks** — concurrent tokens in different components
+//! proceed in parallel, exactly like tokens on different nodes of the
+//! distributed deployment — while reconfiguration (split/merge) takes
+//! the structure lock exclusively, which also makes every
+//! reconfiguration point quiescent (so state transfer is always exact
+//! and never deferred).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use acn_core::SharedAdaptiveNetwork;
+//!
+//! let net = Arc::new(SharedAdaptiveNetwork::new(8));
+//! let workers: Vec<_> = (0..4)
+//!     .map(|t| {
+//!         let net = Arc::clone(&net);
+//!         std::thread::spawn(move || (0..100).map(|i| net.next_value((t + i) % 8)).count())
+//!     })
+//!     .collect();
+//! for w in workers {
+//!     w.join().unwrap();
+//! }
+//! assert_eq!(net.total_exited(), 400);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+
+use acn_topology::{
+    input_port_of, network_input_address, resolve_output, ComponentId, Cut, CutError,
+    OutputDestination, Tree, WiringStyle,
+};
+
+use crate::component::{merge_components, split_component, Component};
+use crate::local::AdaptError;
+
+/// The lock-protected structure: the cut and its live components.
+struct Structure {
+    cut: Cut,
+    components: std::collections::HashMap<ComponentId, Mutex<Component>>,
+}
+
+/// A concurrent adaptive counting network for one address space.
+///
+/// Cloneable via `Arc`; see the module docs for the locking discipline.
+pub struct SharedAdaptiveNetwork {
+    tree: Tree,
+    style: WiringStyle,
+    structure: RwLock<Structure>,
+    input_counts: Vec<AtomicU64>,
+    output_counts: Vec<AtomicU64>,
+}
+
+impl SharedAdaptiveNetwork {
+    /// A new shared network of width `w`, starting as one component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two or `w < 2`.
+    #[must_use]
+    pub fn new(w: usize) -> Self {
+        let tree = Tree::new(w);
+        let cut = Cut::root();
+        let components = cut
+            .leaves()
+            .iter()
+            .map(|id| (id.clone(), Mutex::new(Component::new(&tree, id))))
+            .collect();
+        SharedAdaptiveNetwork {
+            tree,
+            style: WiringStyle::Ahs,
+            structure: RwLock::new(Structure { cut, components }),
+            input_counts: (0..w).map(|_| AtomicU64::new(0)).collect(),
+            output_counts: (0..w).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The network width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.tree.width()
+    }
+
+    /// A snapshot of the current cut.
+    #[must_use]
+    pub fn cut(&self) -> Cut {
+        self.structure.read().cut.clone()
+    }
+
+    /// Routes one token from `wire` to an output wire. Many threads may
+    /// push concurrently; the quiescent per-wire exit counts always have
+    /// the step property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= width`.
+    pub fn push(&self, wire: usize) -> usize {
+        self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
+        let structure = self.structure.read();
+        let mut addr = network_input_address(&self.tree, wire, self.style);
+        loop {
+            let owner = addr.owner_under(&structure.cut).expect("valid cut");
+            let in_port = input_port_of(&self.tree, &owner, &addr, self.style);
+            let out_port = {
+                let mut comp = structure.components[&owner].lock();
+                comp.process_token(in_port)
+            };
+            match resolve_output(&self.tree, &owner, out_port, self.style) {
+                OutputDestination::Wire(next) => addr = next,
+                OutputDestination::NetworkOutput(out) => {
+                    self.output_counts[out].fetch_add(1, Ordering::Relaxed);
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Distributed-counter semantics: routes a token and returns
+    /// `out + w * round`. Concurrent calls hand out distinct values with
+    /// no gaps once quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= width`.
+    pub fn next_value(&self, wire: usize) -> u64 {
+        self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
+        let structure = self.structure.read();
+        let mut addr = network_input_address(&self.tree, wire, self.style);
+        loop {
+            let owner = addr.owner_under(&structure.cut).expect("valid cut");
+            let in_port = input_port_of(&self.tree, &owner, &addr, self.style);
+            let out_port = {
+                let mut comp = structure.components[&owner].lock();
+                comp.process_token(in_port)
+            };
+            match resolve_output(&self.tree, &owner, out_port, self.style) {
+                OutputDestination::Wire(next) => addr = next,
+                OutputDestination::NetworkOutput(out) => {
+                    let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
+                    return out as u64 + round * self.width() as u64;
+                }
+            }
+        }
+    }
+
+    /// Splits leaf `id`, blocking until in-flight tokens drain (the
+    /// write lock waits out all readers, so the transfer is exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaptError::Cut`] if `id` is not a splittable leaf.
+    pub fn split(&self, id: &ComponentId) -> Result<(), AdaptError> {
+        let mut structure = self.structure.write();
+        let mut cut = structure.cut.clone();
+        cut.split(&self.tree, id).map_err(AdaptError::Cut)?;
+        // Compute the transfer before touching the map so a deferred
+        // transfer leaves the structure untouched. (Under the write lock
+        // the network is quiescent, so deferral cannot actually happen —
+        // this is belt and braces.)
+        let children = {
+            let parent = structure.components[id].lock();
+            split_component(&self.tree, &parent, self.style)
+                .map_err(|why| AdaptError::Deferred(id.clone(), why))?
+        };
+        structure.components.remove(id);
+        for child in children {
+            structure.components.insert(child.id().clone(), Mutex::new(child));
+        }
+        structure.cut = cut;
+        Ok(())
+    }
+
+    /// Merges the subtree under `id` back into one component (recursive,
+    /// like [`LocalAdaptiveNetwork::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaptError::Cut`] if `id` is a leaf already or not
+    /// covered by the cut.
+    ///
+    /// [`LocalAdaptiveNetwork::merge`]: crate::LocalAdaptiveNetwork::merge
+    pub fn merge(&self, id: &ComponentId) -> Result<(), AdaptError> {
+        let mut structure = self.structure.write();
+        Self::merge_locked(&self.tree, self.style, &mut structure, id)
+    }
+
+    fn merge_locked(
+        tree: &Tree,
+        style: WiringStyle,
+        structure: &mut Structure,
+        id: &ComponentId,
+    ) -> Result<(), AdaptError> {
+        if structure.cut.contains(id) {
+            return Err(AdaptError::Cut(CutError::NotALeaf(id.clone())));
+        }
+        let children_ids = tree.children(id);
+        if children_ids.is_empty() {
+            return Err(AdaptError::Cut(CutError::ChildrenNotLeaves(id.clone())));
+        }
+        for child in &children_ids {
+            if !structure.cut.contains(child) {
+                Self::merge_locked(tree, style, structure, child)?;
+            }
+        }
+        let children: Vec<Component> = children_ids
+            .iter()
+            .map(|c| structure.components[c].lock().clone())
+            .collect();
+        let parent = merge_components(tree, id, &children, style)
+            .map_err(|why| AdaptError::Deferred(id.clone(), why))?;
+        for c in &children_ids {
+            structure.components.remove(c);
+        }
+        structure.components.insert(id.clone(), Mutex::new(parent));
+        structure.cut.merge(tree, id).expect("children are leaves now");
+        Ok(())
+    }
+
+    /// Tokens that exited per output wire (quiescent snapshots have the
+    /// step property).
+    #[must_use]
+    pub fn output_counts(&self) -> Vec<u64> {
+        self.output_counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total tokens that exited.
+    #[must_use]
+    pub fn total_exited(&self) -> u64 {
+        self.output_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for SharedAdaptiveNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let structure = self.structure.read();
+        f.debug_struct("SharedAdaptiveNetwork")
+            .field("width", &self.tree.width())
+            .field("components", &structure.cut.leaves().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_behaviour_matches_local() {
+        let shared = SharedAdaptiveNetwork::new(16);
+        let mut local = crate::LocalAdaptiveNetwork::new(16);
+        let root = ComponentId::root();
+        for t in 0..10usize {
+            assert_eq!(shared.push(t % 16), local.push(t % 16));
+        }
+        shared.split(&root).unwrap();
+        local.split(&root).unwrap();
+        for t in 10..30usize {
+            assert_eq!(shared.push((t * 3) % 16), local.push((t * 3) % 16));
+        }
+        shared.merge(&root).unwrap();
+        local.merge(&root).unwrap();
+        for t in 30..40usize {
+            assert_eq!(shared.push(t % 16), local.push(t % 16));
+        }
+    }
+
+    #[test]
+    fn concurrent_values_are_distinct_and_dense() {
+        let net = Arc::new(SharedAdaptiveNetwork::new(8));
+        net.split(&ComponentId::root()).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|i| net.next_value((t + i) % 8)).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1600u64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn concurrent_pushes_with_live_reconfiguration() {
+        let net = Arc::new(SharedAdaptiveNetwork::new(16));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let net = Arc::clone(&net);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = net.push((t * 5 + n as usize) % 16);
+                    n += 1;
+                }
+                n
+            }));
+        }
+        // Reconfigure while traffic flows.
+        let root = ComponentId::root();
+        for _ in 0..30 {
+            net.split(&root).expect("split at quiescence");
+            net.split(&root.child(0)).expect("split at quiescence");
+            net.merge(&root).expect("merge at quiescence");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let pushed: u64 = handles.into_iter().map(|h| h.join().expect("worker")).sum();
+        assert_eq!(net.total_exited(), pushed, "token conservation");
+        let counts = net.output_counts();
+        assert!(
+            acn_bitonic::step::is_step_sequence(&counts),
+            "step property violated: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedAdaptiveNetwork>();
+    }
+}

@@ -1,0 +1,1690 @@
+//! The distributed, message-passing runtime of the adaptive counting
+//! network, executing on the deterministic simulator of [`acn_simnet`].
+//!
+//! Every overlay node is a [`NodeProc`]; all interaction is via
+//! [`Msg`] messages. The runtime implements, faithfully to the paper:
+//!
+//! - **token routing** (Section 3.5): tokens carry the cut-independent
+//!   wire address of their destination; senders guess the live owner
+//!   from a per-node cache and walk the ancestor name chain on a miss
+//!   (each guess is one DHT lookup in a real deployment). Tokens ride a
+//!   *lossy* datagram channel: each carries a GUID, receivers
+//!   acknowledge accepted tokens and suppress duplicates, and senders
+//!   retransmit obligations that stay silent — exactly-once delivery
+//!   end to end, even at double-digit loss rates (the control plane is
+//!   reliable, like TCP next to a fast datagram path);
+//! - **splitting** (Section 2.2): the host freezes the component,
+//!   installs initialized children at their hash owners, then removes
+//!   the component and re-routes anything buffered meanwhile;
+//! - **merging** (Section 2.2): the node that split a component
+//!   coordinates the merge — children are frozen and collected
+//!   (recursively merging grandchildren first), the parent is
+//!   reconstructed from the output-side children's counters, installed,
+//!   and only then are the frozen children discarded and their buffered
+//!   tokens re-routed;
+//! - **distributed decisions** (Section 3.2): a periodic local timer
+//!   re-estimates the system size from successor distances and enforces
+//!   the invariant "every component on `v` is at level `>= l_v`";
+//! - **churn** (Section 3.4): joins migrate components to their new hash
+//!   owners; graceful leaves hand components and pending merge
+//!   obligations to the successor; crashes lose state, and a repair
+//!   sweep re-covers the cut (the \[HT03\]-style stabilization hook).
+//!
+//! Exited tokens are reported to a collector process which serves as the
+//! measurement endpoint for the experiments.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+use acn_estimator::node_level;
+use acn_overlay::{NodeId, Ring};
+use acn_simnet::{Context, Process, ProcessId, SimConfig, Simulator};
+use acn_topology::{
+    input_port_of, network_input_address, resolve_output, ComponentId, Cut, OutputDestination,
+    Tree, WireAddress, WiringStyle,
+};
+
+use crate::component::{merge_components, split_component, Component};
+
+/// Timer tags used by [`NodeProc`].
+const TIMER_LEVEL: u64 = 0;
+const TIMER_RETRY: u64 = 1;
+
+/// Sentinel for "first try, use the cache" probing attempts.
+const ATTEMPT_CACHED: u8 = u8::MAX;
+
+/// The process id of the measurement collector.
+pub const COLLECTOR: ProcessId = ProcessId(u64::MAX - 1);
+
+/// Messages of the distributed runtime.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A client asks the receiving node to inject a token on this input
+    /// wire (clients may contact any node, paper Section 1.4).
+    ClientInject {
+        /// Network input wire, `0..w`.
+        wire: usize,
+    },
+    /// A token travelling towards the component owning `addr`. Tokens
+    /// ride the **lossy** channel (an unreliable datagram fast path);
+    /// delivery is guaranteed end to end by acknowledgement,
+    /// retransmission, and GUID-based duplicate suppression.
+    Token {
+        /// Globally unique token identifier (duplicate suppression).
+        guid: u64,
+        /// The cut-independent destination wire.
+        addr: WireAddress,
+        /// Simulated time at which the token entered the network.
+        injected_at: u64,
+        /// Probe progress: `ATTEMPT_CACHED` for the cached guess,
+        /// otherwise an index into the canonical candidate chain.
+        attempt: u8,
+    },
+    /// The receiver accepted (processed or buffered) the token; the
+    /// sender releases its retransmission obligation. Reliable.
+    TokenAck {
+        /// The accepted token.
+        guid: u64,
+    },
+    /// The receiver hosts no live candidate for the token's wire; the
+    /// sender advances the probe. Reliable.
+    TokenNack {
+        /// The rejected token.
+        guid: u64,
+        /// Echo of the token's destination.
+        addr: WireAddress,
+        /// Echo of the injection time.
+        injected_at: u64,
+        /// Echo of the failed attempt.
+        attempt: u8,
+    },
+    /// A token exited the network (sent to [`COLLECTOR`]).
+    Exit {
+        /// The network output wire.
+        wire: usize,
+        /// When the token was injected (for latency accounting).
+        injected_at: u64,
+    },
+    /// Install a component on the receiver (split child or merge
+    /// result).
+    Install {
+        /// The full component state to install.
+        comp: Component,
+    },
+    /// Acknowledges an [`Msg::Install`].
+    InstallAck {
+        /// The installed component.
+        id: ComponentId,
+    },
+    /// Merge protocol: freeze `id` and report its state to the
+    /// coordinator merging `parent`.
+    FreezeCollect {
+        /// The child component to freeze.
+        id: ComponentId,
+        /// The component being reconstructed.
+        parent: ComponentId,
+    },
+    /// Reply to [`Msg::FreezeCollect`] with the frozen state.
+    CollectReply {
+        /// The frozen child's full state.
+        comp: Component,
+        /// The component being reconstructed.
+        parent: ComponentId,
+    },
+    /// The receiver neither hosts `id` nor can reconstruct it right now.
+    CollectMissing {
+        /// The requested child.
+        id: ComponentId,
+        /// The component being reconstructed.
+        parent: ComponentId,
+    },
+    /// The merge coordinator is done: drop the frozen child and re-route
+    /// its buffered tokens.
+    RemoveFrozen {
+        /// The frozen child to remove.
+        id: ComponentId,
+    },
+    /// The merge was deferred (unsettled traffic): unfreeze the child in
+    /// place and process its buffered tokens.
+    AbortFreeze {
+        /// The frozen child to release.
+        id: ComponentId,
+    },
+}
+
+/// Global state shared by all processes of one simulation: the overlay
+/// ring (authoritative membership), the decomposition tree, and
+/// aggregate statistics.
+#[derive(Debug)]
+pub struct World {
+    /// The decomposition tree of the network.
+    pub tree: Tree,
+    /// Wiring style (AHS unless running the wiring ablation).
+    pub style: WiringStyle,
+    /// The overlay ring.
+    pub ring: Ring,
+    /// DHT ownership queries performed (each is `O(log N)` routing hops
+    /// in a real deployment).
+    pub dht_lookups: u64,
+    /// Split operations completed.
+    pub splits_done: u64,
+    /// Merge operations completed.
+    pub merges_done: u64,
+    /// Token NACKs (stale routing guesses).
+    pub token_nacks: u64,
+    /// Token retransmissions after loss or silence.
+    pub token_retransmits: u64,
+    /// Next globally unique token id.
+    next_guid: u64,
+}
+
+impl World {
+    /// Creates the shared world for a network of width `w` over `ring`.
+    #[must_use]
+    pub fn new(w: usize, ring: Ring) -> Rc<RefCell<World>> {
+        Rc::new(RefCell::new(World {
+            tree: Tree::new(w),
+            style: WiringStyle::Ahs,
+            ring,
+            dht_lookups: 0,
+            splits_done: 0,
+            merges_done: 0,
+            token_nacks: 0,
+            token_retransmits: 0,
+            next_guid: 0,
+        }))
+    }
+
+    /// Allocates a globally unique token id.
+    pub fn fresh_guid(&mut self) -> u64 {
+        self.next_guid += 1;
+        self.next_guid
+    }
+
+    /// The current hash owner of component `id`.
+    #[must_use]
+    pub fn host_of(&mut self, id: &ComponentId) -> NodeId {
+        self.dht_lookups += 1;
+        self.ring.owner_of_name(self.tree.preorder_index(id))
+    }
+}
+
+/// A token awaiting end-to-end acknowledgement. (The probe attempt is
+/// not stored: a timed-out obligation restarts probing from the cache.)
+#[derive(Debug, Clone)]
+struct UnackedToken {
+    addr: WireAddress,
+    injected_at: u64,
+    sent_at: u64,
+}
+
+/// A hosted component plus its runtime bookkeeping.
+#[derive(Debug, Clone)]
+struct Hosted {
+    comp: Component,
+    frozen: bool,
+    /// Tokens buffered while frozen: (addr, injected_at).
+    buffer: Vec<(WireAddress, u64)>,
+}
+
+/// An in-progress split at its coordinator.
+#[derive(Debug, Clone)]
+struct SplitOp {
+    /// Children still awaiting install acks.
+    pending: BTreeSet<ComponentId>,
+}
+
+/// An in-progress merge at its coordinator.
+#[derive(Debug, Clone)]
+struct MergeOp {
+    /// Collected child states, by child index.
+    collected: Vec<Option<Component>>,
+    /// The process that reported each child (for `RemoveFrozen`).
+    reporters: Vec<Option<ProcessId>>,
+    /// Collection rounds that made no progress (stall detector).
+    stalled_rounds: u32,
+    /// Set while waiting for a remote install ack of the parent.
+    awaiting_install: bool,
+    /// For nested merges: reply to this coordinator when reconstructed.
+    requester: Option<(ProcessId, ComponentId)>,
+}
+
+/// One overlay node of the distributed adaptive counting network.
+#[derive(Debug)]
+pub struct NodeProc {
+    world: Rc<RefCell<World>>,
+    node: NodeId,
+    components: HashMap<ComponentId, Hosted>,
+    /// Components this node split and has not merged back yet (the
+    /// paper's per-node split list).
+    split_list: BTreeSet<ComponentId>,
+    splits: HashMap<ComponentId, SplitOp>,
+    merges: HashMap<ComponentId, MergeOp>,
+    /// Tokens this node is responsible for until acknowledged:
+    /// guid -> (addr, injected_at, attempt of the outstanding send,
+    /// send time; `sent` false while the probe chain is exhausted).
+    unacked: HashMap<u64, UnackedToken>,
+    /// GUIDs of tokens this node has accepted (duplicate suppression).
+    seen: std::collections::HashSet<u64>,
+    /// Merge collections to retry (child is mid-reconfiguration).
+    stuck_collects: Vec<(ComponentId, ComponentId)>,
+    /// Whether a retry timer is already armed.
+    retry_armed: bool,
+    /// Last known owner level per wire address (the Section 3.5 cache).
+    cache: HashMap<WireAddress, usize>,
+    /// Current level estimate `l_v`.
+    level: usize,
+    /// Period of the level-maintenance timer.
+    level_period: u64,
+    /// Whether the node has gracefully departed (still NACKs tokens so
+    /// none are lost while senders re-resolve).
+    departed: bool,
+}
+
+impl NodeProc {
+    /// Creates the process for overlay node `node`.
+    #[must_use]
+    pub fn new(world: Rc<RefCell<World>>, node: NodeId, level_period: u64) -> Self {
+        NodeProc {
+            world,
+            node,
+            components: HashMap::new(),
+            split_list: BTreeSet::new(),
+            splits: HashMap::new(),
+            merges: HashMap::new(),
+            unacked: HashMap::new(),
+            seen: std::collections::HashSet::new(),
+            stuck_collects: Vec::new(),
+            retry_armed: false,
+            cache: HashMap::new(),
+            level: 0,
+            level_period,
+            departed: false,
+        }
+    }
+
+    /// The overlay node this process represents.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether this node has gracefully departed.
+    #[must_use]
+    pub fn departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Installs a component directly (bootstrap and harness use).
+    pub fn install_component(&mut self, comp: Component) {
+        self.components
+            .insert(comp.id().clone(), Hosted { comp, frozen: false, buffer: Vec::new() });
+    }
+
+    /// The live components on this node with their frozen flags.
+    pub fn components(&self) -> impl Iterator<Item = (&ComponentId, bool)> {
+        self.components.iter().map(|(id, h)| (id, h.frozen))
+    }
+
+    /// Removes and returns an unfrozen hosted component with its
+    /// buffered tokens (harness-side migration on churn).
+    pub fn take_component(
+        &mut self,
+        id: &ComponentId,
+    ) -> Option<(Component, Vec<(WireAddress, u64)>)> {
+        if self.components.get(id).map(|h| h.frozen).unwrap_or(true) {
+            return None;
+        }
+        self.components.remove(id).map(|h| (h.comp, h.buffer))
+    }
+
+    /// The split list (components this node is responsible for merging).
+    #[must_use]
+    pub fn split_list(&self) -> &BTreeSet<ComponentId> {
+        &self.split_list
+    }
+
+    /// Adds entries to the split list (successor hand-off on leave).
+    pub fn extend_split_list(&mut self, items: impl IntoIterator<Item = ComponentId>) {
+        self.split_list.extend(items);
+    }
+
+    /// Whether a merge of `id` is currently coordinated by this node.
+    #[must_use]
+    pub fn has_merge_in_progress(&self, id: &ComponentId) -> bool {
+        self.merges.contains_key(id)
+    }
+
+    /// Drains the split list (departure hand-off).
+    pub fn drain_split_list(&mut self) -> Vec<ComponentId> {
+        let items: Vec<ComponentId> = self.split_list.iter().cloned().collect();
+        self.split_list.clear();
+        items
+    }
+
+    /// Marks the node as departed: it stops owning components (the
+    /// harness migrates them first) and NACKs tokens so senders
+    /// re-resolve.
+    pub fn depart(&mut self) {
+        self.departed = true;
+    }
+
+    /// Debug rendering of in-flight operations (diagnostics).
+    #[must_use]
+    pub fn ops_debug(&self) -> String {
+        let merges: Vec<String> = self
+            .merges
+            .iter()
+            .map(|(id, op)| {
+                let collected: Vec<usize> = op
+                    .collected
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_some())
+                    .map(|(i, _)| i)
+                    .collect();
+                format!(
+                    "merge {id}: collected {collected:?} awaiting_install={} requester={:?}",
+                    op.awaiting_install,
+                    op.requester.as_ref().map(|(p, g)| format!("{p}/{g}"))
+                )
+            })
+            .collect();
+        let splits: Vec<String> = self
+            .splits
+            .iter()
+            .map(|(id, op)| format!("split {id}: pending {:?}", op.pending.len()))
+            .collect();
+        format!(
+            "retry_armed={} unacked={} stuck_collects={:?} splits={splits:?} merges={merges:?}",
+            self.retry_armed,
+            self.unacked.len(),
+            self.stuck_collects
+                .iter()
+                .map(|(c, p)| format!("{c} for {p}"))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Whether the node currently has reconfiguration operations or
+    /// unresolved tokens in flight.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.splits.is_empty()
+            && self.merges.is_empty()
+            && self.unacked.is_empty()
+            && self.stuck_collects.is_empty()
+    }
+
+    fn arm_retry(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.retry_armed {
+            self.retry_armed = true;
+            ctx.set_timer(self.level_period / 4 + 1, TIMER_RETRY);
+        }
+    }
+
+    /// The hosted candidate (if any) covering `addr`.
+    fn hosted_candidate(&self, addr: &WireAddress) -> Option<ComponentId> {
+        addr.candidates().find(|c| self.components.contains_key(c))
+    }
+
+    /// Like [`route_token`](Self::route_token), but keeps an existing
+    /// obligation id when the token must be forwarded remotely.
+    fn route_token_with_guid(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        guid: u64,
+        addr: WireAddress,
+        injected_at: u64,
+    ) {
+        if self.hosted_candidate(&addr).is_some() && !self.departed {
+            self.route_token(ctx, addr, injected_at);
+        } else {
+            self.send_token(ctx, Some(guid), addr, injected_at, ATTEMPT_CACHED);
+        }
+    }
+
+    /// Routes a token: processes it locally as long as this node hosts
+    /// the next owner, then sends it on (or to the collector).
+    fn route_token(&mut self, ctx: &mut Context<'_, Msg>, mut addr: WireAddress, injected_at: u64) {
+        loop {
+            match self.hosted_candidate(&addr) {
+                Some(id) => {
+                    let (tree, style) = {
+                        let w = self.world.borrow();
+                        (w.tree, w.style)
+                    };
+                    let hosted = self.components.get_mut(&id).expect("candidate is hosted");
+                    if hosted.frozen {
+                        hosted.buffer.push((addr, injected_at));
+                        return;
+                    }
+                    let in_port = input_port_of(&tree, &id, &addr, style);
+                    let port = hosted.comp.process_token(in_port);
+                    match resolve_output(&tree, &id, port, style) {
+                        OutputDestination::NetworkOutput(wire) => {
+                            ctx.send(COLLECTOR, Msg::Exit { wire, injected_at });
+                            return;
+                        }
+                        OutputDestination::Wire(next) => addr = next,
+                    }
+                }
+                None => {
+                    self.send_token(ctx, None, addr, injected_at, ATTEMPT_CACHED);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Sends a token towards a guessed owner of `addr`, registering the
+    /// retransmission obligation under `guid` (a fresh one if `None`).
+    /// `attempt` is `ATTEMPT_CACHED` for the cache-directed first try,
+    /// otherwise an index into the canonical (deepest-first) chain.
+    fn send_token(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        guid: Option<u64>,
+        addr: WireAddress,
+        injected_at: u64,
+        attempt: u8,
+    ) {
+        let guid = guid.unwrap_or_else(|| self.world.borrow_mut().fresh_guid());
+        let candidates: Vec<ComponentId> = addr.candidates().collect();
+        let mut attempt = attempt;
+        loop {
+            let guess = if attempt == ATTEMPT_CACHED {
+                let level = self
+                    .cache
+                    .get(&addr)
+                    .copied()
+                    .unwrap_or(self.level)
+                    .min(candidates.len() - 1);
+                // candidates[i] has level (max_level - i): deepest first.
+                candidates[candidates.len() - 1 - level].clone()
+            } else if (attempt as usize) < candidates.len() {
+                candidates[attempt as usize].clone()
+            } else {
+                // Chain exhausted (reconfiguration window): keep the
+                // obligation and let the retry timer start over.
+                self.unacked
+                    .insert(guid, UnackedToken { addr, injected_at, sent_at: ctx.now() });
+                self.arm_retry(ctx);
+                return;
+            };
+            let host = self.world.borrow_mut().host_of(&guess);
+            if ProcessId(host.0) == ctx.self_id() && !self.components.contains_key(&guess) {
+                // We own this name and know it is dead; skip ahead.
+                attempt = if attempt == ATTEMPT_CACHED { 0 } else { attempt + 1 };
+                continue;
+            }
+            self.cache.insert(addr.clone(), guess.level());
+            self.unacked.insert(
+                guid,
+                UnackedToken { addr: addr.clone(), injected_at, sent_at: ctx.now() },
+            );
+            self.arm_retry(ctx);
+            ctx.send_lossy(ProcessId(host.0), Msg::Token { guid, addr, injected_at, attempt });
+            return;
+        }
+    }
+
+    /// Begins splitting hosted component `id`. Defers (no-op) if the
+    /// component's traffic has not settled; the next level tick retries.
+    fn start_split(&mut self, ctx: &mut Context<'_, Msg>, id: &ComponentId) {
+        let (tree, style) = {
+            let w = self.world.borrow();
+            (w.tree, w.style)
+        };
+        let children = {
+            let hosted = self.components.get(id).expect("split target is hosted");
+            debug_assert!(!hosted.frozen);
+            match split_component(&tree, &hosted.comp, style) {
+                Ok(children) => children,
+                Err(_) => return, // transient; retry at the next tick
+            }
+        };
+        let hosted = self.components.get_mut(id).expect("split target is hosted");
+        hosted.frozen = true;
+        let mut op = SplitOp { pending: BTreeSet::new() };
+        let mut local_installs = Vec::new();
+        for child in children {
+            let host = self.world.borrow_mut().host_of(child.id());
+            if ProcessId(host.0) == ctx.self_id() {
+                local_installs.push(child);
+            } else {
+                op.pending.insert(child.id().clone());
+                ctx.send(ProcessId(host.0), Msg::Install { comp: child });
+            }
+        }
+        for child in local_installs {
+            self.install_component(child);
+        }
+        if op.pending.is_empty() {
+            self.finish_split(ctx, id.clone());
+        } else {
+            self.splits.insert(id.clone(), op);
+        }
+    }
+
+    /// All children installed: drop the parent and re-route its buffer.
+    fn finish_split(&mut self, ctx: &mut Context<'_, Msg>, id: ComponentId) {
+        let hosted = self.components.remove(&id).expect("split parent is hosted");
+        self.split_list.insert(id);
+        self.world.borrow_mut().splits_done += 1;
+        for (addr, injected_at) in hosted.buffer {
+            self.route_token(ctx, addr, injected_at);
+        }
+    }
+
+    /// Begins merging split component `id` back together.
+    fn start_merge(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        id: &ComponentId,
+        requester: Option<(ProcessId, ComponentId)>,
+    ) {
+        let tree = self.world.borrow().tree;
+        let children = tree.children(id);
+        let arity = children.len();
+        self.merges.insert(
+            id.clone(),
+            MergeOp {
+                collected: vec![None; arity],
+                reporters: vec![None; arity],
+                stalled_rounds: 0,
+                awaiting_install: false,
+                requester,
+            },
+        );
+        for child in children {
+            self.collect_child(ctx, &child, id);
+        }
+    }
+
+    /// Asks for (or locally performs) the freeze-and-collect of one
+    /// child of an in-progress merge.
+    fn collect_child(&mut self, ctx: &mut Context<'_, Msg>, child: &ComponentId, parent: &ComponentId) {
+        if let Some(hosted) = self.components.get_mut(child) {
+            if self.splits.contains_key(child) {
+                // Mid-split: retry once the split finishes.
+                self.stuck_collects.push((child.clone(), parent.clone()));
+                self.arm_retry(ctx);
+                return;
+            }
+            hosted.frozen = true;
+            let comp = hosted.comp.clone();
+            let me = ctx.self_id();
+            self.record_collect(ctx, comp, parent, me);
+        } else if self.split_list.contains(child) {
+            let me = ctx.self_id();
+            if let Some(op) = self.merges.get_mut(child) {
+                // Already merging it for ourselves: attach the requester.
+                op.requester = Some((me, parent.clone()));
+            } else {
+                self.start_merge(ctx, &child.clone(), Some((me, parent.clone())));
+            }
+        } else {
+            let host = self.world.borrow_mut().host_of(child);
+            if ProcessId(host.0) == ctx.self_id() {
+                // We own the name but have nothing: transient window.
+                self.stuck_collects.push((child.clone(), parent.clone()));
+                self.arm_retry(ctx);
+            } else {
+                ctx.send(
+                    ProcessId(host.0),
+                    Msg::FreezeCollect { id: child.clone(), parent: parent.clone() },
+                );
+            }
+        }
+    }
+
+    /// Records a collected child state; completes the merge when all
+    /// children have reported.
+    fn record_collect(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        comp: Component,
+        parent: &ComponentId,
+        reporter: ProcessId,
+    ) {
+        let Some(op) = self.merges.get_mut(parent) else { return };
+        if op.awaiting_install {
+            return;
+        }
+        let index = comp.id().child_index().expect("child has an index") as usize;
+        op.collected[index] = Some(comp);
+        op.reporters[index] = Some(reporter);
+        op.stalled_rounds = 0;
+        if op.collected.iter().all(Option::is_some) {
+            self.complete_merge(ctx, parent.clone());
+        }
+    }
+
+    /// All children collected: reconstruct the parent.
+    fn complete_merge(&mut self, ctx: &mut Context<'_, Msg>, parent: ComponentId) {
+        let (tree, style) = {
+            let w = self.world.borrow();
+            (w.tree, w.style)
+        };
+        let (merged, nested_requester) = {
+            let op = self.merges.get(&parent).expect("merge in progress");
+            let children: Vec<Component> = op
+                .collected
+                .iter()
+                .map(|c| c.clone().expect("all collected"))
+                .collect();
+            match merge_components(&tree, &parent, &children, style) {
+                Ok(m) => (m, op.requester.clone()),
+                Err(_) => {
+                    // Unsettled traffic: release the children and retry
+                    // at a later tick.
+                    self.abort_merge(ctx, &parent);
+                    return;
+                }
+            }
+        };
+        if let Some((req_pid, grandparent)) = nested_requester {
+            // Reconstruct locally, frozen, and report upward; the
+            // requester will `RemoveFrozen` us like any other child.
+            self.components.insert(
+                parent.clone(),
+                Hosted { comp: merged.clone(), frozen: true, buffer: Vec::new() },
+            );
+            self.cleanup_merge(ctx, &parent);
+            self.split_list.remove(&parent);
+            self.world.borrow_mut().merges_done += 1;
+            if req_pid == ctx.self_id() {
+                let me = ctx.self_id();
+                self.record_collect(ctx, merged, &grandparent, me);
+            } else {
+                ctx.send(req_pid, Msg::CollectReply { comp: merged, parent: grandparent });
+            }
+            return;
+        }
+        // Top-level merge: install the parent at its current hash owner.
+        let host = self.world.borrow_mut().host_of(&parent);
+        if ProcessId(host.0) == ctx.self_id() {
+            self.install_component(merged);
+            self.cleanup_merge(ctx, &parent);
+            self.split_list.remove(&parent);
+            self.world.borrow_mut().merges_done += 1;
+        } else {
+            self.merges
+                .get_mut(&parent)
+                .expect("merge in progress")
+                .awaiting_install = true;
+            ctx.send(ProcessId(host.0), Msg::Install { comp: merged });
+        }
+    }
+
+    /// After the parent is live, dismiss the frozen children.
+    fn cleanup_merge(&mut self, ctx: &mut Context<'_, Msg>, parent: &ComponentId) {
+        let op = self.merges.remove(parent).expect("merge in progress");
+        for (index, reporter) in op.reporters.iter().enumerate() {
+            let child = parent.child(index as u8);
+            let reporter = reporter.expect("all children reported");
+            if reporter == ctx.self_id() {
+                self.remove_frozen(ctx, &child);
+            } else {
+                ctx.send(reporter, Msg::RemoveFrozen { id: child });
+            }
+        }
+    }
+
+    /// Aborts an in-progress merge: children are unfrozen in place and
+    /// their buffered tokens resume; a nested requester is told to
+    /// retry.
+    fn abort_merge(&mut self, ctx: &mut Context<'_, Msg>, parent: &ComponentId) {
+        let op = self.merges.remove(parent).expect("merge in progress");
+        for (index, reporter) in op.reporters.iter().enumerate() {
+            let child = parent.child(index as u8);
+            let Some(reporter) = *reporter else { continue };
+            if reporter == ctx.self_id() {
+                self.release_frozen(ctx, &child);
+            } else {
+                ctx.send(reporter, Msg::AbortFreeze { id: child });
+            }
+        }
+        if let Some((req_pid, grandparent)) = op.requester {
+            if req_pid == ctx.self_id() {
+                self.stuck_collects.push((parent.clone(), grandparent));
+                self.arm_retry(ctx);
+            } else {
+                ctx.send(
+                    req_pid,
+                    Msg::CollectMissing { id: parent.clone(), parent: grandparent },
+                );
+            }
+        }
+    }
+
+    /// Unfreezes a component in place and processes its buffered tokens.
+    fn release_frozen(&mut self, ctx: &mut Context<'_, Msg>, id: &ComponentId) {
+        if let Some(hosted) = self.components.get_mut(id) {
+            hosted.frozen = false;
+            let buffered = std::mem::take(&mut hosted.buffer);
+            for (addr, injected_at) in buffered {
+                self.route_token(ctx, addr, injected_at);
+            }
+        }
+    }
+
+    /// Drops a frozen component and re-routes its buffered tokens.
+    fn remove_frozen(&mut self, ctx: &mut Context<'_, Msg>, id: &ComponentId) {
+        if let Some(hosted) = self.components.remove(id) {
+            for (addr, injected_at) in hosted.buffer {
+                self.route_token(ctx, addr, injected_at);
+            }
+        }
+    }
+
+    /// The level-maintenance tick: re-estimate, split what is too
+    /// coarse, merge what is too fine (paper Section 3.2).
+    fn level_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        {
+            let w = self.world.borrow();
+            if !w.ring.contains(self.node) {
+                return; // departed or crashed: do not re-arm
+            }
+            self.level = node_level(&w.ring, self.node).min(w.tree.max_level());
+        }
+        // Splitting rule.
+        let to_split: Vec<ComponentId> = self
+            .components
+            .iter()
+            .filter(|(id, hosted)| {
+                !hosted.frozen && hosted.comp.width() >= 4 && id.level() < self.level
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in to_split {
+            self.start_split(ctx, &id);
+        }
+        // Zombie split-list entries: if we host the component itself
+        // live, someone (typically a departed node's ghost) already
+        // completed the merge — drop the duplicated obligation.
+        let zombies: Vec<ComponentId> = self
+            .split_list
+            .iter()
+            .filter(|id| self.components.contains_key(*id))
+            .cloned()
+            .collect();
+        for id in zombies {
+            self.split_list.remove(&id);
+            if self.merges.contains_key(&id) {
+                self.abort_merge(ctx, &id);
+            }
+        }
+        // Merging rule.
+        let to_merge: Vec<ComponentId> = self
+            .split_list
+            .iter()
+            .filter(|id| id.level() >= self.level && !self.merges.contains_key(*id))
+            .cloned()
+            .collect();
+        for id in to_merge {
+            self.start_merge(ctx, &id, None);
+        }
+        // Re-drive stalled merges: children migrate under churn, so a
+        // FreezeCollect can land on a node that no longer (or does not
+        // yet) host the child. Re-request every still-missing child;
+        // merges that stall for many rounds are aborted — a genuinely
+        // merged-away ("zombie") obligation is then dropped, while a
+        // real one is retried from scratch with fresh topology.
+        let in_progress: Vec<ComponentId> = self
+            .merges
+            .iter()
+            .filter(|(_, op)| !op.awaiting_install)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for parent in in_progress {
+            let (missing, progressed): (Vec<ComponentId>, bool) = {
+                let op = self.merges.get_mut(&parent).expect("listed above");
+                let missing: Vec<ComponentId> = op
+                    .collected
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_none())
+                    .map(|(i, _)| parent.child(i as u8))
+                    .collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                op.stalled_rounds += 1;
+                (missing, op.stalled_rounds <= 8)
+            };
+            if progressed {
+                for child in missing {
+                    self.collect_child(ctx, &child, &parent);
+                }
+            } else {
+                let collected_any = self
+                    .merges
+                    .get(&parent)
+                    .map(|op| op.collected.iter().any(Option::is_some))
+                    .unwrap_or(false);
+                self.abort_merge(ctx, &parent);
+                if !collected_any {
+                    // No child was ever found: the obligation is stale
+                    // (the merge happened elsewhere). Correctness does
+                    // not depend on the entry — worst case the network
+                    // stays finer than ideal.
+                    self.split_list.remove(&parent);
+                }
+            }
+        }
+        ctx.set_timer(self.level_period, TIMER_LEVEL);
+    }
+}
+
+impl Process<Msg> for NodeProc {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+        match msg {
+            Msg::ClientInject { wire } => {
+                let (tree, style) = {
+                    let w = self.world.borrow();
+                    (w.tree, w.style)
+                };
+                let addr = network_input_address(&tree, wire, style);
+                let now = ctx.now();
+                if self.departed {
+                    self.send_token(ctx, None, addr, now, ATTEMPT_CACHED);
+                } else {
+                    self.route_token(ctx, addr, now);
+                }
+            }
+            Msg::Token { guid, addr, injected_at, attempt } => {
+                if self.seen.contains(&guid) {
+                    // Duplicate (retransmission raced the ack): already
+                    // accepted; just re-acknowledge.
+                    ctx.send(from, Msg::TokenAck { guid });
+                } else if self.departed || self.hosted_candidate(&addr).is_none() {
+                    self.world.borrow_mut().token_nacks += 1;
+                    if from == ProcessId::EXTERNAL {
+                        // Re-injected buffer token with no live sender:
+                        // adopt the obligation ourselves.
+                        self.send_token(ctx, Some(guid), addr, injected_at, attempt);
+                    } else {
+                        ctx.send(from, Msg::TokenNack { guid, addr, injected_at, attempt });
+                    }
+                } else {
+                    self.seen.insert(guid);
+                    ctx.send(from, Msg::TokenAck { guid });
+                    self.route_token(ctx, addr, injected_at);
+                }
+            }
+            Msg::TokenAck { guid } => {
+                self.unacked.remove(&guid);
+            }
+            Msg::TokenNack { guid, addr, injected_at, attempt } => {
+                if self.unacked.remove(&guid).is_none() {
+                    // Stale NACK for an obligation already satisfied
+                    // through a different path.
+                    return;
+                }
+                let next = if attempt == ATTEMPT_CACHED { 0 } else { attempt + 1 };
+                self.send_token(ctx, Some(guid), addr, injected_at, next);
+            }
+            Msg::Install { comp } => {
+                let id = comp.id().clone();
+                self.install_component(comp);
+                ctx.send(from, Msg::InstallAck { id });
+            }
+            Msg::InstallAck { id } => {
+                // Split-child ack?
+                if let Some(parent) = id.parent() {
+                    if let Some(op) = self.splits.get_mut(&parent) {
+                        op.pending.remove(&id);
+                        if op.pending.is_empty() {
+                            self.splits.remove(&parent);
+                            self.finish_split(ctx, parent);
+                        }
+                        return;
+                    }
+                }
+                // Merge-parent ack?
+                if self.merges.get(&id).map(|op| op.awaiting_install).unwrap_or(false) {
+                    self.cleanup_merge(ctx, &id);
+                    self.split_list.remove(&id);
+                    self.world.borrow_mut().merges_done += 1;
+                }
+            }
+            Msg::FreezeCollect { id, parent } => {
+                if self.components.contains_key(&id) && !self.splits.contains_key(&id) {
+                    let hosted = self.components.get_mut(&id).expect("hosted");
+                    hosted.frozen = true;
+                    let comp = hosted.comp.clone();
+                    ctx.send(from, Msg::CollectReply { comp, parent });
+                } else if self.split_list.contains(&id) {
+                    if let Some(op) = self.merges.get_mut(&id) {
+                        op.requester = Some((from, parent));
+                    } else {
+                        self.start_merge(ctx, &id, Some((from, parent)));
+                    }
+                } else {
+                    ctx.send(from, Msg::CollectMissing { id, parent });
+                }
+            }
+            Msg::CollectReply { comp, parent } => {
+                self.record_collect(ctx, comp, &parent, from);
+            }
+            Msg::CollectMissing { id, parent } => {
+                // Transient window (split in progress / migration):
+                // retry after a delay.
+                self.stuck_collects.push((id, parent));
+                self.arm_retry(ctx);
+            }
+            Msg::RemoveFrozen { id } => {
+                self.remove_frozen(ctx, &id);
+            }
+            Msg::AbortFreeze { id } => {
+                self.release_frozen(ctx, &id);
+            }
+            Msg::Exit { .. } => {
+                debug_assert!(false, "Exit delivered to a node");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        match tag {
+            TIMER_LEVEL => self.level_tick(ctx),
+            TIMER_RETRY => {
+                self.retry_armed = false;
+                // Retransmit every token obligation that has been silent
+                // for longer than the retry interval (lost message, or
+                // an exhausted probe chain waiting out a reconfiguration
+                // window). The interval far exceeds the simulated RTT,
+                // so a retransmission never races a still-pending ack.
+                let timeout = self.level_period / 4;
+                let now = ctx.now();
+                let stale: Vec<u64> = self
+                    .unacked
+                    .iter()
+                    .filter(|(_, t)| now.saturating_sub(t.sent_at) >= timeout)
+                    .map(|(&g, _)| g)
+                    .collect();
+                for guid in stale {
+                    let t = self.unacked.remove(&guid).expect("listed above");
+                    self.world.borrow_mut().token_retransmits += 1;
+                    if self.departed {
+                        self.send_token(
+                            ctx,
+                            Some(guid),
+                            t.addr,
+                            t.injected_at,
+                            ATTEMPT_CACHED,
+                        );
+                    } else {
+                        // Re-route: we may host the owner by now.
+                        self.route_token_with_guid(ctx, guid, t.addr, t.injected_at);
+                    }
+                }
+                let collects = std::mem::take(&mut self.stuck_collects);
+                for (child, parent) in collects {
+                    if self.merges.contains_key(&parent) {
+                        self.collect_child(ctx, &child, &parent);
+                    }
+                }
+                if !self.unacked.is_empty() || !self.stuck_collects.is_empty() {
+                    self.arm_retry(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The measurement endpoint: records every exited token.
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// Exits per output wire.
+    pub counts: Vec<u64>,
+    /// Total latency (exit time - inject time) across tokens.
+    pub total_latency: u64,
+    /// Maximum single-token latency.
+    pub max_latency: u64,
+}
+
+impl Collector {
+    /// A collector for a width-`w` network.
+    #[must_use]
+    pub fn new(w: usize) -> Self {
+        Collector { counts: vec![0; w], total_latency: 0, max_latency: 0 }
+    }
+
+    /// Total tokens collected.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl Process<Msg> for Collector {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
+        if let Msg::Exit { wire, injected_at } = msg {
+            self.counts[wire] += 1;
+            let latency = ctx.now().saturating_sub(injected_at);
+            self.total_latency += latency;
+            self.max_latency = self.max_latency.max(latency);
+        }
+    }
+}
+
+/// Either a node or the collector — the single process type the
+/// simulator hosts.
+#[derive(Debug)]
+pub enum Proc {
+    /// An overlay node.
+    Node(NodeProc),
+    /// The measurement collector.
+    Collector(Collector),
+}
+
+impl Process<Msg> for Proc {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+        match self {
+            Proc::Node(n) => n.on_message(ctx, from, msg),
+            Proc::Collector(c) => c.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        match self {
+            Proc::Node(n) => n.on_timer(ctx, tag),
+            Proc::Collector(c) => c.on_timer(ctx, tag),
+        }
+    }
+}
+
+/// A fully wired distributed deployment: simulator + world + helpers.
+/// This is the harness the integration tests and experiments drive.
+pub struct Deployment {
+    /// The discrete-event simulator.
+    pub sim: Simulator<Msg, Proc>,
+    /// The shared world.
+    pub world: Rc<RefCell<World>>,
+    /// Period of the per-node level timers.
+    pub level_period: u64,
+    seed: u64,
+}
+
+impl Deployment {
+    /// Boots a deployment of width `w` with `n` overlay nodes: the ring
+    /// is created, every node gets a process and a level timer, the root
+    /// component is installed at its hash owner, and a collector is
+    /// registered.
+    #[must_use]
+    pub fn new(w: usize, n: usize, seed: u64) -> Self {
+        Self::with_loss(w, n, seed, 0)
+    }
+
+    /// Boots a deployment whose *token* channel drops the given per-mille
+    /// fraction of messages (the control plane stays reliable); the
+    /// ack/retransmit/dedup layer guarantees exactly-once token delivery
+    /// regardless.
+    #[must_use]
+    pub fn with_loss(w: usize, n: usize, seed: u64, loss_per_mille: u32) -> Self {
+        let mut ring = Ring::new();
+        let mut s = seed;
+        for _ in 0..n {
+            ring.add_random_node(&mut s);
+        }
+        let world = World::new(w, ring);
+        let mut sim =
+            Simulator::new(SimConfig { base_latency: 5, jitter: 10, loss_per_mille, seed });
+        let level_period = 2_000;
+        let nodes: Vec<NodeId> = world.borrow().ring.nodes().collect();
+        for (i, node) in nodes.iter().enumerate() {
+            let proc = NodeProc::new(Rc::clone(&world), *node, level_period);
+            sim.add_process(ProcessId(node.0), Proc::Node(proc));
+            // Stagger the level timers.
+            sim.set_timer_external(
+                ProcessId(node.0),
+                1 + (i as u64 * 37) % level_period,
+                TIMER_LEVEL,
+            );
+        }
+        sim.add_process(COLLECTOR, Proc::Collector(Collector::new(w)));
+        // Install the root component at its owner.
+        let root = ComponentId::root();
+        let owner = world.borrow_mut().host_of(&root);
+        let tree = world.borrow().tree;
+        if let Some(Proc::Node(np)) = sim.process_mut(ProcessId(owner.0)) {
+            np.install_component(Component::new(&tree, &root));
+        }
+        Deployment { sim, world, level_period, seed: s }
+    }
+
+    /// Injects a token on input wire `wire` via a uniformly random node.
+    pub fn inject(&mut self, wire: usize) {
+        let nodes: Vec<NodeId> = self.world.borrow().ring.nodes().collect();
+        let pick = nodes[(acn_overlay::splitmix64(&mut self.seed) as usize) % nodes.len()];
+        self.sim.send_external(ProcessId(pick.0), Msg::ClientInject { wire });
+    }
+
+    /// The collector's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector process is missing.
+    #[must_use]
+    pub fn collector(&self) -> &Collector {
+        match self.sim.process(COLLECTOR) {
+            Some(Proc::Collector(c)) => c,
+            _ => panic!("collector process missing"),
+        }
+    }
+
+    /// Runs the simulation for `duration` time units.
+    pub fn run_for(&mut self, duration: u64) {
+        let deadline = self.sim.now() + duration;
+        self.sim.run_until(deadline);
+    }
+
+    /// The union of live (unfrozen) components across all nodes as a
+    /// [`Cut`], plus a flag telling whether any reconfiguration is still
+    /// in flight.
+    #[must_use]
+    pub fn live_cut(&self) -> (Cut, bool) {
+        let mut leaves = Vec::new();
+        let mut busy = false;
+        for pid in self.sim.process_ids().collect::<Vec<_>>() {
+            if let Some(Proc::Node(np)) = self.sim.process(pid) {
+                busy |= !np.is_quiet();
+                for (id, frozen) in np.components() {
+                    if frozen {
+                        busy = true;
+                    } else {
+                        leaves.push(id.clone());
+                    }
+                }
+            }
+        }
+        (Cut::from_leaves(leaves), busy)
+    }
+
+    /// Node join: adds an overlay node and process, then migrates every
+    /// component whose hash owner it became (Section 3.4 "Node Joins").
+    pub fn join_node(&mut self) -> NodeId {
+        let node = {
+            let mut w = self.world.borrow_mut();
+            w.ring.add_random_node(&mut self.seed)
+        };
+        let proc = NodeProc::new(Rc::clone(&self.world), node, self.level_period);
+        self.sim.add_process(ProcessId(node.0), Proc::Node(proc));
+        self.sim.set_timer_external(ProcessId(node.0), 1, TIMER_LEVEL);
+        self.migrate_components();
+        node
+    }
+
+    /// Graceful leave: migrates the node's components and split list to
+    /// the new owners, removes it from the ring, and leaves a departed
+    /// ghost that NACKs stragglers (Section 3.4 "Node Leaves").
+    ///
+    /// A leaving node first finishes its pending reconfiguration
+    /// business (the paper's "before leaving, the node has to move all
+    /// the components it currently holds" implies completing in-flight
+    /// splits/merges): departing while hosting a frozen mid-merge
+    /// component would strand that merge, because its coordinator keeps
+    /// asking the component's *hash owner* while the ghost holds the
+    /// frozen state.
+    pub fn leave_node(&mut self, node: NodeId) {
+        for _ in 0..100 {
+            let busy = match self.sim.process(ProcessId(node.0)) {
+                Some(Proc::Node(np)) => {
+                    !np.is_quiet() || np.components().any(|(_, frozen)| frozen)
+                }
+                _ => false,
+            };
+            if !busy {
+                break;
+            }
+            let period = self.level_period;
+            self.run_for(period);
+        }
+        {
+            let mut w = self.world.borrow_mut();
+            assert!(w.ring.len() > 1, "cannot remove the last node");
+            w.ring.remove_node(node);
+        }
+        // Hand off the split list to the current owners of the entries —
+        // except entries whose merge is already in flight here: the
+        // departed ghost finishes those itself (handing them off too
+        // would duplicate the obligation).
+        let entries: Vec<ComponentId> = match self.sim.process_mut(ProcessId(node.0)) {
+            Some(Proc::Node(np)) => {
+                let drained = np.drain_split_list();
+                let (in_flight, transfer): (Vec<ComponentId>, Vec<ComponentId>) =
+                    drained.into_iter().partition(|id| np.has_merge_in_progress(id));
+                np.extend_split_list(in_flight);
+                transfer
+            }
+            _ => Vec::new(),
+        };
+        for id in entries {
+            let owner = self.world.borrow_mut().host_of(&id);
+            if let Some(Proc::Node(np)) = self.sim.process_mut(ProcessId(owner.0)) {
+                np.extend_split_list([id]);
+            }
+        }
+        if let Some(Proc::Node(np)) = self.sim.process_mut(ProcessId(node.0)) {
+            np.depart();
+        }
+        self.migrate_components();
+    }
+
+    /// Crash: the node vanishes with all its state (components are
+    /// lost). Follow with [`repair`](Deployment::repair).
+    pub fn crash_node(&mut self, node: NodeId) {
+        {
+            let mut w = self.world.borrow_mut();
+            assert!(w.ring.len() > 1, "cannot crash the last node");
+            w.ring.remove_node(node);
+        }
+        self.sim.remove_process(ProcessId(node.0));
+    }
+
+    /// Moves every live, unfrozen component to its current hash owner.
+    /// Frozen components stay put until their operation completes (the
+    /// next sweep picks them up).
+    pub fn migrate_components(&mut self) {
+        let pids: Vec<ProcessId> = self.sim.process_ids().filter(|p| *p != COLLECTOR).collect();
+        for pid in pids {
+            let (ids, departed) = match self.sim.process(pid) {
+                Some(Proc::Node(np)) => (
+                    np.components()
+                        .filter(|(_, frozen)| !frozen)
+                        .map(|(id, _)| id.clone())
+                        .collect::<Vec<_>>(),
+                    np.departed(),
+                ),
+                _ => continue,
+            };
+            for id in ids {
+                let owner = self.world.borrow_mut().host_of(&id);
+                let owner_pid = ProcessId(owner.0);
+                if owner_pid == pid && !departed {
+                    continue;
+                }
+                let taken = match self.sim.process_mut(pid) {
+                    Some(Proc::Node(np)) => np.take_component(&id),
+                    _ => None,
+                };
+                if let Some((comp, buffer)) = taken {
+                    if let Some(Proc::Node(np)) = self.sim.process_mut(owner_pid) {
+                        np.install_component(comp);
+                    }
+                    // Re-inject buffered tokens via the new owner (it
+                    // hosts the component, so it will process them).
+                    for (addr, injected_at) in buffer {
+                        let guid = self.world.borrow_mut().fresh_guid();
+                        self.sim.send_external(
+                            owner_pid,
+                            Msg::Token { guid, addr, injected_at, attempt: ATTEMPT_CACHED },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Repairs the cut after crashes: for every maximal subtree with no
+    /// live component covering it, installs a fresh component at its
+    /// hash owner. Token history of lost components is gone — the
+    /// resulting bounded deviation from the ideal step sequence is what
+    /// the crash experiment measures.
+    pub fn repair(&mut self) {
+        let (cut, _) = self.live_cut();
+        let tree = self.world.borrow().tree;
+        let mut to_install: Vec<ComponentId> = Vec::new();
+        let mut stack = vec![ComponentId::root()];
+        while let Some(id) = stack.pop() {
+            if cut.contains(&id) || id.ancestors().any(|a| cut.contains(&a)) {
+                continue;
+            }
+            let covered_below = cut.leaves().iter().any(|l| id.is_ancestor_of(l));
+            if !covered_below {
+                to_install.push(id);
+                continue;
+            }
+            let info = tree.info(&id).expect("valid node");
+            for c in 0..info.child_count() as u8 {
+                stack.push(id.child(c));
+            }
+        }
+        for id in to_install {
+            let owner = self.world.borrow_mut().host_of(&id);
+            if let Some(Proc::Node(np)) = self.sim.process_mut(ProcessId(owner.0)) {
+                np.install_component(Component::new(&tree, &id));
+            }
+        }
+    }
+
+    /// Runs in level-period slices until the network is quiescent (live
+    /// cut valid, no frozen components, no pending operations). Returns
+    /// `false` if the budget ran out.
+    pub fn settle(&mut self, max_rounds: usize) -> bool {
+        for _ in 0..max_rounds {
+            self.run_for(self.level_period);
+            let (cut, busy) = self.live_cut();
+            let tree = self.world.borrow().tree;
+            if !busy && cut.is_valid(&tree) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_bitonic::step::is_step_sequence;
+
+    #[test]
+    fn single_node_deployment_counts() {
+        let mut d = Deployment::new(8, 1, 7);
+        for i in 0..24 {
+            d.inject(i % 8);
+        }
+        d.run_for(50_000);
+        let c = d.collector();
+        assert_eq!(c.total(), 24);
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+    }
+
+    #[test]
+    fn deployment_self_organizes_and_counts() {
+        let mut d = Deployment::new(64, 32, 13);
+        assert!(d.settle(50), "network did not settle");
+        assert!(d.world.borrow().splits_done > 0, "no splits happened");
+        let (cut, _) = d.live_cut();
+        assert!(cut.is_valid(&d.world.borrow().tree), "invalid live cut: {cut}");
+        let mut seed = 5u64;
+        for _ in 0..200 {
+            let wire = (acn_overlay::splitmix64(&mut seed) as usize) % 64;
+            d.inject(wire);
+        }
+        d.run_for(200_000);
+        let c = d.collector();
+        assert_eq!(c.total(), 200, "tokens lost or duplicated");
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+    }
+
+    #[test]
+    fn tokens_survive_reconfiguration() {
+        let mut d = Deployment::new(32, 24, 99);
+        let mut injected = 0u64;
+        let mut seed = 1u64;
+        for _ in 0..40 {
+            for _ in 0..5 {
+                let wire = (acn_overlay::splitmix64(&mut seed) as usize) % 32;
+                d.inject(wire);
+                injected += 1;
+            }
+            d.run_for(500); // interleave with reconfiguration
+        }
+        assert!(d.settle(100), "network did not settle");
+        d.run_for(100_000);
+        let c = d.collector();
+        assert_eq!(c.total(), injected, "token conservation violated");
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+    }
+
+    #[test]
+    fn join_and_leave_churn() {
+        let mut d = Deployment::new(64, 4, 21);
+        assert!(d.settle(50));
+        let mut injected = 0u64;
+        let mut seed = 3u64;
+        for _ in 0..30 {
+            let wire = (acn_overlay::splitmix64(&mut seed) as usize) % 64;
+            d.inject(wire);
+            injected += 1;
+        }
+        // Grow to 40 nodes.
+        for _ in 0..36 {
+            d.join_node();
+            d.run_for(300);
+        }
+        assert!(d.settle(100), "did not settle after joins");
+        assert!(d.world.borrow().splits_done > 0, "growth did not split");
+        for _ in 0..30 {
+            let wire = (acn_overlay::splitmix64(&mut seed) as usize) % 64;
+            d.inject(wire);
+            injected += 1;
+        }
+        // Shrink back to 6 nodes (graceful leaves).
+        let victims: Vec<NodeId> = d.world.borrow().ring.nodes().take(34).collect();
+        for v in victims {
+            d.leave_node(v);
+            d.run_for(300);
+            d.migrate_components();
+        }
+        assert!(d.settle(200), "did not settle after leaves");
+        assert!(d.world.borrow().merges_done > 0, "shrink did not merge");
+        for _ in 0..30 {
+            let wire = (acn_overlay::splitmix64(&mut seed) as usize) % 64;
+            d.inject(wire);
+            injected += 1;
+        }
+        d.run_for(300_000);
+        let c = d.collector();
+        assert_eq!(c.total(), injected, "token conservation violated");
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+    }
+
+    #[test]
+    fn crash_and_repair() {
+        let mut d = Deployment::new(16, 8, 55);
+        assert!(d.settle(50));
+        let mut injected = 0u64;
+        let mut seed = 9u64;
+        for _ in 0..40 {
+            let wire = (acn_overlay::splitmix64(&mut seed) as usize) % 16;
+            d.inject(wire);
+            injected += 1;
+        }
+        d.run_for(100_000);
+        assert_eq!(d.collector().total(), injected);
+        // Crash a node that hosts at least one component.
+        let victim = {
+            let pids: Vec<ProcessId> =
+                d.sim.process_ids().filter(|p| *p != COLLECTOR).collect();
+            let mut victim = None;
+            for pid in pids {
+                if let Some(Proc::Node(np)) = d.sim.process(pid) {
+                    if np.components().next().is_some() && !np.departed() {
+                        victim = Some(np.node_id());
+                        break;
+                    }
+                }
+            }
+            victim.expect("some node hosts a component")
+        };
+        d.crash_node(victim);
+        d.repair();
+        let (cut, _) = d.live_cut();
+        assert!(cut.is_valid(&d.world.borrow().tree), "repair left an invalid cut: {cut}");
+        // Counting resumes and new tokens are conserved.
+        let before_new = d.collector().total();
+        let mut new_tokens = 0u64;
+        for _ in 0..40 {
+            let wire = (acn_overlay::splitmix64(&mut seed) as usize) % 16;
+            d.inject(wire);
+            new_tokens += 1;
+        }
+        assert!(d.settle(100));
+        d.run_for(200_000);
+        let c = d.collector();
+        assert!(
+            c.total() >= before_new + new_tokens,
+            "post-repair tokens lost: {} vs {}",
+            c.total(),
+            before_new + new_tokens
+        );
+        // The lost component forgot a bounded amount of round-robin
+        // offset: the counts may deviate from a step sequence by at most
+        // the lost width.
+        let max = *c.counts.iter().max().unwrap();
+        let min = *c.counts.iter().min().unwrap();
+        assert!(max - min <= 1 + 16, "crash deviation too large: {:?}", c.counts);
+    }
+
+    #[test]
+    fn join_storm_without_settling() {
+        // 30 joins with no settling in between, traffic interleaved.
+        let mut d = Deployment::new(32, 2, 0x5707);
+        let mut seed = 11u64;
+        let mut injected = 0u64;
+        for burst in 0..30 {
+            d.join_node();
+            if burst % 2 == 0 {
+                d.inject((acn_overlay::splitmix64(&mut seed) as usize) % 32);
+                injected += 1;
+            }
+            d.run_for(73); // deliberately not a multiple of anything
+        }
+        assert!(d.settle(300), "join storm did not settle");
+        d.run_for(200_000);
+        let c = d.collector();
+        assert_eq!(c.total(), injected, "token conservation violated");
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+        assert!(d.world.borrow().splits_done > 0);
+    }
+
+    #[test]
+    fn crash_during_reconfiguration() {
+        // Crash a component-hosting node while the network is still
+        // splitting/merging; repair must restore a valid cut and new
+        // traffic must flow.
+        let mut d = Deployment::new(32, 4, 0xCAFE);
+        d.run_for(2_500); // mid-reconfiguration, deliberately unsettled
+        for _ in 0..12 {
+            d.join_node();
+            d.run_for(400);
+        }
+        // Crash the first node that hosts any component.
+        let victim = d
+            .sim
+            .process_ids()
+            .filter(|p| *p != COLLECTOR)
+            .find_map(|pid| match d.sim.process(pid) {
+                Some(Proc::Node(np))
+                    if np.components().next().is_some() && !np.departed() =>
+                {
+                    Some(np.node_id())
+                }
+                _ => None,
+            })
+            .expect("someone hosts a component");
+        d.crash_node(victim);
+        // Let in-flight protocol messages to the dead node drain, then
+        // repair and settle.
+        d.run_for(20_000);
+        d.repair();
+        assert!(d.settle(300), "network did not settle after crash+repair");
+        let (cut, _) = d.live_cut();
+        assert!(cut.is_valid(&d.world.borrow().tree), "invalid cut after repair: {cut}");
+        // New traffic flows and is conserved.
+        let before = d.collector().total();
+        let mut seed = 3u64;
+        for _ in 0..25 {
+            d.inject((acn_overlay::splitmix64(&mut seed) as usize) % 32);
+        }
+        d.run_for(300_000);
+        assert_eq!(d.collector().total(), before + 25, "post-crash tokens lost");
+    }
+
+    #[test]
+    fn leave_everything_back_to_one_node() {
+        // Shrink all the way down to a single node: the network must end
+        // as (at most a few) coarse components on that node.
+        let mut d = Deployment::new(16, 12, 0x0E0);
+        assert!(d.settle(100));
+        let mut seed = 9u64;
+        for _ in 0..30 {
+            d.inject((acn_overlay::splitmix64(&mut seed) as usize) % 16);
+        }
+        d.run_for(100_000);
+        let victims: Vec<NodeId> = d.world.borrow().ring.nodes().take(11).collect();
+        for v in victims {
+            d.leave_node(v);
+            d.run_for(500);
+            d.migrate_components();
+        }
+        assert!(d.settle(300), "did not settle at N=1");
+        let (cut, _) = d.live_cut();
+        assert!(cut.is_valid(&d.world.borrow().tree));
+        assert_eq!(cut.leaves().len(), 1, "N=1 must converge to the root: {cut}");
+        for _ in 0..10 {
+            d.inject((acn_overlay::splitmix64(&mut seed) as usize) % 16);
+        }
+        d.run_for(100_000);
+        assert_eq!(d.collector().total(), 40);
+        assert!(is_step_sequence(&d.collector().counts));
+    }
+
+    #[test]
+    fn lossy_tokens_are_delivered_exactly_once() {
+        // 15% token loss: the ack/retransmit/dedup layer must still
+        // deliver every token exactly once, with the step property.
+        let mut d = Deployment::with_loss(32, 16, 0x1055, 150);
+        assert!(d.settle(100));
+        let mut seed = 5u64;
+        let mut injected = 0u64;
+        for _ in 0..40 {
+            for _ in 0..4 {
+                d.inject((acn_overlay::splitmix64(&mut seed) as usize) % 32);
+                injected += 1;
+            }
+            d.run_for(400);
+        }
+        assert!(d.settle(400), "lossy deployment did not settle");
+        d.run_for(400_000);
+        let c = d.collector();
+        assert_eq!(c.total(), injected, "exactly-once delivery violated");
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+        let world = d.world.borrow();
+        assert!(world.token_retransmits > 0, "loss never exercised retransmission");
+        assert!(d.sim.stats().messages_lost > 0, "the lossy channel never dropped");
+    }
+
+    #[test]
+    fn lossy_tokens_survive_churn() {
+        let mut d = Deployment::with_loss(32, 4, 0x1056, 100);
+        assert!(d.settle(100));
+        let mut seed = 7u64;
+        let mut injected = 0u64;
+        for round in 0..30 {
+            if round % 3 == 0 {
+                d.join_node();
+            }
+            for _ in 0..3 {
+                d.inject((acn_overlay::splitmix64(&mut seed) as usize) % 32);
+                injected += 1;
+            }
+            d.run_for(600);
+        }
+        assert!(d.settle(400), "lossy churn did not settle");
+        d.run_for(400_000);
+        let c = d.collector();
+        assert_eq!(c.total(), injected, "exactly-once delivery violated under churn");
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut d = Deployment::new(16, 16, 77);
+        assert!(d.settle(50));
+        for i in 0..50 {
+            d.inject(i % 16);
+        }
+        d.run_for(200_000);
+        let c = d.collector();
+        assert_eq!(c.total(), 50);
+        assert!(c.max_latency >= c.total_latency / 50);
+    }
+}

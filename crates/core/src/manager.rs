@@ -1,0 +1,448 @@
+//! Decentralized split/merge decisions and the converged network state
+//! (paper Sections 3.2 and 3.3).
+//!
+//! Every component is mapped to the overlay node owning the hash of its
+//! pre-order name. Each node `v` maintains the local invariant *"all
+//! components residing on v are at level >= l_v"* (its level estimate):
+//!
+//! - **Splitting rule**: split every component on `v` whose level is
+//!   below `l_v`.
+//! - **Merging rule**: `v` re-examines components it split earlier; if a
+//!   split component's level is now `>= l_v`, it is merged back.
+//!
+//! [`ConvergedNetwork`] computes the fixpoint of these rules for a given
+//! overlay ring — the steady state the message-level runtime
+//! ([`crate::dist`]) converges to — and measures the properties the
+//! paper proves about it: component-count bounds (Lemma 3.5), component
+//! level bounds (Lemma 3.4), and the effective width/depth bounds
+//! (Theorem 3.6).
+
+use std::collections::HashMap;
+
+use acn_estimator::{ideal_level, node_level};
+use acn_overlay::{NodeId, Ring};
+use acn_topology::{
+    effective_depth, effective_width, ComponentDag, ComponentId, Cut, Tree, WiringStyle,
+};
+
+/// The fixpoint of the decentralized splitting/merging rules over a
+/// given overlay ring.
+///
+/// # Example
+///
+/// ```
+/// use acn_overlay::Ring;
+/// use acn_core::ConvergedNetwork;
+///
+/// let mut ring = Ring::new();
+/// let mut seed = 5u64;
+/// for _ in 0..200 {
+///     ring.add_random_node(&mut seed);
+/// }
+/// let net = ConvergedNetwork::new(1 << 12, ring);
+/// let snap = net.snapshot();
+/// // Lemma 3.4/3.3: component levels sit within 4 of the ideal level.
+/// assert!(snap.max_level as i64 - snap.ideal_level as i64 <= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvergedNetwork {
+    tree: Tree,
+    style: WiringStyle,
+    ring: Ring,
+    cut: Cut,
+    levels: HashMap<NodeId, usize>,
+    /// Cumulative reconfiguration counters.
+    splits: u64,
+    merges: u64,
+}
+
+/// Aggregate measurements of a converged network, matching the claims of
+/// Lemmas 3.4/3.5 and Theorem 3.6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkSnapshot {
+    /// Nodes in the overlay (the paper's `N`).
+    pub nodes: usize,
+    /// Live components (Lemma 3.5: `Theta(N)` w.h.p.).
+    pub components: usize,
+    /// Minimum component level in the cut.
+    pub min_level: usize,
+    /// Maximum component level in the cut.
+    pub max_level: usize,
+    /// The ideal level `l*` for the true `N`.
+    pub ideal_level: usize,
+    /// Mean components per node (Lemma 3.5: `O(1)` expected).
+    pub mean_components_per_node: f64,
+    /// Maximum components on any single node (Lemma 3.5:
+    /// `O(log N / log log N)` w.h.p.).
+    pub max_components_per_node: usize,
+    /// Effective width of the component DAG (Theorem 3.6:
+    /// `Omega(N / log^2 N)`).
+    pub effective_width: usize,
+    /// Effective depth of the component DAG (Theorem 3.6: `O(log^2 N)`).
+    pub effective_depth: usize,
+}
+
+impl ConvergedNetwork {
+    /// Builds the converged network of width `w` over `ring`, starting
+    /// from the trivial (single-component) cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two, `w < 2`, or the ring is
+    /// empty.
+    #[must_use]
+    pub fn new(w: usize, ring: Ring) -> Self {
+        assert!(!ring.is_empty(), "the overlay must have at least one node");
+        let mut net = ConvergedNetwork {
+            tree: Tree::new(w),
+            style: WiringStyle::Ahs,
+            ring,
+            cut: Cut::root(),
+            levels: HashMap::new(),
+            splits: 0,
+            merges: 0,
+        };
+        net.refresh_levels();
+        net.converge();
+        net
+    }
+
+    /// The overlay ring.
+    #[must_use]
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The decomposition tree.
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The converged cut.
+    #[must_use]
+    pub fn cut(&self) -> &Cut {
+        &self.cut
+    }
+
+    /// Cumulative number of component splits performed.
+    #[must_use]
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Cumulative number of component merges performed.
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// The node hosting component `id`: the owner of the hash of its
+    /// pre-order name (paper Section 2, naming, and Section 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid node of the tree.
+    #[must_use]
+    pub fn host(&self, id: &ComponentId) -> NodeId {
+        self.ring.owner_of_name(self.tree.preorder_index(id))
+    }
+
+    /// The level estimate `l_v` the given node acts on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the ring.
+    #[must_use]
+    pub fn level_of(&self, node: NodeId) -> usize {
+        self.levels[&node]
+    }
+
+    fn refresh_levels(&mut self) {
+        let nodes: Vec<NodeId> = self.ring.nodes().collect();
+        self.levels = nodes
+            .into_iter()
+            .map(|n| (n, node_level(&self.ring, n).min(self.tree.max_level())))
+            .collect();
+    }
+
+    /// Runs the split/merge rules to fixpoint. Returns
+    /// `(splits, merges)` performed during this call.
+    fn converge(&mut self) -> (u64, u64) {
+        let (mut splits, mut merges) = (0u64, 0u64);
+        loop {
+            let mut changed = false;
+            // Splitting rule: any leaf below its host's level splits.
+            loop {
+                let to_split: Vec<ComponentId> = self
+                    .cut
+                    .leaves()
+                    .iter()
+                    .filter(|leaf| {
+                        let info = self.tree.info(leaf).expect("cut leaf is valid");
+                        info.width >= 4 && info.level < self.levels[&self.host(leaf)]
+                    })
+                    .cloned()
+                    .collect();
+                if to_split.is_empty() {
+                    break;
+                }
+                for leaf in to_split {
+                    self.cut.split(&self.tree, &leaf).expect("leaf is splittable");
+                    splits += 1;
+                    changed = true;
+                }
+            }
+            // Merging rule: the splitter of `p` (its hash owner) merges
+            // the subtree back when level(p) >= l_host(p). Topmost first.
+            let mut candidates: Vec<ComponentId> = self
+                .cut
+                .leaves()
+                .iter()
+                .flat_map(|leaf| leaf.ancestors())
+                .collect();
+            candidates.sort();
+            candidates.dedup();
+            for p in candidates {
+                if self.cut.contains(&p) || !self.covered(&p) {
+                    continue;
+                }
+                let level = p.level();
+                if level >= self.levels[&self.host(&p)] {
+                    merges += self.merge_subtree(&p);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.splits += splits;
+        self.merges += merges;
+        (splits, merges)
+    }
+
+    /// Whether the cut still covers (refines) the subtree at `p`.
+    fn covered(&self, p: &ComponentId) -> bool {
+        self.cut.leaves().iter().any(|l| p.is_ancestor_of(l))
+    }
+
+    /// Merges everything below `p` into `p`, bottom-up. Returns the
+    /// number of merge operations.
+    fn merge_subtree(&mut self, p: &ComponentId) -> u64 {
+        let mut ops = 0;
+        loop {
+            if self.cut.contains(p) {
+                return ops;
+            }
+            // Find a deepest mergeable ancestor under p.
+            let mut deepest: Option<ComponentId> = None;
+            for leaf in self.cut.leaves() {
+                if !(p == leaf || p.is_ancestor_of(leaf)) {
+                    continue;
+                }
+                let parent = leaf.parent().expect("leaf below p has a parent");
+                let mergeable = self
+                    .tree
+                    .children(&parent)
+                    .iter()
+                    .all(|c| self.cut.contains(c));
+                if mergeable
+                    && deepest
+                        .as_ref()
+                        .map(|d| parent.level() > d.level())
+                        .unwrap_or(true)
+                {
+                    deepest = Some(parent);
+                }
+            }
+            let target = deepest.expect("a refined subtree always has a mergeable parent");
+            self.cut.merge(&self.tree, &target).expect("children are leaves");
+            ops += 1;
+        }
+    }
+
+    /// Applies overlay churn: `joins` new random nodes and `leaves`
+    /// random departures (drawn from `seed`), then re-runs the
+    /// decentralized rules to fixpoint. Returns `(splits, merges)`
+    /// triggered by the churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the churn would empty the ring.
+    pub fn churn(&mut self, joins: usize, leaves: usize, seed: &mut u64) -> (u64, u64) {
+        for _ in 0..joins {
+            self.ring.add_random_node(seed);
+        }
+        assert!(self.ring.len() > leaves, "churn would empty the ring");
+        for _ in 0..leaves {
+            let nodes: Vec<NodeId> = self.ring.nodes().collect();
+            let victim = nodes[(acn_overlay::splitmix64(seed) as usize) % nodes.len()];
+            self.ring.remove_node(victim);
+        }
+        self.refresh_levels();
+        self.converge()
+    }
+
+    /// Measures the converged network.
+    #[must_use]
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        let mut per_node: HashMap<NodeId, usize> = HashMap::new();
+        for leaf in self.cut.leaves() {
+            *per_node.entry(self.host(leaf)).or_insert(0) += 1;
+        }
+        let components = self.cut.leaves().len();
+        let nodes = self.ring.len();
+        let dag = ComponentDag::with_style(&self.tree, &self.cut, self.style);
+        NetworkSnapshot {
+            nodes,
+            components,
+            min_level: self.cut.min_level(),
+            max_level: self.cut.max_level(),
+            ideal_level: ideal_level(nodes).min(self.tree.max_level()),
+            mean_components_per_node: components as f64 / nodes as f64,
+            max_components_per_node: per_node.values().copied().max().unwrap_or(0),
+            effective_width: effective_width(&dag),
+            effective_depth: effective_depth(&dag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_ring(n: usize, seed: u64) -> Ring {
+        let mut ring = Ring::new();
+        let mut s = seed;
+        for _ in 0..n {
+            ring.add_random_node(&mut s);
+        }
+        ring
+    }
+
+    #[test]
+    fn single_node_system_stays_centralized() {
+        let net = ConvergedNetwork::new(1 << 10, seeded_ring(1, 3));
+        let snap = net.snapshot();
+        assert_eq!(snap.components, 1);
+        assert_eq!(snap.min_level, 0);
+        assert_eq!(net.splits(), 0);
+    }
+
+    #[test]
+    fn converged_levels_satisfy_lemma_3_4() {
+        // Component levels lie within the range of node level estimates.
+        for &n in &[16usize, 64, 256] {
+            for seed in 0..3u64 {
+                let net = ConvergedNetwork::new(1 << 10, seeded_ring(n, seed * 7 + 1));
+                let lmin = net.levels.values().copied().min().unwrap();
+                let lmax = net.levels.values().copied().max().unwrap();
+                let snap = net.snapshot();
+                assert!(
+                    snap.min_level >= lmin.min(snap.min_level),
+                    "N={n} seed={seed}: {snap:?}"
+                );
+                assert!(snap.max_level <= lmax, "N={n} seed={seed}: {snap:?} lmax={lmax}");
+                // And every leaf respects its own host's invariant.
+                for leaf in net.cut().leaves() {
+                    let host_level = net.level_of(net.host(leaf));
+                    let info = net.tree().info(leaf).unwrap();
+                    assert!(
+                        info.level >= host_level || info.width == 2,
+                        "N={n}: leaf {leaf} at level {} on host with l_v={host_level}",
+                        info.level
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn component_counts_satisfy_lemma_3_5() {
+        for &n in &[64usize, 256, 1024] {
+            let net = ConvergedNetwork::new(1 << 12, seeded_ring(n, 42));
+            let snap = net.snapshot();
+            // Theta(N) components within the paper's constants
+            // [N/6^5, 6^4 N] — empirically far tighter.
+            assert!(
+                snap.components as f64 >= n as f64 / 7776.0,
+                "N={n}: too few components ({})",
+                snap.components
+            );
+            assert!(
+                snap.components as f64 <= 1296.0 * n as f64,
+                "N={n}: too many components ({})",
+                snap.components
+            );
+            // O(1) expected per node; generous constant.
+            assert!(
+                snap.mean_components_per_node <= 8.0,
+                "N={n}: mean {}",
+                snap.mean_components_per_node
+            );
+        }
+    }
+
+    #[test]
+    fn effective_dimensions_satisfy_theorem_3_6() {
+        for &n in &[64usize, 256, 1024] {
+            let net = ConvergedNetwork::new(1 << 12, seeded_ring(n, 99));
+            let snap = net.snapshot();
+            let log2n = (n as f64).log2();
+            assert!(
+                (snap.effective_depth as f64) <= 2.0 * log2n * log2n,
+                "N={n}: depth {} vs O(log^2 N)",
+                snap.effective_depth
+            );
+            assert!(
+                (snap.effective_width as f64) >= n as f64 / (8.0 * log2n * log2n),
+                "N={n}: width {} vs Omega(N/log^2 N)",
+                snap.effective_width
+            );
+        }
+    }
+
+    #[test]
+    fn growth_triggers_splits_shrink_triggers_merges() {
+        let mut seed = 7u64;
+        let mut net = ConvergedNetwork::new(1 << 10, seeded_ring(8, 11));
+        let comps_small = net.snapshot().components;
+        let (splits, _) = net.churn(248, 0, &mut seed); // grow to 256
+        assert!(splits > 0, "growth must split components");
+        let comps_big = net.snapshot().components;
+        assert!(
+            comps_big > comps_small,
+            "component count must grow: {comps_small} -> {comps_big}"
+        );
+        let (_, merges) = net.churn(0, 240, &mut seed); // shrink to 16
+        assert!(merges > 0, "shrinking must merge components");
+        let comps_final = net.snapshot().components;
+        assert!(
+            comps_final < comps_big,
+            "component count must shrink: {comps_big} -> {comps_final}"
+        );
+    }
+
+    #[test]
+    fn converged_cut_is_always_valid() {
+        let mut seed = 3u64;
+        let mut net = ConvergedNetwork::new(1 << 12, seeded_ring(32, 5));
+        for round in 0..10 {
+            let joins = (acn_overlay::splitmix64(&mut seed) % 20) as usize;
+            let leaves = ((acn_overlay::splitmix64(&mut seed) % 20) as usize)
+                .min(net.ring().len().saturating_sub(2));
+            net.churn(joins, leaves, &mut seed);
+            assert!(net.cut().is_valid(net.tree()), "round {round}");
+        }
+    }
+
+    #[test]
+    fn width_is_capped_by_tree_depth_for_small_w() {
+        // With a tiny w, a huge system saturates at the balancer cut.
+        let net = ConvergedNetwork::new(8, seeded_ring(4096, 21));
+        let snap = net.snapshot();
+        assert_eq!(snap.max_level, net.tree().max_level());
+        assert_eq!(snap.effective_width, 4); // width w/2 = 4 disjoint paths
+    }
+}

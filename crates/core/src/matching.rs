@@ -1,0 +1,281 @@
+//! Producer/consumer matching with two back-to-back counting networks
+//! (paper Section 1.1, "Applications").
+//!
+//! Producers asynchronously announce resources ("supply tokens") and
+//! consumers asynchronously request them ("request tokens"); the
+//! synchronization problem is to match each request with exactly one
+//! supply. As the paper describes, two counting networks solve it
+//! without locks or queues: each side's tokens get consecutive slot
+//! numbers from its own network, and equal slots match.
+//!
+//! Both networks here are *adaptive*, so the matcher's parallelism can
+//! be resized on both sides independently while matching runs.
+
+use std::collections::HashMap;
+
+use acn_topology::ComponentId;
+
+use crate::local::{AdaptError, LocalAdaptiveNetwork};
+
+/// Which side of the matcher an operation addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The producer (supply) network.
+    Supply,
+    /// The consumer (request) network.
+    Request,
+}
+
+/// The result of offering a supply or request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchOutcome<S, R> {
+    /// The item met its counterpart: here is the pair.
+    Matched {
+        /// The slot number both sides drew.
+        slot: u64,
+        /// The supplied item.
+        supply: S,
+        /// The requesting item.
+        request: R,
+    },
+    /// The counterpart has not arrived yet; the item is parked under its
+    /// slot.
+    Pending {
+        /// The slot number the item drew.
+        slot: u64,
+    },
+}
+
+/// A producer/consumer matcher built from two adaptive counting
+/// networks.
+///
+/// # Example
+///
+/// ```
+/// use acn_core::matching::{MatchMaker, MatchOutcome};
+///
+/// let mut m: MatchMaker<&str, &str> = MatchMaker::new(8);
+/// assert!(matches!(m.supply("cpu-slice", 0), MatchOutcome::Pending { slot: 0 }));
+/// match m.request("job-1", 5) {
+///     MatchOutcome::Matched { slot, supply, request } => {
+///         assert_eq!((slot, supply, request), (0, "cpu-slice", "job-1"));
+///     }
+///     MatchOutcome::Pending { .. } => panic!("expected a match"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchMaker<S, R> {
+    supply_net: LocalAdaptiveNetwork,
+    request_net: LocalAdaptiveNetwork,
+    pending_supply: HashMap<u64, S>,
+    pending_request: HashMap<u64, R>,
+    matched: u64,
+}
+
+impl<S, R> MatchMaker<S, R> {
+    /// A matcher whose two networks have width `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two or `w < 2`.
+    #[must_use]
+    pub fn new(w: usize) -> Self {
+        MatchMaker {
+            supply_net: LocalAdaptiveNetwork::new(w),
+            request_net: LocalAdaptiveNetwork::new(w),
+            pending_supply: HashMap::new(),
+            pending_request: HashMap::new(),
+            matched: 0,
+        }
+    }
+
+    /// Offers a resource on input wire `wire` of the supply network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    pub fn supply(&mut self, item: S, wire: usize) -> MatchOutcome<S, R> {
+        let slot = self.supply_net.next_value(wire);
+        match self.pending_request.remove(&slot) {
+            Some(request) => {
+                self.matched += 1;
+                MatchOutcome::Matched { slot, supply: item, request }
+            }
+            None => {
+                self.pending_supply.insert(slot, item);
+                MatchOutcome::Pending { slot }
+            }
+        }
+    }
+
+    /// Requests a resource on input wire `wire` of the request network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    pub fn request(&mut self, item: R, wire: usize) -> MatchOutcome<S, R> {
+        let slot = self.request_net.next_value(wire);
+        match self.pending_supply.remove(&slot) {
+            Some(supply) => {
+                self.matched += 1;
+                MatchOutcome::Matched { slot, supply, request: item }
+            }
+            None => {
+                self.pending_request.insert(slot, item);
+                MatchOutcome::Pending { slot }
+            }
+        }
+    }
+
+    /// Splits a component of one side's network (resize under load).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AdaptError`] from the underlying network.
+    pub fn split(&mut self, side: Side, id: &ComponentId) -> Result<(), AdaptError> {
+        self.net_mut(side).split(id)
+    }
+
+    /// Merges a subtree of one side's network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AdaptError`] from the underlying network.
+    pub fn merge(&mut self, side: Side, id: &ComponentId) -> Result<(), AdaptError> {
+        self.net_mut(side).merge(id)
+    }
+
+    fn net_mut(&mut self, side: Side) -> &mut LocalAdaptiveNetwork {
+        match side {
+            Side::Supply => &mut self.supply_net,
+            Side::Request => &mut self.request_net,
+        }
+    }
+
+    /// Matches completed so far.
+    #[must_use]
+    pub fn matched(&self) -> u64 {
+        self.matched
+    }
+
+    /// Supplies waiting for a request.
+    #[must_use]
+    pub fn outstanding_supplies(&self) -> usize {
+        self.pending_supply.len()
+    }
+
+    /// Requests waiting for a supply.
+    #[must_use]
+    pub fn outstanding_requests(&self) -> usize {
+        self.pending_request.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn supplies_and_requests_pair_in_slot_order() {
+        let mut m: MatchMaker<u64, u64> = MatchMaker::new(4);
+        // Three supplies first.
+        for i in 0..3u64 {
+            assert!(matches!(m.supply(100 + i, i as usize % 4), MatchOutcome::Pending { .. }));
+        }
+        // Requests drain them in slot order.
+        for i in 0..3u64 {
+            match m.request(200 + i, (i as usize * 3) % 4) {
+                MatchOutcome::Matched { slot, supply, request } => {
+                    assert_eq!(slot, i);
+                    assert_eq!(supply, 100 + i);
+                    assert_eq!(request, 200 + i);
+                }
+                MatchOutcome::Pending { .. } => panic!("expected match {i}"),
+            }
+        }
+        assert_eq!(m.matched(), 3);
+        assert_eq!(m.outstanding_supplies(), 0);
+        assert_eq!(m.outstanding_requests(), 0);
+    }
+
+    #[test]
+    fn every_item_matches_exactly_once_under_random_interleaving() {
+        let mut m: MatchMaker<u64, u64> = MatchMaker::new(8);
+        let mut seed = 0x3A7C4u64;
+        let mut supplies = 0u64;
+        let mut requests = 0u64;
+        let mut matches = Vec::new();
+        for _ in 0..400 {
+            let wire = (lcg(&mut seed) as usize) % 8;
+            if lcg(&mut seed) % 2 == 0 {
+                if let MatchOutcome::Matched { slot, supply, request } =
+                    m.supply(supplies, wire)
+                {
+                    matches.push((slot, supply, request));
+                }
+                supplies += 1;
+            } else {
+                if let MatchOutcome::Matched { slot, supply, request } =
+                    m.request(requests, wire)
+                {
+                    matches.push((slot, supply, request));
+                }
+                requests += 1;
+            }
+        }
+        // Matched count is the min of the two sides.
+        assert_eq!(m.matched(), supplies.min(requests));
+        // Every slot matched exactly once, and the pairing is by arrival
+        // order on each side (slot i pairs the i-th supply with the i-th
+        // request).
+        matches.sort_by_key(|&(slot, _, _)| slot);
+        for (expected, (slot, supply, request)) in matches.iter().enumerate() {
+            assert_eq!(*slot, expected as u64);
+            assert_eq!(*supply, *slot, "supply slot order violated");
+            assert_eq!(*request, *slot, "request slot order violated");
+        }
+    }
+
+    #[test]
+    fn matching_survives_network_resizes() {
+        let mut m: MatchMaker<u64, u64> = MatchMaker::new(8);
+        let root = ComponentId::root();
+        let mut next_supply = 0u64;
+        let mut next_request = 0u64;
+        let mut matched = 0u64;
+        for round in 0..6 {
+            // Resize one side per round.
+            match round % 4 {
+                0 => m.split(Side::Supply, &root).map(|()| ()).unwrap(),
+                1 => m.split(Side::Request, &root).unwrap(),
+                2 => m.merge(Side::Supply, &root).unwrap(),
+                _ => m.merge(Side::Request, &root).unwrap(),
+            }
+            for i in 0..5u64 {
+                if matches!(
+                    m.supply(next_supply, (i as usize) % 8),
+                    MatchOutcome::Matched { .. }
+                ) {
+                    matched += 1;
+                }
+                next_supply += 1;
+                if matches!(
+                    m.request(next_request, (i as usize * 5) % 8),
+                    MatchOutcome::Matched { .. }
+                ) {
+                    matched += 1;
+                }
+                next_request += 1;
+            }
+        }
+        assert_eq!(matched, m.matched());
+        assert_eq!(m.matched(), 30, "all pairs must match across resizes");
+        assert_eq!(m.outstanding_supplies(), 0);
+        assert_eq!(m.outstanding_requests(), 0);
+    }
+}

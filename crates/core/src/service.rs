@@ -1,0 +1,196 @@
+//! A self-sizing shared counter: the paper's whole pipeline behind one
+//! type.
+//!
+//! [`ElasticCounter`] owns an overlay ring, runs the decentralized
+//! size-estimation and split/merge rules whenever membership changes,
+//! and reconfigures its adaptive counting network to the converged cut —
+//! so a user gets "a counter that resizes itself as nodes come and go"
+//! without touching any of the machinery.
+
+use acn_overlay::{NodeId, Ring};
+
+use crate::local::LocalAdaptiveNetwork;
+use crate::manager::{ConvergedNetwork, NetworkSnapshot};
+
+/// A shared counter whose parallelism tracks the hosting system's size.
+///
+/// # Example
+///
+/// ```
+/// use acn_core::ElasticCounter;
+///
+/// let mut counter = ElasticCounter::new(64, 0xE1A57);
+/// // One node: a centralized counter.
+/// assert_eq!(counter.components(), 1);
+/// assert_eq!(counter.next(), 0);
+///
+/// // The system grows; the counter re-sizes itself.
+/// for _ in 0..63 {
+///     counter.join();
+/// }
+/// assert!(counter.components() > 1);
+/// assert_eq!(counter.next(), 1); // values keep flowing densely
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElasticCounter {
+    net: LocalAdaptiveNetwork,
+    ring: Ring,
+    seed: u64,
+    arrivals: u64,
+    splits: u64,
+    merges: u64,
+}
+
+impl ElasticCounter {
+    /// A counter of width `w` on a fresh single-node system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two or `w < 2`.
+    #[must_use]
+    pub fn new(w: usize, seed: u64) -> Self {
+        let mut ring = Ring::new();
+        let mut s = seed;
+        ring.add_random_node(&mut s);
+        let mut counter = ElasticCounter {
+            net: LocalAdaptiveNetwork::new(w),
+            ring,
+            seed: s,
+            arrivals: 0,
+            splits: 0,
+            merges: 0,
+        };
+        counter.reconfigure();
+        counter
+    }
+
+    /// The next counter value. Input wires are spread round-robin, as
+    /// independent clients would.
+    pub fn next(&mut self) -> u64 {
+        let wire = (self.arrivals % self.net.width() as u64) as usize;
+        self.arrivals += 1;
+        self.net.next_value(wire)
+    }
+
+    /// A node joins the system; the counter re-runs the decentralized
+    /// rules and resizes if the estimates call for it. Returns the new
+    /// node's id.
+    pub fn join(&mut self) -> NodeId {
+        let node = self.ring.add_random_node(&mut self.seed);
+        self.reconfigure();
+        node
+    }
+
+    /// A node leaves the system (the caller picks which; `None` = an
+    /// arbitrary one). Returns the departed id, or `None` when the last
+    /// node cannot leave.
+    pub fn leave(&mut self, node: Option<NodeId>) -> Option<NodeId> {
+        if self.ring.len() <= 1 {
+            return None;
+        }
+        let victim = match node {
+            Some(n) if self.ring.contains(n) => n,
+            Some(_) => return None,
+            None => {
+                let nodes: Vec<NodeId> = self.ring.nodes().collect();
+                nodes[(acn_overlay::splitmix64(&mut self.seed) as usize) % nodes.len()]
+            }
+        };
+        self.ring.remove_node(victim);
+        self.reconfigure();
+        Some(victim)
+    }
+
+    /// Number of nodes currently hosting the counter.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Number of live components implementing the counter.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.net.cut().leaves().len()
+    }
+
+    /// Reconfigurations performed so far: `(splits, merges)`.
+    #[must_use]
+    pub fn reconfigurations(&self) -> (u64, u64) {
+        (self.splits, self.merges)
+    }
+
+    /// A structural snapshot (effective width/depth, placement stats).
+    #[must_use]
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        ConvergedNetwork::new(self.net.width(), self.ring.clone()).snapshot()
+    }
+
+    /// Re-runs the decentralized split/merge rules for the current
+    /// membership and reconfigures the network to the converged cut.
+    fn reconfigure(&mut self) {
+        let converged = ConvergedNetwork::new(self.net.width(), self.ring.clone());
+        let target = converged.cut();
+        if target != self.net.cut() {
+            let before = self.net.cut().leaves().len();
+            self.net.reconfigure(target);
+            let after = self.net.cut().leaves().len();
+            if after > before {
+                self.splits += 1;
+            } else {
+                self.merges += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_stay_dense_through_full_lifecycle() {
+        let mut c = ElasticCounter::new(64, 7);
+        let mut expected = 0u64;
+        let take = |c: &mut ElasticCounter, n: u64, expected: &mut u64| {
+            for _ in 0..n {
+                assert_eq!(c.next(), *expected);
+                *expected += 1;
+            }
+        };
+        take(&mut c, 10, &mut expected);
+        for _ in 0..127 {
+            c.join();
+        }
+        assert!(c.components() > 6, "128 nodes should split repeatedly");
+        take(&mut c, 50, &mut expected);
+        while c.nodes() > 2 {
+            c.leave(None);
+        }
+        assert!(c.components() <= 6, "2 nodes should fold back");
+        take(&mut c, 30, &mut expected);
+        let (splits, merges) = c.reconfigurations();
+        assert!(splits > 0 && merges > 0);
+    }
+
+    #[test]
+    fn leave_respects_membership() {
+        let mut c = ElasticCounter::new(8, 3);
+        assert_eq!(c.leave(None), None, "the last node cannot leave");
+        let n = c.join();
+        assert_eq!(c.nodes(), 2);
+        assert_eq!(c.leave(Some(n)), Some(n));
+        assert_eq!(c.nodes(), 1);
+        assert_eq!(c.leave(Some(n)), None, "unknown nodes cannot leave");
+    }
+
+    #[test]
+    fn snapshot_reflects_membership() {
+        let mut c = ElasticCounter::new(1 << 10, 11);
+        for _ in 0..63 {
+            c.join();
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.nodes, 64);
+        assert!(snap.effective_width >= 2);
+    }
+}

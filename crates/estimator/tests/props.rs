@@ -1,0 +1,32 @@
+//! Property tests for the size estimator.
+
+use acn_estimator::{estimate_size, ideal_level, level_estimate};
+use acn_overlay::Ring;
+use proptest::prelude::*;
+
+proptest! {
+    /// Estimates stay within the paper's factor-10 band for random rings
+    /// of random sizes (Lemma 3.2 as a property).
+    #[test]
+    fn estimates_within_band(n in 8usize..512, seed in any::<u64>()) {
+        let mut ring = Ring::new();
+        let mut s = seed;
+        for _ in 0..n {
+            ring.add_random_node(&mut s);
+        }
+        for node in ring.nodes().take(16).collect::<Vec<_>>() {
+            let est = estimate_size(&ring, node).size;
+            prop_assert!(est >= n as f64 / 10.0, "n={n} est={est}");
+            prop_assert!(est <= 10.0 * n as f64, "n={n} est={est}");
+        }
+    }
+
+    /// Level estimates are monotone in the size estimate and consistent
+    /// with the ideal level at integral points.
+    #[test]
+    fn level_estimate_monotone(a in 1u64..100_000, b in 1u64..100_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(level_estimate(lo as f64) <= level_estimate(hi as f64));
+        prop_assert_eq!(level_estimate(lo as f64), ideal_level(lo as usize));
+    }
+}

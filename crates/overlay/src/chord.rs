@@ -1,0 +1,504 @@
+//! The protocol-level Chord simulation: per-node routing state
+//! maintained by explicit join, stabilization and finger-fixing rounds.
+//!
+//! The adaptive counting network assumes an overlay that keeps itself
+//! consistent under churn (paper Section 1.4). [`ChordNet`] demonstrates
+//! that assumption end to end: every node holds only its own successor
+//! list, predecessor and finger table; pointers go stale when nodes fail
+//! unannounced; periodic [`stabilize_round`](ChordNet::stabilize_round)s
+//! repair them, exactly as in the Chord paper the adaptive construction
+//! cites. Lookups route through this possibly-stale local state and are
+//! hop-counted.
+
+use std::collections::BTreeMap;
+
+use crate::ring::{in_interval, NodeId};
+
+/// Number of finger-table entries (the identifier space is `u64`).
+const FINGERS: usize = 64;
+
+/// Per-node routing state.
+#[derive(Debug, Clone)]
+struct NodeState {
+    /// Successor list, nearest first (length = the net's redundancy).
+    successors: Vec<NodeId>,
+    /// The node's predecessor, if known.
+    predecessor: Option<NodeId>,
+    /// Finger table: `fingers[i]` approximates `successor(id + 2^i)`.
+    fingers: Vec<NodeId>,
+    /// Which finger the next maintenance round refreshes.
+    next_finger: usize,
+}
+
+/// Aggregate protocol statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChordStats {
+    /// Simulated protocol messages (joins, stabilization probes,
+    /// finger fixes, lookup hops).
+    pub messages: u64,
+    /// Lookups attempted.
+    pub lookups: u64,
+    /// Lookups that gave up (stale state; retried after stabilization).
+    pub failed_lookups: u64,
+    /// Total lookup hops.
+    pub hops: u64,
+}
+
+/// A Chord network maintained by its own protocol.
+///
+/// # Example
+///
+/// ```
+/// use acn_overlay::{ChordNet, NodeId};
+///
+/// let mut net = ChordNet::bootstrap(&[NodeId(10), NodeId(200), NodeId(3000)], 2);
+/// // Nodes join through the protocol...
+/// net.join(NodeId(77));
+/// for _ in 0..20 {
+///     net.stabilize_round();
+/// }
+/// // ...and lookups route through per-node state.
+/// let (owner, _hops) = net.lookup(NodeId(10), 50).unwrap();
+/// assert_eq!(owner, NodeId(77));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChordNet {
+    nodes: BTreeMap<u64, NodeState>,
+    redundancy: usize,
+    stats: ChordStats,
+}
+
+impl ChordNet {
+    /// Builds a network with perfect initial state from a list of node
+    /// ids (`redundancy` = successor-list length, at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or `redundancy == 0`.
+    #[must_use]
+    pub fn bootstrap(ids: &[NodeId], redundancy: usize) -> Self {
+        assert!(!ids.is_empty(), "bootstrap needs at least one node");
+        assert!(redundancy >= 1, "redundancy must be at least 1");
+        let mut sorted: Vec<NodeId> = ids.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let n = sorted.len();
+        let mut nodes = BTreeMap::new();
+        for (i, &id) in sorted.iter().enumerate() {
+            let successors: Vec<NodeId> =
+                (1..=redundancy.min(n)).map(|k| sorted[(i + k) % n]).collect();
+            let predecessor = Some(sorted[(i + n - 1) % n]);
+            let fingers = (0..FINGERS)
+                .map(|f| {
+                    let target = id.0.wrapping_add(1u64 << f);
+                    // Perfect finger: first node at or after target.
+                    sorted
+                        .iter()
+                        .copied()
+                        .find(|s| s.0 >= target)
+                        .unwrap_or(sorted[0])
+                })
+                .collect();
+            nodes.insert(
+                id.0,
+                NodeState { successors, predecessor, fingers, next_finger: 0 },
+            );
+        }
+        ChordNet { nodes, redundancy, stats: ChordStats::default() }
+    }
+
+    /// Current number of live nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` is live.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node.0)
+    }
+
+    /// Protocol statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> ChordStats {
+        self.stats
+    }
+
+    /// The node's current first *live* successor, pruning dead entries.
+    fn live_successor(&self, node: NodeId) -> Option<NodeId> {
+        let state = self.nodes.get(&node.0)?;
+        state.successors.iter().copied().find(|s| self.nodes.contains_key(&s.0))
+    }
+
+    /// A node joins via the protocol: it asks any live node (we use the
+    /// first) to look up its own id, adopts the owner as successor, and
+    /// copies that successor's fingers as a starting approximation —
+    /// stabilization rounds then make the state exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or the id is already present.
+    pub fn join(&mut self, id: NodeId) {
+        assert!(!self.nodes.is_empty(), "join needs a live network");
+        assert!(!self.contains(id), "node {id} already present");
+        let bootstrap = NodeId(*self.nodes.keys().next().expect("non-empty"));
+        let successor = match self.lookup(bootstrap, id.0) {
+            Some((owner, _)) => owner,
+            // Degenerate staleness: fall back to the bootstrap itself;
+            // stabilization repairs the position.
+            None => bootstrap,
+        };
+        self.stats.messages += 2; // join request + reply
+        let fingers = self.nodes[&successor.0].fingers.clone();
+        self.nodes.insert(
+            id.0,
+            NodeState {
+                successors: vec![successor],
+                predecessor: None,
+                fingers,
+                next_finger: 0,
+            },
+        );
+    }
+
+    /// A node leaves gracefully: it tells its predecessor and successor
+    /// to bridge over it.
+    pub fn leave(&mut self, id: NodeId) {
+        let Some(state) = self.nodes.remove(&id.0) else { return };
+        self.stats.messages += 2;
+        let successor = state
+            .successors
+            .iter()
+            .copied()
+            .find(|s| self.nodes.contains_key(&s.0));
+        if let Some(pred) = state.predecessor.filter(|p| self.nodes.contains_key(&p.0)) {
+            if let (Some(succ), Some(pstate)) = (successor, self.nodes.get_mut(&pred.0)) {
+                pstate.successors.insert(0, succ);
+                pstate.successors.truncate(self.redundancy);
+            }
+        }
+        if let Some(succ) = successor {
+            if let Some(sstate) = self.nodes.get_mut(&succ.0) {
+                if sstate.predecessor == Some(id) {
+                    sstate.predecessor = state.predecessor;
+                }
+            }
+        }
+    }
+
+    /// A node crashes: it vanishes and every pointer to it goes stale.
+    pub fn fail(&mut self, id: NodeId) {
+        self.nodes.remove(&id.0);
+    }
+
+    /// One full maintenance round: every node runs Chord's `stabilize`
+    /// (reconcile with its successor's predecessor), `notify`, successor
+    /// -list refresh, and fixes one finger.
+    pub fn stabilize_round(&mut self) {
+        let ids: Vec<u64> = self.nodes.keys().copied().collect();
+        for id_raw in ids {
+            let id = NodeId(id_raw);
+            if !self.contains(id) {
+                continue;
+            }
+            // stabilize: adopt successor's predecessor if it sits between.
+            let Some(successor) = self.live_successor(id) else {
+                // Successor list entirely dead: recover via the best live
+                // finger (Chord's fallback to any known contact).
+                let fallback = self.nodes[&id_raw]
+                    .fingers
+                    .iter()
+                    .copied()
+                    .find(|f| f.0 != id_raw && self.nodes.contains_key(&f.0));
+                if let Some(f) = fallback {
+                    self.nodes.get_mut(&id_raw).expect("live node").successors = vec![f];
+                } else {
+                    // Isolated node: point at itself (single-node net).
+                    self.nodes.get_mut(&id_raw).expect("live node").successors = vec![id];
+                }
+                continue;
+            };
+            self.stats.messages += 1; // ask successor for its predecessor
+            let mut new_successor = successor;
+            if let Some(p) = self.nodes[&successor.0].predecessor {
+                if self.contains(p)
+                    && p != id
+                    && in_interval(id.0, successor.0.wrapping_sub(1), p.0)
+                {
+                    new_successor = p;
+                }
+            }
+            // notify: tell the successor about us.
+            self.stats.messages += 1;
+            self.notify(id, new_successor);
+            // refresh successor list from the (possibly new) successor.
+            let mut list = vec![new_successor];
+            list.extend(
+                self.nodes[&new_successor.0]
+                    .successors
+                    .iter()
+                    .copied()
+                    .filter(|s| s.0 != id_raw)
+                    .take(self.redundancy - 1),
+            );
+            self.stats.messages += 1;
+            // fix one finger via a real lookup.
+            let next = self.nodes[&id_raw].next_finger;
+            let target = id_raw.wrapping_add(1u64 << next);
+            let fixed = self.lookup(id, target).map(|(owner, _)| owner);
+            let state = self.nodes.get_mut(&id_raw).expect("live node");
+            state.successors = list;
+            state.next_finger = (next + 1) % FINGERS;
+            if let Some(owner) = fixed {
+                state.fingers[next] = owner;
+            }
+        }
+    }
+
+    /// Chord `notify`: `candidate` tells `successor` it might be its
+    /// predecessor.
+    fn notify(&mut self, candidate: NodeId, successor: NodeId) {
+        let contains_pred = |p: Option<NodeId>| match p {
+            None => false,
+            Some(p) => self.nodes.contains_key(&p.0),
+        };
+        let Some(sstate) = self.nodes.get(&successor.0) else { return };
+        let adopt = match sstate.predecessor {
+            Some(p) if contains_pred(Some(p)) && p != successor => {
+                in_interval(p.0, successor.0.wrapping_sub(1), candidate.0)
+            }
+            _ => true,
+        };
+        if adopt && candidate != successor {
+            self.nodes.get_mut(&successor.0).expect("checked").predecessor = Some(candidate);
+        }
+    }
+
+    /// Iterative lookup from `from` using per-node state only. Returns
+    /// the owner and the hop count, or `None` if routing gave up on
+    /// stale state (callers retry after stabilization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a live node.
+    pub fn lookup(&mut self, from: NodeId, key: u64) -> Option<(NodeId, usize)> {
+        assert!(self.contains(from), "lookup from dead node {from}");
+        self.stats.lookups += 1;
+        let mut current = from;
+        let mut hops = 0usize;
+        let budget = 2 * FINGERS + self.nodes.len();
+        loop {
+            // Does the key fall between current and its live successor?
+            let successor = match self.live_successor(current) {
+                Some(s) => s,
+                None => {
+                    self.stats.failed_lookups += 1;
+                    return None;
+                }
+            };
+            if successor == current || in_interval(current.0, successor.0, key) {
+                self.stats.hops += hops as u64;
+                return Some((successor, hops));
+            }
+            // Forward to the closest preceding live contact.
+            let state = &self.nodes[&current.0];
+            let mut next = successor;
+            for &f in state.fingers.iter().rev() {
+                if self.nodes.contains_key(&f.0)
+                    && f != current
+                    && in_interval(current.0, key.wrapping_sub(1), f.0)
+                {
+                    next = f;
+                    break;
+                }
+            }
+            if next == current {
+                self.stats.failed_lookups += 1;
+                return None;
+            }
+            current = next;
+            hops += 1;
+            self.stats.messages += 1;
+            if hops > budget {
+                self.stats.failed_lookups += 1;
+                return None;
+            }
+        }
+    }
+
+    /// Fraction of nodes whose first successor matches the true ring
+    /// order (1.0 = fully converged).
+    #[must_use]
+    pub fn successor_correctness(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 1.0;
+        }
+        let ids: Vec<u64> = self.nodes.keys().copied().collect();
+        let mut correct = 0usize;
+        for (i, &raw) in ids.iter().enumerate() {
+            let truth = NodeId(ids[(i + 1) % ids.len()]);
+            let truth = if ids.len() == 1 { NodeId(raw) } else { truth };
+            if self.live_successor(NodeId(raw)) == Some(truth) {
+                correct += 1;
+            }
+        }
+        correct as f64 / ids.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::splitmix64;
+
+    fn random_ids(n: usize, seed: &mut u64) -> Vec<NodeId> {
+        (0..n).map(|_| NodeId(splitmix64(seed))).collect()
+    }
+
+    #[test]
+    fn bootstrap_is_fully_converged() {
+        let mut seed = 5u64;
+        let ids = random_ids(64, &mut seed);
+        let net = ChordNet::bootstrap(&ids, 3);
+        assert_eq!(net.len(), 64);
+        assert!((net.successor_correctness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_finds_owner_with_log_hops() {
+        let mut seed = 7u64;
+        let ids = random_ids(256, &mut seed);
+        let mut net = ChordNet::bootstrap(&ids, 3);
+        let mut total = 0usize;
+        for t in 0..200 {
+            let from = ids[(splitmix64(&mut seed) as usize) % ids.len()];
+            let key = splitmix64(&mut seed);
+            let (owner, hops) = net.lookup(from, key).expect("converged lookup succeeds");
+            // Verify against ground truth.
+            let mut sorted: Vec<u64> = ids.iter().map(|n| n.0).collect();
+            sorted.sort_unstable();
+            let truth = sorted
+                .iter()
+                .copied()
+                .find(|&s| s >= key)
+                .unwrap_or(sorted[0]);
+            assert_eq!(owner.0, truth, "trial {t}");
+            total += hops;
+        }
+        let avg = total as f64 / 200.0;
+        assert!(avg < 16.0, "average hops too high: {avg}");
+    }
+
+    #[test]
+    fn joins_converge_via_stabilization() {
+        let mut seed = 13u64;
+        let ids = random_ids(16, &mut seed);
+        let mut net = ChordNet::bootstrap(&ids, 3);
+        for _ in 0..16 {
+            net.join(NodeId(splitmix64(&mut seed)));
+        }
+        assert_eq!(net.len(), 32);
+        // Fresh joiners start imperfect; rounds converge.
+        for _ in 0..40 {
+            net.stabilize_round();
+        }
+        assert!(
+            net.successor_correctness() > 0.99,
+            "not converged: {}",
+            net.successor_correctness()
+        );
+        // Lookups are correct after convergence.
+        let live: Vec<NodeId> = (0..6)
+            .map(|_| {
+                let keys: Vec<u64> = net.nodes.keys().copied().collect();
+                NodeId(keys[(splitmix64(&mut seed) as usize) % keys.len()])
+            })
+            .collect();
+        for from in live {
+            let key = splitmix64(&mut seed);
+            assert!(net.lookup(from, key).is_some());
+        }
+    }
+
+    #[test]
+    fn crashes_heal() {
+        let mut seed = 21u64;
+        let ids = random_ids(64, &mut seed);
+        let mut net = ChordNet::bootstrap(&ids, 4);
+        // Crash a quarter of the network without notice.
+        for i in 0..16 {
+            net.fail(ids[i * 3 % ids.len()]);
+        }
+        let before = net.successor_correctness();
+        for _ in 0..80 {
+            net.stabilize_round();
+        }
+        let after = net.successor_correctness();
+        assert!(after > 0.99, "healing failed: {before} -> {after}");
+    }
+
+    #[test]
+    fn graceful_leave_keeps_consistency_high() {
+        let mut seed = 31u64;
+        let ids = random_ids(32, &mut seed);
+        let mut net = ChordNet::bootstrap(&ids, 3);
+        for id in ids.iter().take(8) {
+            net.leave(*id);
+            net.stabilize_round();
+        }
+        for _ in 0..20 {
+            net.stabilize_round();
+        }
+        assert!(net.successor_correctness() > 0.99);
+        assert_eq!(net.len(), 24);
+    }
+
+    #[test]
+    fn churn_storm_converges() {
+        let mut seed = 43u64;
+        let ids = random_ids(48, &mut seed);
+        let mut net = ChordNet::bootstrap(&ids, 4);
+        for round in 0..30 {
+            match splitmix64(&mut seed) % 3 {
+                0 => net.join(NodeId(splitmix64(&mut seed))),
+                1 if net.len() > 8 => {
+                    let keys: Vec<u64> = net.nodes.keys().copied().collect();
+                    net.fail(NodeId(keys[(splitmix64(&mut seed) as usize) % keys.len()]));
+                }
+                _ => {
+                    let keys: Vec<u64> = net.nodes.keys().copied().collect();
+                    let from = NodeId(keys[(splitmix64(&mut seed) as usize) % keys.len()]);
+                    let _ = net.lookup(from, splitmix64(&mut seed));
+                }
+            }
+            net.stabilize_round();
+            let _ = round;
+        }
+        for _ in 0..80 {
+            net.stabilize_round();
+        }
+        assert!(
+            net.successor_correctness() > 0.98,
+            "storm did not converge: {}",
+            net.successor_correctness()
+        );
+        // Lookup stats stayed sane.
+        let stats = net.stats();
+        assert!(stats.lookups > 0);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let mut net = ChordNet::bootstrap(&[NodeId(9)], 2);
+        assert_eq!(net.lookup(NodeId(9), 12345), Some((NodeId(9), 0)));
+        net.stabilize_round();
+        assert_eq!(net.len(), 1);
+    }
+}

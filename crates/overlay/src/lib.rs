@@ -1,0 +1,38 @@
+//! A simulated Chord-style peer-to-peer overlay.
+//!
+//! Two levels of fidelity are provided:
+//!
+//! - [`Ring`] — the *global* view: membership oracle, consistent-hash
+//!   ownership (`h(name) -> node`), successor walks, and hop-counted
+//!   greedy lookups. The counting layer consumes this interface, and
+//!   every query corresponds to an operation a real Chord node performs
+//!   locally or with the counted number of messages.
+//! - [`ChordNet`] — the *protocol* view: per-node successor lists,
+//!   predecessors and finger tables maintained by explicit join /
+//!   stabilization / finger-fixing rounds, with lookups routed through
+//!   possibly-stale local state. This substantiates the paper's model
+//!   assumption (Section 1.4) that such a layer exists and converges.
+//!
+//! # Example
+//!
+//! ```
+//! use acn_overlay::{Ring, NodeId};
+//!
+//! let mut ring = Ring::new();
+//! let mut seed = 42u64;
+//! for _ in 0..100 {
+//!     ring.add_random_node(&mut seed);
+//! }
+//! assert_eq!(ring.len(), 100);
+//! let owner = ring.owner_of_name(7);
+//! assert!(ring.contains(owner));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chord;
+mod ring;
+
+pub use chord::{ChordNet, ChordStats};
+pub use ring::{hash_name, splitmix64, NodeId, Ring};

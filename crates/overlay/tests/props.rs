@@ -1,0 +1,54 @@
+//! Property tests for the overlay ring and Chord protocol.
+
+use acn_overlay::{ChordNet, NodeId, Ring};
+use proptest::prelude::*;
+
+proptest! {
+    /// Finger-table lookups always agree with the ownership oracle.
+    #[test]
+    fn lookup_matches_oracle(
+        ids in proptest::collection::btree_set(any::<u64>(), 1..64),
+        point in any::<u64>(),
+    ) {
+        let mut ring = Ring::new();
+        for &id in &ids {
+            ring.add_node(NodeId(id));
+        }
+        let from = NodeId(*ids.iter().next().unwrap());
+        let (owner, hops) = ring.lookup_hops(from, point);
+        prop_assert_eq!(owner, ring.successor_of_point(point));
+        prop_assert!(hops <= ids.len() + 1);
+    }
+
+    /// Walking all the way around the ring covers the full circumference.
+    #[test]
+    fn walk_distance_full_circle(ids in proptest::collection::btree_set(any::<u64>(), 1..40)) {
+        let mut ring = Ring::new();
+        for &id in &ids {
+            ring.add_node(NodeId(id));
+        }
+        let start = NodeId(*ids.iter().next().unwrap());
+        let d = ring.walk_distance(start, ids.len());
+        prop_assert!((d - 1.0).abs() < 1e-9, "full walk covered {d}");
+    }
+
+    /// A bootstrapped Chord network resolves every key to the oracle
+    /// owner.
+    #[test]
+    fn chord_bootstrap_agrees_with_oracle(
+        ids in proptest::collection::btree_set(any::<u64>(), 2..48),
+        keys in proptest::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let node_ids: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+        let mut net = ChordNet::bootstrap(&node_ids, 3);
+        let mut ring = Ring::new();
+        for &id in &ids {
+            ring.add_node(NodeId(id));
+        }
+        let from = node_ids[0];
+        for key in keys {
+            let (owner, _) = net.lookup(from, key).expect("bootstrap state is perfect");
+            prop_assert_eq!(owner, ring.successor_of_point(key));
+        }
+    }
+}

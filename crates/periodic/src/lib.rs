@@ -1,0 +1,46 @@
+//! An **adaptive PERIODIC counting network** — the paper's generality
+//! claim, made concrete.
+//!
+//! Section 1.2 of *Adaptive Counting Networks* remarks that "the same
+//! technique can be used for any distributed data structure which can be
+//! decomposed in a recursive way". The paper works out the bitonic
+//! network only; this crate transfers the construction to the *other*
+//! classical counting network, `PERIODIC[w]` of Dowd–Perl–Rudolph–Saks
+//! (the one the paper's related-work section mentions alongside the
+//! bitonic), and verifies empirically that the transfer is sound:
+//!
+//! - the recursive decomposition: `PERIODIC[w]` is `log w` `BLOCK[w]`
+//!   networks in sequence; `BLOCK[k]` is a reversal layer `REV[k]`
+//!   followed by two `BLOCK[k/2]`; `REV[k]` (the layer of balancers
+//!   pairing wire `i` with wire `k-1-i`) splits into two pair-group
+//!   halves; width-2 components are balancers;
+//! - every component, whatever its kind, is the same mod-`k` round-robin
+//!   counter as in the bitonic construction;
+//! - any cut of the decomposition tree implements a counting network of
+//!   width `w` (the Theorem 2.1 analogue — checked exhaustively for
+//!   small `w` in this crate's tests and at scale by the `exp_generality`
+//!   harness);
+//! - splits and merges transfer state exactly with the same
+//!   profile-flow technique as `acn-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use acn_periodic::{AdaptivePeriodic, PTree, PId};
+//!
+//! let mut net = AdaptivePeriodic::new(8);
+//! assert_eq!(net.push(3), 0);
+//! assert_eq!(net.push(7), 1);
+//! // Split the root into its three chained BLOCK[8] components.
+//! net.split(&PId::root()).unwrap();
+//! assert_eq!(net.push(0), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod tree;
+
+pub use network::AdaptivePeriodic;
+pub use tree::{PCut, PId, PKind, PTree};

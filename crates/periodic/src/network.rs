@@ -1,0 +1,405 @@
+//! The adaptive periodic network runtime: mod-k components over a cut,
+//! with exact profile-flow split/merge state transfer.
+
+use std::collections::HashMap;
+
+use crate::tree::{PCut, PId, PInfo, POutput, PTree};
+
+/// Tokens a round-robin counter of the given width has emitted on
+/// `port` after `tokens` tokens.
+fn port_emissions(tokens: u64, width: usize, port: usize) -> u64 {
+    (tokens + width as u64 - 1 - port as u64) / width as u64
+}
+
+/// A live component: a mod-`k` counter with its arrival profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PComponent {
+    width: usize,
+    tokens: u64,
+    arrivals: Vec<u64>,
+}
+
+impl PComponent {
+    fn new(width: usize) -> Self {
+        PComponent { width, tokens: 0, arrivals: vec![0; width] }
+    }
+
+    fn process(&mut self, port: usize) -> usize {
+        self.arrivals[port] += 1;
+        let out = (self.tokens % self.width as u64) as usize;
+        self.tokens += 1;
+        out
+    }
+}
+
+/// An adaptive `PERIODIC[w]` counting network in one address space —
+/// the generality demonstration for the paper's Section 1.2 remark.
+///
+/// # Example
+///
+/// ```
+/// use acn_periodic::{AdaptivePeriodic, PId};
+///
+/// let mut net = AdaptivePeriodic::new(8);
+/// // Split the root, then the middle block.
+/// net.split(&PId::root()).unwrap();
+/// net.split(&PId::root().child(1)).unwrap();
+/// for t in 0..20usize {
+///     assert_eq!(net.push(t % 8), t % 8);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptivePeriodic {
+    tree: PTree,
+    cut: PCut,
+    components: HashMap<PId, PComponent>,
+    output_counts: Vec<u64>,
+}
+
+impl AdaptivePeriodic {
+    /// A new network of width `w`, starting as one root component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two or `w < 2`.
+    #[must_use]
+    pub fn new(w: usize) -> Self {
+        Self::with_cut(w, PCut::root())
+    }
+
+    /// A new (zero-token) network over an explicit cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut is invalid for the tree.
+    #[must_use]
+    pub fn with_cut(w: usize, cut: PCut) -> Self {
+        let tree = PTree::new(w);
+        assert!(cut.is_valid(&tree), "invalid cut");
+        let components = cut
+            .leaves()
+            .iter()
+            .map(|id| (id.clone(), PComponent::new(tree.info(id).expect("valid").width)))
+            .collect();
+        AdaptivePeriodic { tree, cut, components, output_counts: vec![0; w] }
+    }
+
+    /// The network width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.tree.width()
+    }
+
+    /// The current cut.
+    #[must_use]
+    pub fn cut(&self) -> &PCut {
+        &self.cut
+    }
+
+    /// Tokens exited per output wire (step sequence in quiescent states).
+    #[must_use]
+    pub fn output_counts(&self) -> &[u64] {
+        &self.output_counts
+    }
+
+    /// Total tokens exited.
+    #[must_use]
+    pub fn total_exited(&self) -> u64 {
+        self.output_counts.iter().sum()
+    }
+
+    /// The cut leaf owning `(node, port)` reached by descending the
+    /// decomposition until a live component is hit.
+    fn resolve_down(&self, mut node: PId, mut port: usize) -> (PId, usize) {
+        loop {
+            if self.cut.contains(&node) {
+                return (node, port);
+            }
+            let info = self.tree.info(&node).expect("valid node");
+            let (child, child_port) = self.tree.input_to_child(&info, port);
+            node = node.child(child as u8);
+            port = child_port;
+        }
+    }
+
+    /// Routes one token from input wire `wire`; returns the output wire.
+    ///
+    /// Quiescent outputs are a deterministic function of per-component
+    /// totals (components are port-blind), so sequential verification
+    /// covers every asynchronous interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= width`.
+    pub fn push(&mut self, wire: usize) -> usize {
+        assert!(wire < self.width(), "input wire out of range");
+        let (mut owner, mut port) = self.resolve_down(PId::root(), wire);
+        loop {
+            let comp = self.components.get_mut(&owner).expect("cut leaf is live");
+            let out = comp.process(port);
+            // Walk up until the wire leaves a parent or exits the net.
+            let mut node = owner;
+            let mut out_port = out;
+            loop {
+                let Some(parent) = node.parent() else {
+                    self.output_counts[out_port] += 1;
+                    return out_port;
+                };
+                let child_index = node.child_index().expect("non-root") as usize;
+                let pinfo = self.tree.info(&parent).expect("valid parent");
+                match self.tree.child_output(&pinfo, child_index, out_port) {
+                    POutput::Sibling { child, port: sibling_port } => {
+                        let (next_owner, next_port) =
+                            self.resolve_down(parent.child(child as u8), sibling_port);
+                        owner = next_owner;
+                        port = next_port;
+                        break;
+                    }
+                    POutput::Parent { port: parent_port } => {
+                        node = parent;
+                        out_port = parent_port;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits leaf `id`, transferring state exactly by flowing the
+    /// arrival profile through the decomposition (children in index
+    /// order, which is topological for every kind).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `id` is not a splittable leaf.
+    pub fn split(&mut self, id: &PId) -> Result<(), String> {
+        if !self.cut.contains(id) {
+            return Err(format!("{id} is not a leaf of the cut"));
+        }
+        let info = self.tree.info(id).expect("leaf is valid");
+        if info.width == 2 {
+            return Err(format!("{id} is a balancer"));
+        }
+        let parent = self.components[id].clone();
+        let arity = info.child_count();
+        let child_infos: Vec<PInfo> = (0..arity as u8)
+            .map(|c| self.tree.info(&id.child(c)).expect("valid child"))
+            .collect();
+        let mut tokens = vec![0u64; arity];
+        let mut profiles: Vec<Vec<u64>> =
+            child_infos.iter().map(|ci| vec![0u64; ci.width]).collect();
+        for (port, &count) in parent.arrivals.iter().enumerate() {
+            let (child, child_port) = self.tree.input_to_child(&info, port);
+            profiles[child][child_port] += count;
+            tokens[child] += count;
+        }
+        for child in 0..arity {
+            let width = child_infos[child].width;
+            for port in 0..width {
+                let sent = port_emissions(tokens[child], width, port);
+                if let POutput::Sibling { child: sibling, port: sibling_port } =
+                    self.tree.child_output(&info, child, port)
+                {
+                    debug_assert!(sibling > child, "flow order violated");
+                    profiles[sibling][sibling_port] += sent;
+                    tokens[sibling] += sent;
+                }
+            }
+        }
+        self.cut.split(&self.tree, id);
+        self.components.remove(id);
+        for (c, (t, profile)) in tokens.into_iter().zip(profiles).enumerate() {
+            let width = child_infos[c].width;
+            self.components.insert(
+                id.child(c as u8),
+                PComponent { width, tokens: t, arrivals: profile },
+            );
+        }
+        Ok(())
+    }
+
+    /// Merges the subtree under `id` back into one component
+    /// (recursively merging deeper descendants first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `id` is a leaf already or not covered
+    /// by the cut.
+    pub fn merge(&mut self, id: &PId) -> Result<(), String> {
+        if self.cut.contains(id) {
+            return Err(format!("{id} is already a leaf"));
+        }
+        let info = self.tree.info(id).ok_or_else(|| format!("{id} is invalid"))?;
+        if info.width == 2 {
+            return Err(format!("{id} is a balancer"));
+        }
+        let children = self.tree.children(id);
+        for child in &children {
+            if !self.cut.contains(child) {
+                self.merge(child)?;
+            }
+        }
+        let mut arrivals = vec![0u64; info.width];
+        for (port, slot) in arrivals.iter_mut().enumerate() {
+            let (child, child_port) = self.tree.input_to_child(&info, port);
+            *slot = self.components[&children[child]].arrivals[child_port];
+        }
+        let tokens: u64 = arrivals.iter().sum();
+        for child in &children {
+            self.components.remove(child);
+        }
+        self.cut.merge(&self.tree, id);
+        self.components
+            .insert(id.clone(), PComponent { width: info.width, tokens, arrivals });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn root_counts() {
+        let mut net = AdaptivePeriodic::new(8);
+        for t in 0..24usize {
+            assert_eq!(net.push((t * 5) % 8), t % 8);
+        }
+    }
+
+    #[test]
+    fn all_cuts_of_p4_count() {
+        let tree = PTree::new(4);
+        for cut in PCut::enumerate_all(&tree) {
+            let mut net = AdaptivePeriodic::with_cut(4, cut.clone());
+            let mut seed = 5u64;
+            for t in 0..32usize {
+                let wire = (lcg(&mut seed) as usize) % 4;
+                assert_eq!(net.push(wire), t % 4, "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_cuts_of_p8_and_p16_count() {
+        for w in [8usize, 16] {
+            let tree = PTree::new(w);
+            let mut seed = w as u64 * 31 + 1;
+            for trial in 0..40 {
+                let mut net = AdaptivePeriodic::new(w);
+                // Random splits to a random cut.
+                for _ in 0..(lcg(&mut seed) % 12) {
+                    let splittable: Vec<PId> = net
+                        .cut()
+                        .leaves()
+                        .iter()
+                        .filter(|l| tree.info(l).map(|i| i.width >= 4).unwrap_or(false))
+                        .cloned()
+                        .collect();
+                    if splittable.is_empty() {
+                        break;
+                    }
+                    let pick = splittable[(lcg(&mut seed) as usize) % splittable.len()].clone();
+                    net.split(&pick).expect("splittable");
+                }
+                for t in 0..4 * w {
+                    let wire = (lcg(&mut seed) as usize) % w;
+                    assert_eq!(net.push(wire), t % w, "w={w} trial={trial} cut {}", net.cut());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_mid_stream_preserves_round_robin() {
+        let w = 8;
+        let root = PId::root();
+        for warmup in 0..2 * w {
+            let mut net = AdaptivePeriodic::new(w);
+            for t in 0..warmup {
+                assert_eq!(net.push(t % w), t % w);
+            }
+            net.split(&root).expect("root splits");
+            net.split(&root.child(0)).expect("block splits");
+            for t in warmup..warmup + 2 * w {
+                assert_eq!(net.push((t * 3) % w), t % w, "warmup={warmup}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_mid_stream_preserves_round_robin() {
+        let w = 8;
+        let root = PId::root();
+        for warmup in 0..2 * w {
+            let mut net = AdaptivePeriodic::new(w);
+            net.split(&root).expect("root splits");
+            net.split(&root.child(2)).expect("last block splits");
+            for t in 0..warmup {
+                assert_eq!(net.push(t % w), t % w);
+            }
+            net.merge(&root).expect("subtree merges");
+            for t in warmup..warmup + 2 * w {
+                assert_eq!(net.push((t * 5) % w), t % w, "warmup={warmup}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconfiguration_storm_keeps_counting() {
+        let w = 16;
+        let tree = PTree::new(w);
+        let mut net = AdaptivePeriodic::new(w);
+        let mut seed = 0xF00Du64;
+        let mut pushed = 0usize;
+        for _ in 0..500 {
+            match lcg(&mut seed) % 4 {
+                0 => {
+                    let splittable: Vec<PId> = net
+                        .cut()
+                        .leaves()
+                        .iter()
+                        .filter(|l| tree.info(l).map(|i| i.width >= 4).unwrap_or(false))
+                        .cloned()
+                        .collect();
+                    if !splittable.is_empty() {
+                        let pick =
+                            splittable[(lcg(&mut seed) as usize) % splittable.len()].clone();
+                        net.split(&pick).expect("splittable");
+                    }
+                }
+                1 => {
+                    let parents: Vec<PId> =
+                        net.cut().leaves().iter().filter_map(|l| l.parent()).collect();
+                    if !parents.is_empty() {
+                        let pick = parents[(lcg(&mut seed) as usize) % parents.len()].clone();
+                        let _ = net.merge(&pick);
+                    }
+                }
+                _ => {
+                    let wire = (lcg(&mut seed) as usize) % w;
+                    assert_eq!(net.push(wire), pushed % w, "after {pushed} pushes");
+                    pushed += 1;
+                }
+            }
+        }
+        assert!(pushed > 100);
+    }
+
+    #[test]
+    fn split_errors() {
+        let mut net = AdaptivePeriodic::new(4);
+        assert!(net.split(&PId::root().child(0)).is_err());
+        net.split(&PId::root()).unwrap();
+        // BLOCK[4] -> REV[4] is splittable; its balancer children are not.
+        let rev = PId::root().child(0).child(0);
+        net.split(&PId::root().child(0)).unwrap();
+        net.split(&rev).unwrap();
+        assert!(net.split(&rev.child(0)).is_err(), "balancers cannot split");
+        assert!(net.merge(&rev.child(0)).is_err());
+    }
+}

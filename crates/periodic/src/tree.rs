@@ -1,0 +1,568 @@
+//! The recursive decomposition tree of `PERIODIC[w]`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Component kinds of the periodic decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PKind {
+    /// The whole `PERIODIC[w]` network (root only).
+    Periodic,
+    /// A `BLOCK[k]` network: a reversal layer followed by two half
+    /// blocks.
+    Block,
+    /// A pair-group of the reversal layer: the balancers joining wire
+    /// `i` with wire `k-1-i`.
+    Rev,
+}
+
+impl PKind {
+    /// Short tag used in display output.
+    #[must_use]
+    pub fn tag(self) -> char {
+        match self {
+            PKind::Periodic => 'P',
+            PKind::Block => 'B',
+            PKind::Rev => 'R',
+        }
+    }
+}
+
+/// Identifier of a periodic component: its path from the root.
+///
+/// (The bitonic crate's `ComponentId` caps child indices at 6; the
+/// periodic root has `log2 w` children, so the type is separate.)
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PId {
+    path: Vec<u8>,
+}
+
+impl PId {
+    /// The root component, `PERIODIC[w]`.
+    #[must_use]
+    pub fn root() -> Self {
+        PId { path: Vec::new() }
+    }
+
+    /// Builds an identifier from a path of child indices.
+    #[must_use]
+    pub fn from_path(path: impl Into<Vec<u8>>) -> Self {
+        PId { path: path.into() }
+    }
+
+    /// The path of child indices.
+    #[must_use]
+    pub fn path(&self) -> &[u8] {
+        &self.path
+    }
+
+    /// The level in the tree (root = 0).
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The `index`-th child.
+    #[must_use]
+    pub fn child(&self, index: u8) -> Self {
+        let mut path = self.path.clone();
+        path.push(index);
+        PId { path }
+    }
+
+    /// The parent, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<Self> {
+        if self.path.is_empty() {
+            return None;
+        }
+        let mut path = self.path.clone();
+        path.pop();
+        Some(PId { path })
+    }
+
+    /// The child index within the parent.
+    #[must_use]
+    pub fn child_index(&self) -> Option<u8> {
+        self.path.last().copied()
+    }
+
+    /// Whether `self` is a proper ancestor of `other`.
+    #[must_use]
+    pub fn is_ancestor_of(&self, other: &PId) -> bool {
+        self.path.len() < other.path.len() && other.path.starts_with(&self.path)
+    }
+}
+
+impl fmt::Display for PId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            return f.write_str("/");
+        }
+        for step in &self.path {
+            write!(f, "/{step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolved node information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PInfo {
+    /// The node's kind.
+    pub kind: PKind,
+    /// Its width (number of input/output wires).
+    pub width: usize,
+    /// Its level (root = 0).
+    pub level: usize,
+}
+
+impl PInfo {
+    /// Number of children in the tree (0 for width-2 leaves).
+    #[must_use]
+    pub fn child_count(&self) -> usize {
+        if self.width == 2 {
+            return 0;
+        }
+        match self.kind {
+            PKind::Periodic => self.width.trailing_zeros() as usize,
+            PKind::Block => 3,
+            PKind::Rev => 2,
+        }
+    }
+}
+
+/// Where a child's output wire leads within its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum POutput {
+    /// Into input `port` of sibling number `child`.
+    Sibling {
+        /// Sibling child index.
+        child: usize,
+        /// Sibling input port.
+        port: usize,
+    },
+    /// Out of the parent on `port`.
+    Parent {
+        /// Parent output port.
+        port: usize,
+    },
+}
+
+/// The decomposition tree of `PERIODIC[w]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PTree {
+    width: usize,
+}
+
+impl PTree {
+    /// The tree for `PERIODIC[width]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two or `width < 2`.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(
+            width >= 2 && width.is_power_of_two(),
+            "width must be a power of two >= 2, got {width}"
+        );
+        PTree { width }
+    }
+
+    /// The network width `w`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Resolves an identifier, or `None` if the path is invalid.
+    #[must_use]
+    pub fn info(&self, id: &PId) -> Option<PInfo> {
+        let mut kind = PKind::Periodic;
+        let mut width = self.width;
+        for (level, &step) in id.path().iter().enumerate() {
+            if width == 2 {
+                return None; // leaves have no children
+            }
+            let arity = PInfo { kind, width, level }.child_count();
+            if usize::from(step) >= arity {
+                return None;
+            }
+            match kind {
+                PKind::Periodic => {
+                    kind = PKind::Block; // width unchanged
+                }
+                PKind::Block => {
+                    if step == 0 {
+                        kind = PKind::Rev; // width unchanged
+                    } else {
+                        width /= 2; // half blocks
+                    }
+                }
+                PKind::Rev => {
+                    width /= 2;
+                }
+            }
+        }
+        Some(PInfo { kind, width, level: id.level() })
+    }
+
+    /// The children of `id` (empty for leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is invalid.
+    #[must_use]
+    pub fn children(&self, id: &PId) -> Vec<PId> {
+        let info = self.info(id).expect("invalid id");
+        (0..info.child_count() as u8).map(|c| id.child(c)).collect()
+    }
+
+    /// Maps input port `port` of a decomposed node to
+    /// `(child index, child port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a leaf or `port` is out of range.
+    #[must_use]
+    pub fn input_to_child(&self, info: &PInfo, port: usize) -> (usize, usize) {
+        assert!(info.width >= 4, "leaves are not decomposable");
+        assert!(port < info.width, "port out of range");
+        let k = info.width;
+        match info.kind {
+            // All input wires enter the first block.
+            PKind::Periodic => (0, port),
+            // All input wires enter the reversal layer (child 0).
+            PKind::Block => (0, port),
+            // Pair split: outer pairs to child 0, inner pairs to child 1,
+            // preserving each child's own pair structure.
+            PKind::Rev => {
+                let quarter = k / 4;
+                if port < quarter {
+                    (0, port)
+                } else if port < 3 * quarter {
+                    (1, port - quarter)
+                } else {
+                    (0, port - k / 2)
+                }
+            }
+        }
+    }
+
+    /// Maps output `port` of child number `child` of a decomposed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a leaf, or `child`/`port` are out of range.
+    #[must_use]
+    pub fn child_output(&self, info: &PInfo, child: usize, port: usize) -> POutput {
+        assert!(info.width >= 4, "leaves are not decomposable");
+        let arity = info.child_count();
+        assert!(child < arity, "child out of range");
+        let k = info.width;
+        match info.kind {
+            // Blocks chain: block i feeds block i+1; the last block's
+            // outputs are the network outputs.
+            PKind::Periodic => {
+                assert!(port < k, "port out of range");
+                if child + 1 < arity {
+                    POutput::Sibling { child: child + 1, port }
+                } else {
+                    POutput::Parent { port }
+                }
+            }
+            PKind::Block => {
+                match child {
+                    // Reversal layer output wire q feeds the half blocks.
+                    0 => {
+                        assert!(port < k, "port out of range");
+                        if port < k / 2 {
+                            POutput::Sibling { child: 1, port }
+                        } else {
+                            POutput::Sibling { child: 2, port: port - k / 2 }
+                        }
+                    }
+                    1 => {
+                        assert!(port < k / 2, "port out of range");
+                        POutput::Parent { port }
+                    }
+                    _ => {
+                        assert!(port < k / 2, "port out of range");
+                        POutput::Parent { port: k / 2 + port }
+                    }
+                }
+            }
+            // Rev children output on their own wires (inverse of the
+            // input split).
+            PKind::Rev => {
+                let quarter = k / 4;
+                assert!(port < k / 2, "port out of range");
+                match child {
+                    0 => {
+                        if port < quarter {
+                            POutput::Parent { port }
+                        } else {
+                            POutput::Parent { port: port + k / 2 }
+                        }
+                    }
+                    _ => POutput::Parent { port: quarter + port },
+                }
+            }
+        }
+    }
+}
+
+/// A cut of the periodic decomposition tree: an antichain of components
+/// covering every root-to-leaf path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PCut {
+    leaves: BTreeSet<PId>,
+}
+
+impl Default for PCut {
+    fn default() -> Self {
+        PCut::root()
+    }
+}
+
+impl PCut {
+    /// The trivial cut (the whole network as one component).
+    #[must_use]
+    pub fn root() -> Self {
+        let mut leaves = BTreeSet::new();
+        leaves.insert(PId::root());
+        PCut { leaves }
+    }
+
+    /// The leaf components.
+    #[must_use]
+    pub fn leaves(&self) -> &BTreeSet<PId> {
+        &self.leaves
+    }
+
+    /// Whether `id` is a leaf of the cut.
+    #[must_use]
+    pub fn contains(&self, id: &PId) -> bool {
+        self.leaves.contains(id)
+    }
+
+    /// Splits leaf `id` into its children. Returns the children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a splittable leaf of the cut.
+    pub fn split(&mut self, tree: &PTree, id: &PId) -> Vec<PId> {
+        assert!(self.leaves.contains(id), "{id} is not a leaf of the cut");
+        let children = tree.children(id);
+        assert!(!children.is_empty(), "{id} is a balancer");
+        self.leaves.remove(id);
+        for c in &children {
+            self.leaves.insert(c.clone());
+        }
+        children
+    }
+
+    /// Merges the children of `id` back into `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every child of `id` is a leaf of the cut.
+    pub fn merge(&mut self, tree: &PTree, id: &PId) {
+        let children = tree.children(id);
+        assert!(
+            !children.is_empty() && children.iter().all(|c| self.leaves.contains(c)),
+            "children of {id} are not all leaves"
+        );
+        for c in &children {
+            self.leaves.remove(c);
+        }
+        self.leaves.insert(id.clone());
+    }
+
+    /// Validates the antichain-cover property.
+    #[must_use]
+    pub fn is_valid(&self, tree: &PTree) -> bool {
+        if !self.leaves.iter().all(|l| tree.info(l).is_some()) {
+            return false;
+        }
+        fn walk(tree: &PTree, cut: &BTreeSet<PId>, id: &PId) -> bool {
+            if cut.contains(id) {
+                return !cut.iter().any(|l| id.is_ancestor_of(l));
+            }
+            let info = tree.info(id).expect("validated above");
+            if info.width == 2 {
+                return false;
+            }
+            (0..info.child_count() as u8).all(|c| walk(tree, cut, &id.child(c)))
+        }
+        walk(tree, &self.leaves, &PId::root())
+    }
+
+    /// Enumerates all cuts (use only for `w <= 8`; the count explodes).
+    #[must_use]
+    pub fn enumerate_all(tree: &PTree) -> Vec<PCut> {
+        fn cuts_below(tree: &PTree, id: &PId) -> Vec<Vec<PId>> {
+            let info = tree.info(id).expect("valid node");
+            let mut all = vec![vec![id.clone()]];
+            if info.width > 2 {
+                let mut product: Vec<Vec<PId>> = vec![Vec::new()];
+                for c in 0..info.child_count() as u8 {
+                    let choices = cuts_below(tree, &id.child(c));
+                    let mut next = Vec::new();
+                    for base in &product {
+                        for choice in &choices {
+                            let mut combined = base.clone();
+                            combined.extend(choice.iter().cloned());
+                            next.push(combined);
+                        }
+                    }
+                    product = next;
+                }
+                all.extend(product);
+            }
+            all
+        }
+        cuts_below(tree, &PId::root())
+            .into_iter()
+            .map(|leaves| PCut { leaves: leaves.into_iter().collect() })
+            .collect()
+    }
+}
+
+impl fmt::Display for PCut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{leaf}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_kinds_and_widths() {
+        let tree = PTree::new(8);
+        let root = PId::root();
+        let info = tree.info(&root).unwrap();
+        assert_eq!((info.kind, info.width, info.child_count()), (PKind::Periodic, 8, 3));
+        // Block children keep the width.
+        let block = root.child(1);
+        let info = tree.info(&block).unwrap();
+        assert_eq!((info.kind, info.width, info.child_count()), (PKind::Block, 8, 3));
+        // The block's reversal layer keeps the width; halves halve it.
+        let rev = block.child(0);
+        let info = tree.info(&rev).unwrap();
+        assert_eq!((info.kind, info.width), (PKind::Rev, 8));
+        let half = block.child(2);
+        let info = tree.info(&half).unwrap();
+        assert_eq!((info.kind, info.width), (PKind::Block, 4));
+        // Invalid child indices.
+        assert!(tree.info(&root.child(3)).is_none());
+        assert!(tree.info(&rev.child(2)).is_none());
+    }
+
+    #[test]
+    fn rev_port_maps_are_bijective_and_self_inverse() {
+        let tree = PTree::new(16);
+        for k in [4usize, 8, 16] {
+            let info = PInfo { kind: PKind::Rev, width: k, level: 0 };
+            let mut seen = std::collections::HashSet::new();
+            for p in 0..k {
+                let (c, q) = tree.input_to_child(&info, p);
+                assert!(seen.insert((c, q)), "k={k} p={p} collides");
+                // Output map is the inverse: the child's wire is the
+                // parent's wire.
+                match tree.child_output(&info, c, q) {
+                    POutput::Parent { port } => assert_eq!(port, p, "k={k}"),
+                    POutput::Sibling { .. } => panic!("rev children have no siblings"),
+                }
+            }
+            assert_eq!(seen.len(), k);
+        }
+    }
+
+    #[test]
+    fn rev_children_preserve_pair_structure() {
+        // Pair (j, k-1-j) must land on child ports (j', k/2-1-j').
+        let tree = PTree::new(16);
+        let k = 16;
+        let info = PInfo { kind: PKind::Rev, width: k, level: 0 };
+        for j in 0..k / 2 {
+            let (c1, q1) = tree.input_to_child(&info, j);
+            let (c2, q2) = tree.input_to_child(&info, k - 1 - j);
+            assert_eq!(c1, c2, "pair ({j},{}) split across children", k - 1 - j);
+            assert_eq!(q2, k / 2 - 1 - q1, "pair structure broken at {j}");
+        }
+    }
+
+    #[test]
+    fn block_and_periodic_wiring_cover_everything() {
+        let tree = PTree::new(8);
+        for (kind, arity) in [(PKind::Periodic, 3usize), (PKind::Block, 3)] {
+            let info = PInfo { kind, width: 8, level: 0 };
+            let mut fed = std::collections::HashSet::new();
+            for p in 0..8 {
+                fed.insert(tree.input_to_child(&info, p));
+            }
+            let mut parent_out = std::collections::HashSet::new();
+            for child in 0..arity {
+                let child_width = match (kind, child) {
+                    (PKind::Block, 1 | 2) => 4,
+                    _ => 8,
+                };
+                for q in 0..child_width {
+                    match tree.child_output(&info, child, q) {
+                        POutput::Sibling { child: c, port } => {
+                            assert!(fed.insert((c, port)), "{kind:?} double-feeds ({c},{port})");
+                        }
+                        POutput::Parent { port } => {
+                            assert!(parent_out.insert(port));
+                        }
+                    }
+                }
+            }
+            assert_eq!(parent_out.len(), 8, "{kind:?} outputs");
+        }
+    }
+
+    #[test]
+    fn cut_split_merge_roundtrip() {
+        let tree = PTree::new(8);
+        let mut cut = PCut::root();
+        let root = PId::root();
+        let children = cut.split(&tree, &root);
+        assert_eq!(children.len(), 3);
+        assert!(cut.is_valid(&tree));
+        cut.split(&tree, &root.child(1));
+        assert!(cut.is_valid(&tree));
+        cut.merge(&tree, &root.child(1));
+        cut.merge(&tree, &root);
+        assert_eq!(cut, PCut::root());
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        // cuts(BLOCK[2]) = 1; cuts(REV[4]) = 2; cuts(BLOCK[4]) = 1 + 2 = 3;
+        // cuts(REVGROUP[4]) = 2, cuts(REV[8]) = 1 + 4 = 5;
+        // cuts(BLOCK[8]) = 1 + 5*3*3 = 46; cuts(P[8]) = 1 + 46^3 = 97337.
+        let t4 = PTree::new(4);
+        assert_eq!(PCut::enumerate_all(&t4).len(), 1 + 3 * 3);
+        for cut in PCut::enumerate_all(&t4) {
+            assert!(cut.is_valid(&t4), "{cut:?}");
+        }
+    }
+
+    #[test]
+    fn p4_root_has_two_blocks() {
+        let tree = PTree::new(4);
+        assert_eq!(tree.info(&PId::root()).unwrap().child_count(), 2);
+    }
+}

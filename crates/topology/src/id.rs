@@ -1,0 +1,262 @@
+//! Path-based component identifiers.
+
+use std::fmt;
+
+use crate::kind::ComponentKind;
+
+/// Identifier of a component: its path from the root of `T_w`.
+///
+/// The root (`BITONIC[w]`) has the empty path. Each step of the path is a
+/// child index (`0..arity` of the parent's kind; see
+/// [`ComponentKind::arity`]). The identifier is *width independent*: the
+/// same path names a component in every tree deep enough to contain it.
+///
+/// Identifiers order lexicographically by path, which coincides with the
+/// pre-order traversal order of `T_w` among comparable nodes; the paper's
+/// pre-order *name* of a component is computed by [`Tree::preorder_index`].
+///
+/// [`Tree::preorder_index`]: crate::Tree::preorder_index
+///
+/// # Example
+///
+/// ```
+/// use acn_topology::ComponentId;
+///
+/// let root = ComponentId::root();
+/// let child = root.child(2); // the top MERGER[w/2]
+/// assert_eq!(child.level(), 1);
+/// assert_eq!(child.parent(), Some(root));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ComponentId {
+    path: Vec<u8>,
+}
+
+impl ComponentId {
+    /// The root component, `BITONIC[w]`.
+    #[must_use]
+    pub fn root() -> Self {
+        ComponentId { path: Vec::new() }
+    }
+
+    /// Builds an identifier directly from a path of child indices.
+    ///
+    /// The path is not validated against any particular tree; use
+    /// [`Tree::info`] to check validity for a given width.
+    ///
+    /// [`Tree::info`]: crate::Tree::info
+    #[must_use]
+    pub fn from_path(path: impl Into<Vec<u8>>) -> Self {
+        ComponentId { path: path.into() }
+    }
+
+    /// The path of child indices from the root.
+    #[must_use]
+    pub fn path(&self) -> &[u8] {
+        &self.path
+    }
+
+    /// The level of this component in `T_w` (the root is at level 0).
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Whether this is the root component.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// The identifier of the `index`-th child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 6` (no component kind has more children).
+    #[must_use]
+    pub fn child(&self, index: u8) -> Self {
+        assert!(index < 6, "child index {index} out of range");
+        let mut path = self.path.clone();
+        path.push(index);
+        ComponentId { path }
+    }
+
+    /// The identifier of the parent, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<Self> {
+        if self.path.is_empty() {
+            return None;
+        }
+        let mut path = self.path.clone();
+        path.pop();
+        Some(ComponentId { path })
+    }
+
+    /// The child index of this component within its parent, or `None` for
+    /// the root.
+    #[must_use]
+    pub fn child_index(&self) -> Option<u8> {
+        self.path.last().copied()
+    }
+
+    /// Whether `self` is an ancestor of `other` (a proper prefix of its
+    /// path). A component is not its own ancestor.
+    #[must_use]
+    pub fn is_ancestor_of(&self, other: &ComponentId) -> bool {
+        self.path.len() < other.path.len() && other.path.starts_with(&self.path)
+    }
+
+    /// Iterator over all ancestors from the parent up to the root.
+    pub fn ancestors(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        (0..self.path.len())
+            .rev()
+            .map(|len| ComponentId::from_path(&self.path[..len]))
+    }
+
+    /// The kind of the component this path names (independent of width).
+    ///
+    /// Returns `None` if the path is not a valid descent (a child index
+    /// exceeds the arity of the kind at that point).
+    #[must_use]
+    pub fn kind(&self) -> Option<ComponentKind> {
+        let mut kind = ComponentKind::Bitonic;
+        for &step in &self.path {
+            kind = kind.child_kind(step as usize)?;
+        }
+        Some(kind)
+    }
+
+    /// Packs the path into a `u64` for hashing and wire formats.
+    ///
+    /// Encoding: base-7 digits (child index + 1), most significant first.
+    /// Unique for paths of length at most 22, which covers every practical
+    /// width (`w` up to `2^23`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is longer than 22 steps.
+    #[must_use]
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.path.len() <= 22, "path too long to pack into u64");
+        self.path
+            .iter()
+            .fold(0u64, |acc, &c| acc * 7 + u64::from(c) + 1)
+    }
+
+    /// Inverse of [`to_u64`](ComponentId::to_u64).
+    #[must_use]
+    pub fn from_u64(mut packed: u64) -> Self {
+        let mut rev = Vec::new();
+        while packed != 0 {
+            rev.push((packed % 7) as u8 - 1);
+            packed /= 7;
+        }
+        rev.reverse();
+        ComponentId { path: rev }
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            return f.write_str("/");
+        }
+        for step in &self.path {
+            write!(f, "/{step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let root = ComponentId::root();
+        assert!(root.is_root());
+        assert_eq!(root.level(), 0);
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.child_index(), None);
+        assert_eq!(root.kind(), Some(ComponentKind::Bitonic));
+        assert_eq!(root.to_string(), "/");
+    }
+
+    #[test]
+    fn child_and_parent_roundtrip() {
+        let id = ComponentId::root().child(3).child(2).child(1);
+        assert_eq!(id.level(), 3);
+        assert_eq!(id.child_index(), Some(1));
+        assert_eq!(id.parent().unwrap().path(), &[3, 2]);
+        assert_eq!(id.to_string(), "/3/2/1");
+    }
+
+    #[test]
+    fn kind_follows_path() {
+        // Bitonic -> child 2 is a Merger -> its child 2 is a Mix.
+        let id = ComponentId::from_path(vec![2, 2]);
+        assert_eq!(id.kind(), Some(ComponentKind::Mix));
+        // Mix has arity 2, so child index 3 is invalid below it.
+        let bad = ComponentId::from_path(vec![2, 2, 3]);
+        assert_eq!(bad.kind(), None);
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let a = ComponentId::from_path(vec![1]);
+        let b = ComponentId::from_path(vec![1, 2]);
+        let c = ComponentId::from_path(vec![2, 2]);
+        assert!(a.is_ancestor_of(&b));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&c));
+        assert!(ComponentId::root().is_ancestor_of(&c));
+    }
+
+    #[test]
+    fn ancestors_iterates_to_root() {
+        let id = ComponentId::from_path(vec![0, 2, 1]);
+        let anc: Vec<String> = id.ancestors().map(|a| a.to_string()).collect();
+        assert_eq!(anc, ["/0/2", "/0", "/"]);
+    }
+
+    #[test]
+    fn u64_packing_roundtrip() {
+        let ids = [
+            ComponentId::root(),
+            ComponentId::from_path(vec![0]),
+            ComponentId::from_path(vec![5]),
+            ComponentId::from_path(vec![5, 1, 0, 1, 1]),
+            ComponentId::from_path(vec![0; 22]),
+        ];
+        for id in &ids {
+            assert_eq!(&ComponentId::from_u64(id.to_u64()), id);
+        }
+    }
+
+    #[test]
+    fn u64_packing_unique_for_small_paths() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        // All paths of length <= 4 over alphabet 0..6.
+        let mut stack = vec![ComponentId::root()];
+        while let Some(id) = stack.pop() {
+            assert!(seen.insert(id.to_u64()), "collision for {id}");
+            if id.level() < 4 {
+                for c in 0..6 {
+                    stack.push(id.child(c));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 1 + 6 + 36 + 216 + 1296);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = ComponentId::from_path(vec![0]);
+        let b = ComponentId::from_path(vec![0, 1]);
+        let c = ComponentId::from_path(vec![1]);
+        assert!(a < b && b < c);
+    }
+}

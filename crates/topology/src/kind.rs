@@ -1,0 +1,141 @@
+//! Component kinds of the bitonic decomposition.
+
+use std::fmt;
+
+/// The kind of a component in the decomposition tree `T_w`.
+///
+/// The paper (Section 2.1) decomposes `BITONIC[k]` into six smaller
+/// components: two `BITONIC[k/2]`, two `MERGER[k/2]` and two `MIX[k/2]`.
+/// `MERGER[k]` decomposes into two `MERGER[k/2]` and two `MIX[k/2]`, and
+/// `MIX[k]` into two `MIX[k/2]`. Width-2 components of every kind are
+/// single balancers and are the leaves of `T_w`.
+///
+/// # Example
+///
+/// ```
+/// use acn_topology::ComponentKind;
+///
+/// assert_eq!(ComponentKind::Bitonic.arity(), 6);
+/// assert_eq!(ComponentKind::Merger.arity(), 4);
+/// assert_eq!(ComponentKind::Mix.arity(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentKind {
+    /// A `BITONIC[k]` counting (sub)network.
+    Bitonic,
+    /// A `MERGER[k]` network merging two step-property sequences.
+    Merger,
+    /// A `MIX[k]` network: a single layer of `k/2` balancers.
+    Mix,
+}
+
+impl ComponentKind {
+    /// Number of children a non-leaf node of this kind has in `T_w`.
+    ///
+    /// Children are ordered as follows (indices used by [`child_kind`]):
+    ///
+    /// - `Bitonic`: `[BitonicTop, BitonicBottom, MergerTop, MergerBottom,
+    ///   MixTop, MixBottom]`
+    /// - `Merger`: `[MergerTop, MergerBottom, MixTop, MixBottom]`
+    /// - `Mix`: `[MixTop, MixBottom]`
+    ///
+    /// [`child_kind`]: ComponentKind::child_kind
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            ComponentKind::Bitonic => 6,
+            ComponentKind::Merger => 4,
+            ComponentKind::Mix => 2,
+        }
+    }
+
+    /// The kind of the `index`-th child of a node of this kind.
+    ///
+    /// Returns `None` if `index >= self.arity()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use acn_topology::ComponentKind;
+    ///
+    /// assert_eq!(
+    ///     ComponentKind::Bitonic.child_kind(2),
+    ///     Some(ComponentKind::Merger)
+    /// );
+    /// assert_eq!(ComponentKind::Mix.child_kind(2), None);
+    /// ```
+    #[must_use]
+    pub fn child_kind(self, index: usize) -> Option<ComponentKind> {
+        match (self, index) {
+            (ComponentKind::Bitonic, 0 | 1) => Some(ComponentKind::Bitonic),
+            (ComponentKind::Bitonic, 2 | 3) => Some(ComponentKind::Merger),
+            (ComponentKind::Bitonic, 4 | 5) => Some(ComponentKind::Mix),
+            (ComponentKind::Merger, 0 | 1) => Some(ComponentKind::Merger),
+            (ComponentKind::Merger, 2 | 3) => Some(ComponentKind::Mix),
+            (ComponentKind::Mix, 0 | 1) => Some(ComponentKind::Mix),
+            _ => None,
+        }
+    }
+
+    /// Short uppercase tag used in component names (`B`, `M`, `X`).
+    #[must_use]
+    pub fn tag(self) -> char {
+        match self {
+            ComponentKind::Bitonic => 'B',
+            ComponentKind::Merger => 'M',
+            ComponentKind::Mix => 'X',
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ComponentKind::Bitonic => "BITONIC",
+            ComponentKind::Merger => "MERGER",
+            ComponentKind::Mix => "MIX",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_paper() {
+        // Paper Section 2.1: six, four and two children respectively.
+        assert_eq!(ComponentKind::Bitonic.arity(), 6);
+        assert_eq!(ComponentKind::Merger.arity(), 4);
+        assert_eq!(ComponentKind::Mix.arity(), 2);
+    }
+
+    #[test]
+    fn child_kinds_follow_decomposition() {
+        use ComponentKind::*;
+        let b: Vec<_> = (0..6).map(|i| Bitonic.child_kind(i).unwrap()).collect();
+        assert_eq!(b, [Bitonic, Bitonic, Merger, Merger, Mix, Mix]);
+        let m: Vec<_> = (0..4).map(|i| Merger.child_kind(i).unwrap()).collect();
+        assert_eq!(m, [Merger, Merger, Mix, Mix]);
+        let x: Vec<_> = (0..2).map(|i| Mix.child_kind(i).unwrap()).collect();
+        assert_eq!(x, [Mix, Mix]);
+    }
+
+    #[test]
+    fn child_kind_out_of_range_is_none() {
+        assert_eq!(ComponentKind::Bitonic.child_kind(6), None);
+        assert_eq!(ComponentKind::Merger.child_kind(4), None);
+        assert_eq!(ComponentKind::Mix.child_kind(2), None);
+    }
+
+    #[test]
+    fn display_and_tag() {
+        assert_eq!(ComponentKind::Bitonic.to_string(), "BITONIC");
+        assert_eq!(ComponentKind::Merger.to_string(), "MERGER");
+        assert_eq!(ComponentKind::Mix.to_string(), "MIX");
+        assert_eq!(ComponentKind::Bitonic.tag(), 'B');
+        assert_eq!(ComponentKind::Merger.tag(), 'M');
+        assert_eq!(ComponentKind::Mix.tag(), 'X');
+    }
+}

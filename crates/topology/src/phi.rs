@@ -1,0 +1,150 @@
+//! The level-count function `phi` of the decomposition tree.
+//!
+//! The paper (Section 3, "Notation") defines `phi(l)` as the number of
+//! components at level `l` of `T_w`. The counts follow the linear
+//! recurrence induced by the decomposition arities and are independent of
+//! `w` as long as `l <= log2(w) - 1`; we compute them for the unbounded
+//! tree, which is what the splitting/merging rules consume.
+
+/// Largest level for which [`phi`] is exactly representable; `phi` grows
+/// like `6^l`, so values beyond this level saturate `u128`.
+pub const PHI_MAX_LEVEL: usize = 45;
+
+/// Number of components at level `level` of the (unbounded) decomposition
+/// tree: `phi(0) = 1`, `phi(1) = 6`, `phi(2) = 24`, ...
+///
+/// Saturates at `u128::MAX` beyond [`PHI_MAX_LEVEL`].
+///
+/// # Example
+///
+/// ```
+/// use acn_topology::phi;
+///
+/// assert_eq!(phi(0), 1);
+/// assert_eq!(phi(1), 6);
+/// assert_eq!(phi(2), 24);
+/// ```
+#[must_use]
+pub fn phi(level: usize) -> u128 {
+    let (b, m, x) = counts_at(level);
+    b.saturating_add(m).saturating_add(x)
+}
+
+/// The (bitonic, merger, mix) population at a level of the unbounded tree.
+fn counts_at(level: usize) -> (u128, u128, u128) {
+    let mut b: u128 = 1;
+    let mut m: u128 = 0;
+    let mut x: u128 = 0;
+    for _ in 0..level.min(PHI_MAX_LEVEL + 1) {
+        // Each Bitonic spawns 2 Bitonic, 2 Merger, 2 Mix; each Merger
+        // spawns 2 Merger, 2 Mix; each Mix spawns 2 Mix.
+        let nb = b.saturating_mul(2);
+        let nm = b.saturating_mul(2).saturating_add(m.saturating_mul(2));
+        let nx = b
+            .saturating_mul(2)
+            .saturating_add(m.saturating_mul(2))
+            .saturating_add(x.saturating_mul(2));
+        b = nb;
+        m = nm;
+        x = nx;
+    }
+    if level > PHI_MAX_LEVEL {
+        (u128::MAX / 4, u128::MAX / 4, u128::MAX / 4)
+    } else {
+        (b, m, x)
+    }
+}
+
+/// The largest level `k` such that `phi(k) < n` (the paper's local level
+/// estimate given a size estimate `n`, and the definition of the ideal
+/// level `l*` given the true size `N`).
+///
+/// Returns 0 when `n <= 1` (no level satisfies `phi(k) < n`; the network
+/// then stays a single root component).
+///
+/// # Example
+///
+/// ```
+/// use acn_topology::level_for_size;
+///
+/// assert_eq!(level_for_size(1), 0);
+/// assert_eq!(level_for_size(2), 0);  // phi(0) = 1 < 2, phi(1) = 6 >= 2
+/// assert_eq!(level_for_size(7), 1);  // phi(1) = 6 < 7
+/// assert_eq!(level_for_size(25), 2); // phi(2) = 24 < 25
+/// ```
+#[must_use]
+pub fn level_for_size(n: u128) -> usize {
+    let mut level = 0;
+    while phi(level + 1) < n {
+        level += 1;
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComponentId, NodeInfo, Tree};
+
+    #[test]
+    fn first_values_match_paper() {
+        // Paper: phi(0) = 1, phi(1) = 6, phi(2) = 24.
+        assert_eq!(phi(0), 1);
+        assert_eq!(phi(1), 6);
+        assert_eq!(phi(2), 24);
+    }
+
+    #[test]
+    fn fact_1_growth_bounds() {
+        // Paper Fact 1: 2*phi(k) <= phi(k+1) <= 6*phi(k).
+        for k in 0..30 {
+            assert!(phi(k + 1) >= 2 * phi(k), "lower bound fails at {k}");
+            assert!(phi(k + 1) <= 6 * phi(k), "upper bound fails at {k}");
+        }
+    }
+
+    #[test]
+    fn phi_matches_explicit_tree_enumeration() {
+        let tree = Tree::new(64); // levels 0..=5
+        for level in 0..=tree.max_level() {
+            let count = tree
+                .iter_preorder()
+                .filter(|n: &NodeInfo| n.level == level)
+                .count() as u128;
+            assert_eq!(count, phi(level), "level {level}");
+        }
+    }
+
+    #[test]
+    fn level_for_size_is_monotone_and_tight() {
+        let mut prev = level_for_size(1);
+        for n in 2..=100_000u128 {
+            let l = level_for_size(n);
+            assert!(l >= prev);
+            assert!(phi(l) < n || l == 0);
+            assert!(phi(l + 1) >= n);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn saturation_does_not_panic() {
+        assert!(phi(PHI_MAX_LEVEL + 10) > phi(30));
+        // level_for_size on huge inputs terminates.
+        assert!(level_for_size(u128::MAX / 2) <= PHI_MAX_LEVEL + 2);
+    }
+
+    #[test]
+    fn phi_counts_components_not_balancers() {
+        // Sanity: level counts of T_w coincide with the unbounded tree for
+        // all levels present in T_w (independence from w).
+        let t8 = Tree::new(8);
+        let t32 = Tree::new(32);
+        for level in 0..=t8.max_level() {
+            let c8 = t8.iter_preorder().filter(|n| n.level == level).count();
+            let c32 = t32.iter_preorder().filter(|n| n.level == level).count();
+            assert_eq!(c8, c32, "level {level}");
+        }
+        let _ = ComponentId::root(); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,887 @@
+//! Wire-level connections between the components of the decomposition.
+//!
+//! Section 2.1 of the paper specifies how the input/output wires of a
+//! component map onto its children when it is decomposed. This module
+//! implements those maps, plus the derived machinery the runtimes need:
+//!
+//! - [`parent_input_to_child`]: where input port `p` of a decomposed
+//!   component enters among its children;
+//! - [`child_output_destination`]: where output port `q` of a child goes —
+//!   into a sibling, or out of the parent;
+//! - [`resolve_output`] / [`WireAddress`]: the *cut-independent* address of
+//!   the wire leaving a component output — the balancer-level (deepest)
+//!   tree leaf owning the destination input wire. Under any cut, the
+//!   live owner of the wire is the unique cut leaf on the ancestor path of
+//!   that balancer, which is how routing with stale views works (paper
+//!   Section 3.5);
+//! - [`CutWiring`]: the fully resolved component graph of one cut.
+//!
+//! # Wiring style
+//!
+//! The paper's prose says the top `MERGER[k/2]` receives the *even*
+//! outputs of **both** half-`BITONIC[k/2]`s. Under 0-based indexing that
+//! pairing does not count (the two mergers can accumulate a discrepancy of
+//! 2 which the final `MIX` layer cannot repair); the intended construction
+//! — the paper notes its proof "is very similar to" Aspnes–Herlihy–Shavit
+//! — pairs the *even* outputs of the top half with the *odd* outputs of
+//! the bottom half. [`WiringStyle::Ahs`] (the default everywhere)
+//! implements the correct AHS pairing; [`WiringStyle::PaperLiteral`] is
+//! kept for the ablation experiment that demonstrates the failure.
+
+use std::fmt;
+
+use crate::cut::Cut;
+use crate::id::ComponentId;
+use crate::kind::ComponentKind;
+use crate::tree::Tree;
+
+/// Which even/odd pairing to use when a `BITONIC` or `MERGER` component
+/// distributes wires to its two sub-mergers. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WiringStyle {
+    /// The Aspnes–Herlihy–Shavit pairing (correct; default).
+    #[default]
+    Ahs,
+    /// The literal even/even pairing from the paper's prose (fails the
+    /// step property; retained for the ablation experiment).
+    PaperLiteral,
+}
+
+/// A reference to a port (input or output, by context) of a component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortRef {
+    /// The component.
+    pub id: ComponentId,
+    /// The port index, `0..width`.
+    pub port: usize,
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.id, self.port)
+    }
+}
+
+/// Where a child's output wire leads within (or out of) its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChildOutput {
+    /// Into input `port` of sibling number `child`.
+    Sibling {
+        /// Child index of the sibling within the same parent.
+        child: usize,
+        /// Input port of the sibling.
+        port: usize,
+    },
+    /// Out of the parent on its output `port`.
+    Parent {
+        /// Output port of the parent.
+        port: usize,
+    },
+}
+
+/// Maps input port `port` of a decomposed component of the given kind and
+/// width to `(child index, child input port)`.
+///
+/// # Panics
+///
+/// Panics if `width < 4` (width-2 components are leaves and cannot be
+/// decomposed) or `port >= width`.
+#[must_use]
+pub fn parent_input_to_child(
+    kind: ComponentKind,
+    width: usize,
+    port: usize,
+    style: WiringStyle,
+) -> (usize, usize) {
+    assert!(width >= 4 && width.is_power_of_two(), "width {width} not decomposable");
+    assert!(port < width, "port {port} out of range for width {width}");
+    let half = width / 2;
+    let quarter = width / 4;
+    match kind {
+        // Inputs split top/bottom between the two half-BITONICs.
+        ComponentKind::Bitonic => {
+            if port < half {
+                (0, port)
+            } else {
+                (1, port - half)
+            }
+        }
+        // MERGER[k] merges x = ports 0..k/2 with y = ports k/2..k.
+        // Even x's go to the top sub-merger, odd x's to the bottom; the
+        // y side depends on the wiring style.
+        ComponentKind::Merger => {
+            if port < half {
+                if port % 2 == 0 {
+                    (0, port / 2)
+                } else {
+                    (1, port / 2)
+                }
+            } else {
+                let q = port - half;
+                let to_top = match style {
+                    WiringStyle::Ahs => q % 2 == 1,
+                    WiringStyle::PaperLiteral => q % 2 == 0,
+                };
+                if to_top {
+                    (0, quarter + q / 2)
+                } else {
+                    (1, quarter + q / 2)
+                }
+            }
+        }
+        // MIX[k] splits into two MIX[k/2] with no internal connections.
+        ComponentKind::Mix => {
+            if port < half {
+                (0, port)
+            } else {
+                (1, port - half)
+            }
+        }
+    }
+}
+
+/// Maps output port `port` of child number `child` of a decomposed
+/// component of the given kind and width to its destination.
+///
+/// # Panics
+///
+/// Panics if `width < 4`, `child` is out of range for the kind, or
+/// `port >= width / 2`.
+#[must_use]
+pub fn child_output_destination(
+    kind: ComponentKind,
+    width: usize,
+    child: usize,
+    port: usize,
+    style: WiringStyle,
+) -> ChildOutput {
+    assert!(width >= 4 && width.is_power_of_two(), "width {width} not decomposable");
+    let half = width / 2;
+    let quarter = width / 4;
+    assert!(child < kind.arity(), "child {child} out of range for {kind}");
+    assert!(port < half, "port {port} out of range for child width {half}");
+    match kind {
+        ComponentKind::Bitonic => match child {
+            // Top BITONIC: even outputs feed the top MERGER's top inputs,
+            // odd outputs the bottom MERGER's top inputs.
+            0 => {
+                if port % 2 == 0 {
+                    ChildOutput::Sibling { child: 2, port: port / 2 }
+                } else {
+                    ChildOutput::Sibling { child: 3, port: port / 2 }
+                }
+            }
+            // Bottom BITONIC: the pairing depends on the style (AHS sends
+            // *odd* outputs to the top MERGER).
+            1 => {
+                let to_top = match style {
+                    WiringStyle::Ahs => port % 2 == 1,
+                    WiringStyle::PaperLiteral => port % 2 == 0,
+                };
+                if to_top {
+                    ChildOutput::Sibling { child: 2, port: quarter + port / 2 }
+                } else {
+                    ChildOutput::Sibling { child: 3, port: quarter + port / 2 }
+                }
+            }
+            // Top MERGER: top quarter of outputs are the even inputs of
+            // the top MIX, bottom quarter the even inputs of the bottom MIX.
+            2 => {
+                if port < quarter {
+                    ChildOutput::Sibling { child: 4, port: 2 * port }
+                } else {
+                    ChildOutput::Sibling { child: 5, port: 2 * (port - quarter) }
+                }
+            }
+            // Bottom MERGER: same, on the odd inputs.
+            3 => {
+                if port < quarter {
+                    ChildOutput::Sibling { child: 4, port: 2 * port + 1 }
+                } else {
+                    ChildOutput::Sibling { child: 5, port: 2 * (port - quarter) + 1 }
+                }
+            }
+            // The MIX outputs are the component outputs, in order.
+            4 => ChildOutput::Parent { port },
+            5 => ChildOutput::Parent { port: half + port },
+            _ => unreachable!(),
+        },
+        ComponentKind::Merger => match child {
+            0 => {
+                if port < quarter {
+                    ChildOutput::Sibling { child: 2, port: 2 * port }
+                } else {
+                    ChildOutput::Sibling { child: 3, port: 2 * (port - quarter) }
+                }
+            }
+            1 => {
+                if port < quarter {
+                    ChildOutput::Sibling { child: 2, port: 2 * port + 1 }
+                } else {
+                    ChildOutput::Sibling { child: 3, port: 2 * (port - quarter) + 1 }
+                }
+            }
+            2 => ChildOutput::Parent { port },
+            3 => ChildOutput::Parent { port: half + port },
+            _ => unreachable!(),
+        },
+        ComponentKind::Mix => match child {
+            0 => ChildOutput::Parent { port },
+            1 => ChildOutput::Parent { port: half + port },
+            _ => unreachable!(),
+        },
+    }
+}
+
+/// The inverse of [`parent_input_to_child`]: if input port `port` of
+/// child number `child` is fed by one of the parent's input ports,
+/// returns that parent port; returns `None` if the child port is fed by
+/// a sibling's output (i.e. the wire is internal to the parent).
+///
+/// # Panics
+///
+/// Panics if `width < 4`, `child` is out of range, or
+/// `port >= width / 2`.
+#[must_use]
+pub fn child_input_to_parent(
+    kind: ComponentKind,
+    width: usize,
+    child: usize,
+    port: usize,
+    style: WiringStyle,
+) -> Option<usize> {
+    assert!(width >= 4 && width.is_power_of_two(), "width {width} not decomposable");
+    let half = width / 2;
+    let quarter = width / 4;
+    assert!(child < kind.arity(), "child {child} out of range for {kind}");
+    assert!(port < half, "port {port} out of range for child width {half}");
+    match kind {
+        ComponentKind::Bitonic => match child {
+            0 => Some(port),
+            1 => Some(half + port),
+            _ => None,
+        },
+        ComponentKind::Merger => match child {
+            // Top sub-merger: x-evens then y's of one parity.
+            0 => {
+                if port < quarter {
+                    Some(2 * port)
+                } else {
+                    let q = match style {
+                        WiringStyle::Ahs => 2 * (port - quarter) + 1,
+                        WiringStyle::PaperLiteral => 2 * (port - quarter),
+                    };
+                    Some(half + q)
+                }
+            }
+            // Bottom sub-merger: x-odds then y's of the other parity.
+            1 => {
+                if port < quarter {
+                    Some(2 * port + 1)
+                } else {
+                    let q = match style {
+                        WiringStyle::Ahs => 2 * (port - quarter),
+                        WiringStyle::PaperLiteral => 2 * (port - quarter) + 1,
+                    };
+                    Some(half + q)
+                }
+            }
+            _ => None,
+        },
+        ComponentKind::Mix => match child {
+            0 => Some(port),
+            1 => Some(half + port),
+            _ => None,
+        },
+    }
+}
+
+/// The input port of component `id` on which a token addressed to
+/// `addr` arrives, or `None` if the wire is *internal* to `id` (possible
+/// only for tokens that were in flight across a merge).
+///
+/// # Panics
+///
+/// Panics if `id` is not a valid node of `tree` or `addr` is not under
+/// `id`'s subtree.
+#[must_use]
+pub fn input_port_of(
+    tree: &Tree,
+    id: &ComponentId,
+    addr: &WireAddress,
+    style: WiringStyle,
+) -> Option<usize> {
+    assert!(
+        id == addr.balancer() || id.is_ancestor_of(addr.balancer()),
+        "address {addr} is not under component {id}"
+    );
+    let mut node = addr.balancer().clone();
+    let mut port = usize::from(addr.port());
+    while &node != id {
+        let parent = node.parent().expect("walk stays under id");
+        let child = node.child_index().expect("non-root") as usize;
+        let pinfo = tree.info(&parent).expect("valid ancestor");
+        match child_input_to_parent(pinfo.kind, pinfo.width, child, port, style) {
+            Some(parent_port) => {
+                node = parent;
+                port = parent_port;
+            }
+            None => return None,
+        }
+    }
+    Some(port)
+}
+
+/// The cut-independent address of an input wire: the balancer-level leaf
+/// of `T_w` that ultimately owns it, plus the balancer port (0 or 1).
+///
+/// Under any cut, the live owner of the wire is the unique cut leaf that
+/// is the balancer itself or one of its ancestors — see
+/// [`WireAddress::owner_under`]. This is exactly the ancestor-chain
+/// probing structure of paper Section 3.5.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WireAddress {
+    balancer: ComponentId,
+    port: u8,
+}
+
+impl WireAddress {
+    /// The balancer-level component owning this wire at full depth.
+    #[must_use]
+    pub fn balancer(&self) -> &ComponentId {
+        &self.balancer
+    }
+
+    /// The input port (0 or 1) on the balancer.
+    #[must_use]
+    pub fn port(&self) -> u8 {
+        self.port
+    }
+
+    /// The owner of this wire under `cut`: the unique leaf of the cut on
+    /// the root-to-balancer path.
+    ///
+    /// Returns `None` if the cut does not cover the balancer (only
+    /// possible for an invalid cut).
+    #[must_use]
+    pub fn owner_under(&self, cut: &Cut) -> Option<ComponentId> {
+        if cut.contains(&self.balancer) {
+            return Some(self.balancer.clone());
+        }
+        self.balancer.ancestors().find(|a| cut.contains(a))
+    }
+
+    /// The candidate owners, deepest first: the balancer, then its
+    /// ancestors up to the root. A router probes along this chain (at most
+    /// `log w - 1` names beyond the first, paper Section 3.5).
+    pub fn candidates(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        std::iter::once(self.balancer.clone()).chain(self.balancer.ancestors())
+    }
+}
+
+impl fmt::Display for WireAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.balancer, self.port)
+    }
+}
+
+/// Where a component's output wire leads: either to another wire of the
+/// network (addressed cut-independently) or out of the network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OutputDestination {
+    /// The wire feeds another component; `WireAddress` names it at
+    /// balancer granularity.
+    Wire(WireAddress),
+    /// The wire is output `port` of the whole `BITONIC[w]` network.
+    NetworkOutput(usize),
+}
+
+/// Descends from `(node, input port)` to the balancer-level wire address.
+fn descend_to_balancer(
+    tree: &Tree,
+    mut node: ComponentId,
+    mut port: usize,
+    style: WiringStyle,
+) -> WireAddress {
+    loop {
+        let info = tree.info(&node).expect("invalid node during descent");
+        if info.width == 2 {
+            return WireAddress { balancer: node, port: port as u8 };
+        }
+        let (child, child_port) = parent_input_to_child(info.kind, info.width, port, style);
+        node = node.child(child as u8);
+        port = child_port;
+    }
+}
+
+/// Resolves output `port` of component `id` to its destination. The result
+/// is independent of any cut and can be cached for the lifetime of the
+/// network.
+///
+/// # Panics
+///
+/// Panics if `id` is not a valid node of `tree` or `port` is out of range
+/// for its width.
+#[must_use]
+pub fn resolve_output(
+    tree: &Tree,
+    id: &ComponentId,
+    port: usize,
+    style: WiringStyle,
+) -> OutputDestination {
+    let info = tree.info(id).expect("invalid component id");
+    assert!(port < info.width, "port {port} out of range for width {}", info.width);
+    let mut node = id.clone();
+    let mut port = port;
+    loop {
+        let Some(parent) = node.parent() else {
+            return OutputDestination::NetworkOutput(port);
+        };
+        let child_index = node.child_index().expect("non-root has a child index") as usize;
+        let pinfo = tree.info(&parent).expect("parent is valid");
+        match child_output_destination(pinfo.kind, pinfo.width, child_index, port, style) {
+            ChildOutput::Sibling { child, port: sib_port } => {
+                let sibling = parent.child(child as u8);
+                return OutputDestination::Wire(descend_to_balancer(
+                    tree, sibling, sib_port, style,
+                ));
+            }
+            ChildOutput::Parent { port: parent_port } => {
+                node = parent;
+                port = parent_port;
+            }
+        }
+    }
+}
+
+/// The wire address of network input wire `wire` (`0..w`), i.e. the
+/// balancer a client should name first when injecting a token there
+/// ("Finding an Input Component", paper Section 3.5).
+///
+/// # Panics
+///
+/// Panics if `wire >= tree.width()`.
+#[must_use]
+pub fn network_input_address(tree: &Tree, wire: usize, style: WiringStyle) -> WireAddress {
+    assert!(wire < tree.width(), "input wire {wire} out of range");
+    descend_to_balancer(tree, ComponentId::root(), wire, style)
+}
+
+/// The fully resolved component-level graph of one cut: for every leaf of
+/// the cut, where each of its output ports leads, and which leaves own the
+/// network's input wires.
+///
+/// # Example
+///
+/// ```
+/// use acn_topology::{Tree, Cut, ComponentId, CutWiring};
+///
+/// let tree = Tree::new(8);
+/// let mut cut = Cut::root();
+/// cut.split(&tree, &ComponentId::root()).unwrap();
+/// let wiring = CutWiring::new(&tree, &cut);
+/// // Input wires enter the two half-BITONICs.
+/// assert_eq!(wiring.input_owner(0).id, ComponentId::root().child(0));
+/// assert_eq!(wiring.input_owner(7).id, ComponentId::root().child(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CutWiring {
+    tree: Tree,
+    style: WiringStyle,
+    /// For each leaf, for each output port: the resolved destination
+    /// (owner leaf under this cut, or network output).
+    edges: std::collections::HashMap<ComponentId, Vec<ResolvedDestination>>,
+    /// For each network input wire: the owning leaf and (balancer) port.
+    inputs: Vec<PortRef>,
+}
+
+/// A resolved destination inside a [`CutWiring`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ResolvedDestination {
+    Leaf(ComponentId),
+    NetworkOutput(usize),
+}
+
+impl CutWiring {
+    /// Resolves the wiring of `cut` over `tree` with the default
+    /// ([`WiringStyle::Ahs`]) style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut is invalid for the tree.
+    #[must_use]
+    pub fn new(tree: &Tree, cut: &Cut) -> Self {
+        Self::with_style(tree, cut, WiringStyle::Ahs)
+    }
+
+    /// Resolves the wiring of `cut` over `tree` with an explicit style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut is invalid for the tree.
+    #[must_use]
+    pub fn with_style(tree: &Tree, cut: &Cut, style: WiringStyle) -> Self {
+        assert!(cut.is_valid(tree), "cut is not a valid antichain cover of the tree");
+        let mut edges = std::collections::HashMap::new();
+        for leaf in cut.leaves() {
+            let info = tree.info(leaf).expect("cut leaf is valid");
+            let mut ports = Vec::with_capacity(info.width);
+            for port in 0..info.width {
+                let dest = match resolve_output(tree, leaf, port, style) {
+                    OutputDestination::Wire(addr) => ResolvedDestination::Leaf(
+                        addr.owner_under(cut).expect("valid cut covers every wire"),
+                    ),
+                    OutputDestination::NetworkOutput(w) => ResolvedDestination::NetworkOutput(w),
+                };
+                ports.push(dest);
+            }
+            edges.insert(leaf.clone(), ports);
+        }
+        let inputs = (0..tree.width())
+            .map(|wire| {
+                let addr = network_input_address(tree, wire, style);
+                let owner = addr.owner_under(cut).expect("valid cut covers every wire");
+                PortRef { id: owner, port: usize::from(addr.port()) }
+            })
+            .collect();
+        CutWiring { tree: *tree, style, edges, inputs }
+    }
+
+    /// The tree this wiring was resolved over.
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The wiring style used.
+    #[must_use]
+    pub fn style(&self) -> WiringStyle {
+        self.style
+    }
+
+    /// The leaf owning network input wire `wire` (the port is the
+    /// balancer-level port and is informational only — components ignore
+    /// input ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= tree.width()`.
+    #[must_use]
+    pub fn input_owner(&self, wire: usize) -> &PortRef {
+        &self.inputs[wire]
+    }
+
+    /// The destination leaf of output `port` of `leaf`, or `None` if that
+    /// port is a network output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not in the cut or `port` is out of range.
+    #[must_use]
+    pub fn out_neighbor(&self, leaf: &ComponentId, port: usize) -> Option<&ComponentId> {
+        match &self.edges[leaf][port] {
+            ResolvedDestination::Leaf(id) => Some(id),
+            ResolvedDestination::NetworkOutput(_) => None,
+        }
+    }
+
+    /// The network output wire index of output `port` of `leaf`, or `None`
+    /// if that port leads to another component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not in the cut or `port` is out of range.
+    #[must_use]
+    pub fn network_output(&self, leaf: &ComponentId, port: usize) -> Option<usize> {
+        match &self.edges[leaf][port] {
+            ResolvedDestination::Leaf(_) => None,
+            ResolvedDestination::NetworkOutput(w) => Some(*w),
+        }
+    }
+
+    /// The distinct out-neighbours of a leaf (paper Section 3.5 argues the
+    /// expected number is constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not in the cut.
+    #[must_use]
+    pub fn out_neighbors(&self, leaf: &ComponentId) -> Vec<ComponentId> {
+        let mut v: Vec<ComponentId> = self.edges[leaf]
+            .iter()
+            .filter_map(|d| match d {
+                ResolvedDestination::Leaf(id) => Some(id.clone()),
+                ResolvedDestination::NetworkOutput(_) => None,
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// All leaves of the wiring (the components of the cut).
+    pub fn leaves(&self) -> impl Iterator<Item = &ComponentId> {
+        self.edges.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::Cut;
+    use std::collections::HashSet;
+
+    /// Every child input port of a decomposed node is fed exactly once —
+    /// by a parent input or by a sibling output.
+    #[test]
+    fn decomposition_wiring_is_a_bijection() {
+        for style in [WiringStyle::Ahs, WiringStyle::PaperLiteral] {
+            for kind in [ComponentKind::Bitonic, ComponentKind::Merger, ComponentKind::Mix] {
+                for width in [4usize, 8, 16, 32] {
+                    let half = width / 2;
+                    let mut fed: HashSet<(usize, usize)> = HashSet::new();
+                    for port in 0..width {
+                        let dst = parent_input_to_child(kind, width, port, style);
+                        assert!(fed.insert(dst), "{kind}[{width}] double-feeds {dst:?}");
+                    }
+                    let mut parent_out: HashSet<usize> = HashSet::new();
+                    for child in 0..kind.arity() {
+                        for port in 0..half {
+                            match child_output_destination(kind, width, child, port, style) {
+                                ChildOutput::Sibling { child: c, port: p } => {
+                                    assert!(
+                                        fed.insert((c, p)),
+                                        "{kind}[{width}] double-feeds sibling ({c},{p})"
+                                    );
+                                }
+                                ChildOutput::Parent { port: p } => {
+                                    assert!(p < width);
+                                    assert!(parent_out.insert(p));
+                                }
+                            }
+                        }
+                    }
+                    // Every child input port covered exactly once.
+                    let expected: usize = (0..kind.arity()).map(|_| half).sum();
+                    assert_eq!(fed.len(), expected, "{kind}[{width}]");
+                    // Every parent output port produced exactly once.
+                    assert_eq!(parent_out.len(), width, "{kind}[{width}]");
+                }
+            }
+        }
+    }
+
+    /// Child input ports that are fed by parent inputs vs. sibling outputs
+    /// partition correctly: for BITONIC only the two sub-BITONICs receive
+    /// external input; for MERGER only the two sub-MERGERs; for MIX both
+    /// children.
+    #[test]
+    fn external_inputs_enter_the_right_children() {
+        let width = 16;
+        for kind in [ComponentKind::Bitonic, ComponentKind::Merger, ComponentKind::Mix] {
+            let mut kids: HashSet<usize> = HashSet::new();
+            for port in 0..width {
+                let (c, _) = parent_input_to_child(kind, width, port, WiringStyle::Ahs);
+                kids.insert(c);
+            }
+            let expected: HashSet<usize> = [0, 1].into_iter().collect();
+            assert_eq!(kids, expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn mix_layer_pairs_adjacent_wires() {
+        // MIX[k] is a layer of balancers on wire pairs (2i, 2i+1): its
+        // decomposition keeps top/bottom halves disjoint.
+        let w = 8;
+        for port in 0..w {
+            let (c, p) = parent_input_to_child(ComponentKind::Mix, w, port, WiringStyle::Ahs);
+            assert_eq!(c, usize::from(port >= w / 2));
+            assert_eq!(p, port % (w / 2));
+        }
+    }
+
+    #[test]
+    fn resolve_output_of_root_cut_is_network_output() {
+        let tree = Tree::new(8);
+        for port in 0..8 {
+            assert_eq!(
+                resolve_output(&tree, &ComponentId::root(), port, WiringStyle::Ahs),
+                OutputDestination::NetworkOutput(port)
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_output_level1_cut_matches_paper_figure1() {
+        // Cut = the six level-1 children of BITONIC[8]. The component
+        // graph must be: B -> M (both), M -> X (both), X -> out.
+        let tree = Tree::new(8);
+        let root = ComponentId::root();
+        let mut cut = Cut::root();
+        cut.split(&tree, &root).unwrap();
+        let wiring = CutWiring::new(&tree, &cut);
+        let b_top = root.child(0);
+        let neighbors = wiring.out_neighbors(&b_top);
+        assert_eq!(neighbors, vec![root.child(2), root.child(3)]);
+        let m_top = root.child(2);
+        assert_eq!(wiring.out_neighbors(&m_top), vec![root.child(4), root.child(5)]);
+        let x_top = root.child(4);
+        assert!(wiring.out_neighbors(&x_top).is_empty());
+        // X outputs are the network outputs, in order.
+        for port in 0..4 {
+            assert_eq!(wiring.network_output(&x_top, port), Some(port));
+            assert_eq!(wiring.network_output(&root.child(5), port), Some(4 + port));
+        }
+    }
+
+    #[test]
+    fn network_inputs_cover_all_wires_once() {
+        let tree = Tree::new(16);
+        let mut seen = HashSet::new();
+        for wire in 0..16 {
+            let addr = network_input_address(&tree, wire, WiringStyle::Ahs);
+            assert!(seen.insert(addr.clone()), "wire {wire} duplicated");
+            // Input wires land on level-max balancers on the input side:
+            // the all-bitonic spine.
+            assert!(addr.balancer().path().iter().all(|&c| c <= 1));
+        }
+    }
+
+    #[test]
+    fn wire_address_owner_and_candidates() {
+        let tree = Tree::new(8);
+        let addr = network_input_address(&tree, 0, WiringStyle::Ahs);
+        // Root cut: owner is the root.
+        let cut = Cut::root();
+        assert_eq!(addr.owner_under(&cut), Some(ComponentId::root()));
+        // Split the root: owner is the top BITONIC.
+        let mut cut2 = Cut::root();
+        cut2.split(&tree, &ComponentId::root()).unwrap();
+        assert_eq!(addr.owner_under(&cut2), Some(ComponentId::root().child(0)));
+        // Candidate chain is balancer, then ancestors to the root.
+        let cands: Vec<ComponentId> = addr.candidates().collect();
+        assert_eq!(cands.len(), tree.max_level() + 1);
+        assert_eq!(cands.last(), Some(&ComponentId::root()));
+    }
+
+    #[test]
+    fn cut_wiring_full_balancer_cut_has_expected_size() {
+        let tree = Tree::new(8);
+        let cut = Cut::balancers(&tree);
+        let wiring = CutWiring::new(&tree, &cut);
+        // 8*3*4/4 = 24 balancers.
+        assert_eq!(wiring.leaves().count(), 24);
+        // Every balancer has width 2; count network outputs: exactly 8.
+        let mut outs = HashSet::new();
+        for leaf in cut.leaves() {
+            for port in 0..2 {
+                if let Some(w) = wiring.network_output(leaf, port) {
+                    assert!(outs.insert(w));
+                }
+            }
+        }
+        assert_eq!(outs.len(), 8);
+    }
+
+    #[test]
+    fn out_neighbor_counts_are_bounded_by_two_for_balancer_cut() {
+        // A balancer has two output wires, hence at most 2 out-neighbours.
+        let tree = Tree::new(16);
+        let cut = Cut::balancers(&tree);
+        let wiring = CutWiring::new(&tree, &cut);
+        for leaf in cut.leaves() {
+            assert!(wiring.out_neighbors(leaf).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn styles_differ_only_on_merger_assignment() {
+        let w = 8;
+        let a = child_output_destination(ComponentKind::Bitonic, w, 1, 0, WiringStyle::Ahs);
+        let b =
+            child_output_destination(ComponentKind::Bitonic, w, 1, 0, WiringStyle::PaperLiteral);
+        assert_ne!(a, b);
+        // Top-bitonic outputs agree across styles.
+        for port in 0..w / 2 {
+            assert_eq!(
+                child_output_destination(ComponentKind::Bitonic, w, 0, port, WiringStyle::Ahs),
+                child_output_destination(
+                    ComponentKind::Bitonic,
+                    w,
+                    0,
+                    port,
+                    WiringStyle::PaperLiteral
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn child_input_to_parent_inverts_input_map() {
+        for style in [WiringStyle::Ahs, WiringStyle::PaperLiteral] {
+            for kind in [ComponentKind::Bitonic, ComponentKind::Merger, ComponentKind::Mix] {
+                for width in [4usize, 8, 16, 32] {
+                    for port in 0..width {
+                        let (c, p) = parent_input_to_child(kind, width, port, style);
+                        assert_eq!(
+                            child_input_to_parent(kind, width, c, p, style),
+                            Some(port),
+                            "{kind}[{width}] port {port}"
+                        );
+                    }
+                    // Sibling-fed child ports report None.
+                    for child in 0..kind.arity() {
+                        for p in 0..width / 2 {
+                            let inv = child_input_to_parent(kind, width, child, p, style);
+                            if let Some(parent_port) = inv {
+                                assert_eq!(
+                                    parent_input_to_child(kind, width, parent_port, style),
+                                    (child, p)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_port_of_roundtrips_descents() {
+        let tree = Tree::new(16);
+        for node in tree.iter_preorder() {
+            for port in 0..node.width {
+                let addr = super::descend_to_balancer(
+                    &tree,
+                    node.id.clone(),
+                    port,
+                    WiringStyle::Ahs,
+                );
+                assert_eq!(
+                    input_port_of(&tree, &node.id, &addr, WiringStyle::Ahs),
+                    Some(port),
+                    "{} port {port}",
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_port_of_internal_wire_is_none() {
+        // The wire from the top BITONIC[4] into the top MERGER[4] of T_8
+        // is internal to the root.
+        let tree = Tree::new(8);
+        let root = ComponentId::root();
+        if let OutputDestination::Wire(addr) =
+            resolve_output(&tree, &root.child(0), 0, WiringStyle::Ahs)
+        {
+            assert_eq!(input_port_of(&tree, &root, &addr, WiringStyle::Ahs), None);
+            // But relative to the merger itself it is a boundary port.
+            assert!(input_port_of(&tree, &root.child(2), &addr, WiringStyle::Ahs).is_some());
+        } else {
+            panic!("expected an internal wire");
+        }
+    }
+}

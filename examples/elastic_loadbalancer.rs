@@ -1,0 +1,75 @@
+//! An elastic load balancer: jobs are tokens, workers are output wires.
+//!
+//! The counting network spreads jobs across workers with the step
+//! property (no worker ever holds more than one job above any other),
+//! and the *adaptive* construction resizes its own parallelism as the
+//! hosting cluster grows and shrinks — driven entirely by the
+//! decentralized size estimator, no load-balancer node anywhere.
+//!
+//! Run with `cargo run --example elastic_loadbalancer`.
+
+use adaptive_counting_networks::core::{ConvergedNetwork, LocalAdaptiveNetwork};
+use adaptive_counting_networks::estimator::ideal_level;
+use adaptive_counting_networks::overlay::Ring;
+
+fn main() {
+    let w = 64; // up to 64 workers
+    let mut dispatcher = LocalAdaptiveNetwork::new(w);
+    let mut worker_load = vec![0u64; w];
+    let mut seed = 0xBA1A2CEu64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed >> 33
+    };
+
+    // The cluster lifecycle: grow 4 -> 256 nodes, then shrink to 16.
+    let mut ring = Ring::new();
+    let mut ring_seed = 17u64;
+    for _ in 0..4 {
+        ring.add_random_node(&mut ring_seed);
+    }
+
+    for (phase, target_nodes) in [(1, 4usize), (2, 64), (3, 256), (4, 16)] {
+        // Churn the overlay to the target size.
+        while ring.len() < target_nodes {
+            ring.add_random_node(&mut ring_seed);
+        }
+        while ring.len() > target_nodes {
+            let victim = ring.nodes().next().expect("ring is non-empty");
+            ring.remove_node(victim);
+        }
+        // The decentralized rules converge to a cut for this system
+        // size; mirror it in the dispatcher.
+        let converged = ConvergedNetwork::new(w, ring.clone());
+        dispatcher.reconfigure(converged.cut());
+        let snapshot = converged.snapshot();
+        println!(
+            "phase {phase}: {target_nodes} nodes -> {} components, effective width {}, depth {} (ideal level {})",
+            snapshot.components,
+            snapshot.effective_width,
+            snapshot.effective_depth,
+            ideal_level(target_nodes)
+        );
+
+        // Dispatch a burst of jobs from random clients.
+        let burst = 500;
+        for _ in 0..burst {
+            let wire = (next() as usize) % w;
+            let worker = dispatcher.push(wire);
+            worker_load[worker] += 1;
+        }
+        let max = worker_load.iter().max().expect("non-empty");
+        let min = worker_load.iter().min().expect("non-empty");
+        println!(
+            "  dispatched {burst} jobs; per-worker load now min {min} / max {max} (spread {})",
+            max - min
+        );
+        // The step property bounds the spread by one, always.
+        assert!(max - min <= 1, "load spread exceeded 1");
+    }
+
+    println!(
+        "total jobs dispatched: {} — perfectly balanced through every resize",
+        worker_load.iter().sum::<u64>()
+    );
+}

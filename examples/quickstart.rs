@@ -1,0 +1,65 @@
+//! Quickstart: an adaptive counting network in one process.
+//!
+//! Builds an adaptive `BITONIC[16]`, uses it as a shared counter, then
+//! splits and merges components mid-stream to show that the counter
+//! values keep flowing seamlessly while the degree of parallelism
+//! changes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use adaptive_counting_networks::core::LocalAdaptiveNetwork;
+use adaptive_counting_networks::topology::{
+    effective_depth, effective_width, ComponentDag, ComponentId,
+};
+
+fn dims(net: &LocalAdaptiveNetwork) -> (usize, usize) {
+    let dag = ComponentDag::new(net.tree(), net.cut());
+    (effective_width(&dag), effective_depth(&dag))
+}
+
+fn main() {
+    let mut net = LocalAdaptiveNetwork::new(16);
+    let root = ComponentId::root();
+
+    // Phase 1: the whole network is one component (a centralized
+    // counter) — the paper's initial configuration.
+    let (w, d) = dims(&net);
+    println!("phase 1: {} component(s), effective width {w}, depth {d}", net.cut().leaves().len());
+    for client in 0..6u64 {
+        // Clients may inject tokens on any input wire.
+        let value = net.next_value((client as usize * 5) % 16);
+        println!("  client {client} got counter value {value}");
+    }
+
+    // Phase 2: the system grew; split the root into six components.
+    net.split(&root).expect("root splits");
+    let (w, d) = dims(&net);
+    println!("phase 2: {} component(s), effective width {w}, depth {d}", net.cut().leaves().len());
+    for client in 6..12u64 {
+        let value = net.next_value((client as usize * 3) % 16);
+        println!("  client {client} got counter value {value}");
+    }
+
+    // Phase 3: grow further — split the top BITONIC[8] too.
+    net.split(&root.child(0)).expect("top bitonic splits");
+    let (w, d) = dims(&net);
+    println!("phase 3: {} component(s), effective width {w}, depth {d}", net.cut().leaves().len());
+    for client in 12..18u64 {
+        let value = net.next_value((client as usize * 7) % 16);
+        println!("  client {client} got counter value {value}");
+    }
+
+    // Phase 4: the system shrank; merge everything back to one.
+    net.merge(&root).expect("subtree merges back");
+    let (w, d) = dims(&net);
+    println!("phase 4: {} component(s), effective width {w}, depth {d}", net.cut().leaves().len());
+    for client in 18..24u64 {
+        let value = net.next_value(client as usize % 16);
+        println!("  client {client} got counter value {value}");
+    }
+
+    // The values were handed out densely: 0, 1, 2, ... with no gaps or
+    // duplicates, across all four configurations.
+    assert_eq!(net.total_exited(), 24);
+    println!("handed out 24 consecutive counter values across 4 reconfigurations");
+}

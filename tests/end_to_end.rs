@@ -1,0 +1,135 @@
+//! Integration tests spanning the whole stack: topology + bitonic +
+//! overlay + estimator + core.
+
+use adaptive_counting_networks::bitonic::step::is_step_sequence;
+use adaptive_counting_networks::bitonic::{bitonic_network, NetworkState};
+use adaptive_counting_networks::core::dist::Deployment;
+use adaptive_counting_networks::core::{ConvergedNetwork, LocalAdaptiveNetwork, TokenPos};
+use adaptive_counting_networks::estimator::{estimate_size, ideal_level};
+use adaptive_counting_networks::overlay::{splitmix64, Ring};
+use adaptive_counting_networks::topology::{Cut, Tree, WiringStyle};
+
+fn seeded_ring(n: usize, seed: u64) -> Ring {
+    let mut ring = Ring::new();
+    let mut s = seed;
+    for _ in 0..n {
+        ring.add_random_node(&mut s);
+    }
+    ring
+}
+
+/// The adaptive network and the classical balancer-level network agree
+/// on every sequential schedule (both are counting networks, so outputs
+/// are a global round-robin).
+#[test]
+fn adaptive_matches_static_bitonic_sequentially() {
+    for w in [4usize, 8, 16] {
+        let static_net = bitonic_network(w);
+        let mut static_state = NetworkState::new(&static_net);
+        let tree = Tree::new(w);
+        for level in 0..=tree.max_level() {
+            let mut adaptive =
+                LocalAdaptiveNetwork::with_cut(w, Cut::uniform(&tree, level), WiringStyle::Ahs);
+            let mut static_state_fresh = NetworkState::new(&static_net);
+            let mut seed = 11u64;
+            for _ in 0..4 * w {
+                let wire = (splitmix64(&mut seed) as usize) % w;
+                assert_eq!(
+                    adaptive.push(wire),
+                    static_net.route(&mut static_state_fresh, wire),
+                    "w={w} level={level}"
+                );
+            }
+        }
+        let _ = static_net.route(&mut static_state, 0);
+    }
+}
+
+/// Drive the converged cut for a real overlay with interleaved traffic:
+/// the step property holds at quiescence.
+#[test]
+fn converged_cut_counts_under_interleaved_traffic() {
+    for &n in &[16usize, 128] {
+        let converged = ConvergedNetwork::new(64, seeded_ring(n, 3 * n as u64 + 1));
+        let mut net =
+            LocalAdaptiveNetwork::with_cut(64, converged.cut().clone(), WiringStyle::Ahs);
+        let mut in_flight: Vec<TokenPos> = Vec::new();
+        let mut seed = 99u64;
+        for _ in 0..2000 {
+            if splitmix64(&mut seed) % 3 == 0 {
+                in_flight.push(net.inject((splitmix64(&mut seed) as usize) % 64));
+            } else if !in_flight.is_empty() {
+                let i = (splitmix64(&mut seed) as usize) % in_flight.len();
+                let next = net.advance(in_flight[i].clone());
+                if matches!(next, TokenPos::Exited(_)) {
+                    in_flight.swap_remove(i);
+                } else {
+                    in_flight[i] = next;
+                }
+            }
+        }
+        while let Some(mut pos) = in_flight.pop() {
+            while !matches!(pos, TokenPos::Exited(_)) {
+                pos = net.advance(pos);
+            }
+        }
+        assert!(is_step_sequence(net.output_counts()), "N={n}: {:?}", net.output_counts());
+    }
+}
+
+/// The estimator drives the converged network to the level the theory
+/// predicts for the true system size.
+#[test]
+fn estimator_manager_end_to_end() {
+    for &n in &[32usize, 256] {
+        let ring = seeded_ring(n, 7 * n as u64 + 5);
+        // Every node's estimate is within the paper's band.
+        for node in ring.nodes().collect::<Vec<_>>() {
+            let est = estimate_size(&ring, node).size;
+            assert!(est >= n as f64 / 10.0 && est <= 10.0 * n as f64, "N={n}");
+        }
+        let net = ConvergedNetwork::new(1 << 12, ring);
+        let snap = net.snapshot();
+        let lstar = ideal_level(n) as i64;
+        assert!((snap.min_level as i64 - lstar).abs() <= 4, "N={n}: {snap:?}");
+        assert!((snap.max_level as i64 - lstar).abs() <= 4, "N={n}: {snap:?}");
+    }
+}
+
+/// Full-stack smoke: message-level deployment, growth, traffic, checks.
+#[test]
+fn deployment_end_to_end() {
+    let mut d = Deployment::new(32, 6, 0xE2E);
+    assert!(d.settle(100));
+    let mut seed = 1u64;
+    let mut injected = 0u64;
+    for round in 0..25 {
+        if round % 5 == 4 {
+            d.join_node();
+        }
+        for _ in 0..4 {
+            d.inject((splitmix64(&mut seed) as usize) % 32);
+            injected += 1;
+        }
+        d.run_for(800);
+    }
+    assert!(d.settle(200));
+    d.run_for(200_000);
+    let c = d.collector();
+    assert_eq!(c.total(), injected);
+    assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
+    // The deployment actually adapted.
+    assert!(d.world.borrow().splits_done > 0);
+}
+
+/// The facade re-exports compose: one program touching every crate.
+#[test]
+fn facade_exports_compose() {
+    let tree = Tree::new(8);
+    let cut = Cut::balancers(&tree);
+    assert!(cut.is_valid(&tree));
+    let ring = seeded_ring(10, 1);
+    assert_eq!(ring.len(), 10);
+    let mut net = LocalAdaptiveNetwork::new(8);
+    assert_eq!(net.next_value(0), 0);
+}
