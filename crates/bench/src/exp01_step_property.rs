@@ -76,7 +76,7 @@ pub fn run() -> String {
                             let _ = net.merge(&pick);
                         }
                     }
-                    2 | 3 | 4 => {
+                    2..=4 => {
                         in_flight.push(net.inject(rng.below(w)));
                         injected += 1;
                     }

@@ -9,13 +9,20 @@
 use acn_bitonic::step::is_step_sequence;
 use acn_core::dist::Deployment;
 
-use crate::util::{section, Lcg, Table};
+use crate::util::{section, telemetry_registry, Lcg, Table};
 
 /// Runs the experiment and returns the rendered report.
+///
+/// Besides the printed table, the run streams its full telemetry (one
+/// JSON object per event: splits, merges, crashes, level changes, …) to
+/// `target/telemetry/exp10_adaptivity.jsonl` (override the directory
+/// with `ACN_TELEMETRY_DIR`).
 #[must_use]
 pub fn run() -> String {
     let w = 64;
+    let (registry, artifact) = telemetry_registry("exp10_adaptivity");
     let mut d = Deployment::new(w, 4, 0xAB5);
+    d.attach_telemetry(&registry);
     let mut rng = Lcg(17);
     let mut injected = 0u64;
     let mut table = Table::new(&[
@@ -77,10 +84,22 @@ pub fn run() -> String {
     let step = is_step_sequence(&c.counts);
     let mean_latency = if c.total() > 0 { c.total_latency / c.total() } else { 0 };
 
+    registry.flush();
+    let snap = registry.snapshot();
+    let hops = snap.histogram("acn.dist.routing_hops");
+    let telemetry = format!(
+        "telemetry: splits={} merges={} dht_lookups={} mean routing hops={:.2}\ntelemetry artifact: {}",
+        snap.counter("acn.dist.splits").unwrap_or(0),
+        snap.counter("acn.dist.merges").unwrap_or(0),
+        snap.counter("acn.dist.dht_lookups").unwrap_or(0),
+        hops.and_then(|h| h.mean()).unwrap_or(0.0),
+        artifact.as_deref().map_or_else(|| "(unavailable)".into(), |p| p.display().to_string()),
+    );
+
     section(
         "E10 — adaptivity under churn (message-level deployment)",
         &format!(
-            "{}\ntoken conservation: {conserved}\nquiescent step property: {step}\nmean token latency: {mean_latency} sim-units (max {})\nExpected (paper): decentralized splits on growth, merges on shrink, no\ntokens lost, step property in every quiescent state.\n",
+            "{}\ntoken conservation: {conserved}\nquiescent step property: {step}\nmean token latency: {mean_latency} sim-units (max {})\n{telemetry}\nExpected (paper): decentralized splits on growth, merges on shrink, no\ntokens lost, step property in every quiescent state.\n",
             table.render(),
             c.max_latency
         ),
@@ -90,9 +109,20 @@ pub fn run() -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn churn_run_is_correct() {
+    fn churn_run_is_correct_and_emits_telemetry_artifact() {
+        // One run() call for both checks: parallel runs would race on the
+        // shared target/telemetry/exp10_adaptivity.jsonl artifact.
         let report = super::run();
         assert!(report.contains("token conservation: true"), "{report}");
         assert!(report.contains("step property: true"), "{report}");
+        let path = report
+            .lines()
+            .find_map(|l| l.strip_prefix("telemetry artifact: "))
+            .expect("artifact line in report");
+        assert_ne!(path, "(unavailable)");
+        let text = std::fs::read_to_string(path).expect("artifact readable");
+        assert!(text.lines().count() > 10, "artifact suspiciously small");
+        assert!(text.contains("\"kind\":\"split.begin\""), "split events present");
+        assert!(text.contains("\"kind\":\"estimator.estimate\""), "estimator events present");
     }
 }

@@ -2,8 +2,31 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use acn_telemetry::{Counter as TelemetryCounter, Histogram, Registry};
+
 use crate::baselines::Counter;
 use crate::network::{BalancingNetwork, Dest};
+
+/// Telemetry handles for the lock-free counter (no-ops by default).
+#[derive(Debug, Default)]
+struct BitonicMetrics {
+    /// `acn.bitonic.balancer_passes` — balancer toggles performed.
+    balancer_passes: TelemetryCounter,
+    /// `acn.bitonic.traversal_depth` — balancers crossed per token.
+    traversal_depth: Histogram,
+    /// `acn.bitonic.tokens` — values handed out via [`Counter::next`].
+    tokens: TelemetryCounter,
+}
+
+impl BitonicMetrics {
+    fn attach(registry: &Registry) -> Self {
+        BitonicMetrics {
+            balancer_passes: registry.counter("acn.bitonic.balancer_passes"),
+            traversal_depth: registry.histogram("acn.bitonic.traversal_depth"),
+            tokens: registry.counter("acn.bitonic.tokens"),
+        }
+    }
+}
 
 /// A lock-free concurrent counter built from a counting network: each
 /// balancer toggle is an atomic fetch-and-increment, and every output
@@ -31,6 +54,7 @@ pub struct AtomicNetworkCounter {
     toggles: Vec<AtomicU64>,
     wire_counts: Vec<AtomicU64>,
     arrivals: AtomicU64,
+    metrics: BitonicMetrics,
 }
 
 impl AtomicNetworkCounter {
@@ -39,7 +63,22 @@ impl AtomicNetworkCounter {
     pub fn new(net: BalancingNetwork) -> Self {
         let toggles = (0..net.balancer_count()).map(|_| AtomicU64::new(0)).collect();
         let wire_counts = (0..net.width()).map(|_| AtomicU64::new(0)).collect();
-        AtomicNetworkCounter { net, toggles, wire_counts, arrivals: AtomicU64::new(0) }
+        AtomicNetworkCounter {
+            net,
+            toggles,
+            wire_counts,
+            arrivals: AtomicU64::new(0),
+            metrics: BitonicMetrics::default(),
+        }
+    }
+
+    /// Registers this counter's metrics (`acn.bitonic.*`) with `registry`.
+    ///
+    /// Call before sharing the counter across threads (it needs `&mut`).
+    /// Telemetry is observation-only: routing and handed-out values are
+    /// identical with or without a registry attached.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = BitonicMetrics::attach(registry);
     }
 
     /// The underlying network.
@@ -56,13 +95,19 @@ impl AtomicNetworkCounter {
     /// Panics if `input_wire >= width`.
     pub fn traverse(&self, input_wire: usize) -> usize {
         let mut dest = self.net.input(input_wire);
+        let mut depth = 0u64;
         loop {
             match dest {
                 Dest::Balancer(b) => {
                     let port = (self.toggles[b].fetch_add(1, Ordering::Relaxed) % 2) as usize;
+                    depth += 1;
                     dest = self.net.balancer_outputs(b)[port];
                 }
-                Dest::Output(o) => return o,
+                Dest::Output(o) => {
+                    self.metrics.balancer_passes.add(depth);
+                    self.metrics.traversal_depth.record(depth);
+                    return o;
+                }
             }
         }
     }
@@ -81,6 +126,7 @@ impl Counter for AtomicNetworkCounter {
         // Spread arrivals across input wires round-robin, as independent
         // clients would.
         let wire = (self.arrivals.fetch_add(1, Ordering::Relaxed) % w as u64) as usize;
+        self.metrics.tokens.inc();
         let out = self.traverse(wire);
         let round = self.wire_counts[out].fetch_add(1, Ordering::Relaxed);
         out as u64 + round * w as u64
@@ -134,6 +180,23 @@ mod tests {
             assert!(is_step_sequence(&counts), "{counts:?}");
             assert_eq!(counts.iter().sum::<u64>(), 4 * 333);
         }
+    }
+
+    #[test]
+    fn telemetry_counts_balancer_passes_per_token() {
+        let registry = Registry::new();
+        let mut counter = AtomicNetworkCounter::new(bitonic_network(4));
+        counter.attach_telemetry(&registry);
+        for _ in 0..12 {
+            let _ = counter.next();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("acn.bitonic.tokens"), Some(12));
+        let depth = snap.histogram("acn.bitonic.traversal_depth").expect("depth histogram");
+        // Bitonic[4] has depth 3: every token crosses exactly 3 balancers.
+        assert_eq!(depth.count, 12);
+        assert_eq!(depth.sum, 36);
+        assert_eq!(snap.counter("acn.bitonic.balancer_passes"), Some(36));
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl ReactiveTreeCounter {
     /// Folds the whole tree back into a single counter.
     pub fn fold_root(&self) {
         let mut root = self.root.write();
-        let total = Self::fold_node(&root, self.leaves);
+        let total = Self::fold_node(&root);
         *root = Node::Folded { count: AtomicU64::new(total) };
     }
 
@@ -152,7 +152,7 @@ impl ReactiveTreeCounter {
                 Node::Active { visits, left, right, .. } => {
                     let v = visits.swap(0, Ordering::Relaxed);
                     if v < fold_below {
-                        let total = ReactiveTreeCounter::fold_node(node, span);
+                        let total = ReactiveTreeCounter::fold_node(node);
                         *node = Node::Folded { count: AtomicU64::new(total) };
                         *folds += 1;
                     } else {
@@ -187,11 +187,11 @@ impl ReactiveTreeCounter {
     }
 
     /// Total emissions of a subtree (the folded counter value).
-    fn fold_node(node: &Node, span: u64) -> u64 {
+    fn fold_node(node: &Node) -> u64 {
         match node {
             Node::Folded { count } => count.load(Ordering::Relaxed),
             Node::Active { left, right, .. } => {
-                Self::fold_node(left, span / 2) + Self::fold_node(right, span / 2)
+                Self::fold_node(left) + Self::fold_node(right)
             }
         }
     }

@@ -32,7 +32,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, RwLock};
+use acn_telemetry::{Counter, Histogram, Registry};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use acn_topology::{
     input_port_of, network_input_address, resolve_output, ComponentId, Cut, CutError,
@@ -48,6 +49,46 @@ struct Structure {
     components: std::collections::HashMap<ComponentId, Mutex<Component>>,
 }
 
+/// Telemetry handles for the shared runtime (all no-ops by default).
+#[derive(Debug, Default)]
+struct ConcMetrics {
+    /// `acn.conc.traversal_depth` — components crossed per token.
+    traversal_depth: Histogram,
+    /// `acn.conc.lock_contention` — component-lock acquisitions that had
+    /// to wait because another token held the lock.
+    lock_contention: Counter,
+    /// `acn.conc.tokens` — tokens routed through the network.
+    tokens: Counter,
+    /// `acn.conc.splits` / `acn.conc.merges` — reconfigurations applied.
+    splits: Counter,
+    merges: Counter,
+}
+
+impl ConcMetrics {
+    fn attach(registry: &Registry) -> Self {
+        ConcMetrics {
+            traversal_depth: registry.histogram("acn.conc.traversal_depth"),
+            lock_contention: registry.counter("acn.conc.lock_contention"),
+            tokens: registry.counter("acn.conc.tokens"),
+            splits: registry.counter("acn.conc.splits"),
+            merges: registry.counter("acn.conc.merges"),
+        }
+    }
+
+    /// Locks `mutex`, counting the acquisition as contended when another
+    /// holder forced a wait. Purely observational: the token takes the
+    /// same lock either way.
+    fn lock<'a>(&self, mutex: &'a Mutex<Component>) -> MutexGuard<'a, Component> {
+        match mutex.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.lock_contention.inc();
+                mutex.lock()
+            }
+        }
+    }
+}
+
 /// A concurrent adaptive counting network for one address space.
 ///
 /// Cloneable via `Arc`; see the module docs for the locking discipline.
@@ -57,6 +98,7 @@ pub struct SharedAdaptiveNetwork {
     structure: RwLock<Structure>,
     input_counts: Vec<AtomicU64>,
     output_counts: Vec<AtomicU64>,
+    metrics: ConcMetrics,
 }
 
 impl SharedAdaptiveNetwork {
@@ -80,7 +122,17 @@ impl SharedAdaptiveNetwork {
             structure: RwLock::new(Structure { cut, components }),
             input_counts: (0..w).map(|_| AtomicU64::new(0)).collect(),
             output_counts: (0..w).map(|_| AtomicU64::new(0)).collect(),
+            metrics: ConcMetrics::default(),
         }
+    }
+
+    /// Registers this network's metrics (`acn.conc.*`) with `registry`.
+    ///
+    /// Call before sharing the network across threads (it needs `&mut`).
+    /// Telemetry is observation-only: routed values and step-property
+    /// behaviour are identical with or without a registry attached.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = ConcMetrics::attach(registry);
     }
 
     /// The network width.
@@ -104,19 +156,23 @@ impl SharedAdaptiveNetwork {
     /// Panics if `wire >= width`.
     pub fn push(&self, wire: usize) -> usize {
         self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
+        self.metrics.tokens.inc();
         let structure = self.structure.read();
         let mut addr = network_input_address(&self.tree, wire, self.style);
+        let mut depth = 0u64;
         loop {
             let owner = addr.owner_under(&structure.cut).expect("valid cut");
             let in_port = input_port_of(&self.tree, &owner, &addr, self.style);
             let out_port = {
-                let mut comp = structure.components[&owner].lock();
+                let mut comp = self.metrics.lock(&structure.components[&owner]);
                 comp.process_token(in_port)
             };
+            depth += 1;
             match resolve_output(&self.tree, &owner, out_port, self.style) {
                 OutputDestination::Wire(next) => addr = next,
                 OutputDestination::NetworkOutput(out) => {
                     self.output_counts[out].fetch_add(1, Ordering::Relaxed);
+                    self.metrics.traversal_depth.record(depth);
                     return out;
                 }
             }
@@ -132,19 +188,23 @@ impl SharedAdaptiveNetwork {
     /// Panics if `wire >= width`.
     pub fn next_value(&self, wire: usize) -> u64 {
         self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
+        self.metrics.tokens.inc();
         let structure = self.structure.read();
         let mut addr = network_input_address(&self.tree, wire, self.style);
+        let mut depth = 0u64;
         loop {
             let owner = addr.owner_under(&structure.cut).expect("valid cut");
             let in_port = input_port_of(&self.tree, &owner, &addr, self.style);
             let out_port = {
-                let mut comp = structure.components[&owner].lock();
+                let mut comp = self.metrics.lock(&structure.components[&owner]);
                 comp.process_token(in_port)
             };
+            depth += 1;
             match resolve_output(&self.tree, &owner, out_port, self.style) {
                 OutputDestination::Wire(next) => addr = next,
                 OutputDestination::NetworkOutput(out) => {
                     let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
+                    self.metrics.traversal_depth.record(depth);
                     return out as u64 + round * self.width() as u64;
                 }
             }
@@ -175,6 +235,7 @@ impl SharedAdaptiveNetwork {
             structure.components.insert(child.id().clone(), Mutex::new(child));
         }
         structure.cut = cut;
+        self.metrics.splits.inc();
         Ok(())
     }
 
@@ -189,7 +250,9 @@ impl SharedAdaptiveNetwork {
     /// [`LocalAdaptiveNetwork::merge`]: crate::LocalAdaptiveNetwork::merge
     pub fn merge(&self, id: &ComponentId) -> Result<(), AdaptError> {
         let mut structure = self.structure.write();
-        Self::merge_locked(&self.tree, self.style, &mut structure, id)
+        Self::merge_locked(&self.tree, self.style, &mut structure, id)?;
+        self.metrics.merges.inc();
+        Ok(())
     }
 
     fn merge_locked(
@@ -324,6 +387,34 @@ mod tests {
             acn_bitonic::step::is_step_sequence(&counts),
             "step property violated: {counts:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_counts_tokens_depth_and_reconfigurations() {
+        let registry = Registry::new();
+        let mut net = SharedAdaptiveNetwork::new(8);
+        net.attach_telemetry(&registry);
+        let net = Arc::new(net);
+        let root = ComponentId::root();
+        net.split(&root).unwrap();
+        for t in 0..40usize {
+            net.push(t % 8);
+        }
+        net.merge(&root).unwrap();
+        for t in 0..10usize {
+            let _ = net.next_value(t % 8);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("acn.conc.tokens"), Some(50));
+        assert_eq!(snap.counter("acn.conc.splits"), Some(1));
+        assert_eq!(snap.counter("acn.conc.merges"), Some(1));
+        let depth = snap.histogram("acn.conc.traversal_depth").expect("depth histogram");
+        assert_eq!(depth.count, 50);
+        // Every token crosses at least one component; under the split cut
+        // a token crosses two.
+        assert!(depth.sum >= 50 + 40, "sum {} too small", depth.sum);
+        // No contention in a single-threaded run.
+        assert_eq!(snap.counter("acn.conc.lock_contention"), Some(0));
     }
 
     #[test]

@@ -37,9 +37,9 @@ use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
-use acn_estimator::node_level;
 use acn_overlay::{NodeId, Ring};
 use acn_simnet::{Context, Process, ProcessId, SimConfig, Simulator};
+use acn_telemetry::{Counter, Event as TelemetryEvent, Histogram, Registry};
 use acn_topology::{
     input_port_of, network_input_address, resolve_output, ComponentId, Cut, OutputDestination,
     Tree, WireAddress, WiringStyle,
@@ -80,6 +80,9 @@ pub enum Msg {
         /// Probe progress: `ATTEMPT_CACHED` for the cached guess,
         /// otherwise an index into the canonical candidate chain.
         attempt: u8,
+        /// Inter-node forwards this token has taken so far (telemetry:
+        /// the `acn.dist.routing_hops` histogram at network output).
+        hops: u64,
     },
     /// The receiver accepted (processed or buffered) the token; the
     /// sender releases its retransmission obligation. Reliable.
@@ -105,6 +108,8 @@ pub enum Msg {
         wire: usize,
         /// When the token was injected (for latency accounting).
         injected_at: u64,
+        /// Inter-node forwards the token took end to end.
+        hops: u64,
     },
     /// Install a component on the receiver (split child or merge
     /// result).
@@ -153,6 +158,74 @@ pub enum Msg {
     },
 }
 
+/// Pre-resolved telemetry handles for the distributed runtime
+/// (`acn.dist.*`). All handles are no-ops until
+/// [`Deployment::attach_telemetry`] wires in an enabled registry.
+#[derive(Debug, Default)]
+pub(crate) struct DistMetrics {
+    /// Inter-node hops a token took before exiting (recorded at the
+    /// network output).
+    routing_hops: Histogram,
+    /// Duration of completed splits (freeze → parent removed), ticks.
+    split_duration: Histogram,
+    /// Duration of completed merges (begin → parent live), ticks.
+    merge_duration: Histogram,
+    /// Mirrors `World::splits_done`.
+    splits: Counter,
+    /// Mirrors `World::merges_done`.
+    merges: Counter,
+    /// Merges aborted (unsettled traffic / stalled collection).
+    merge_aborts: Counter,
+    /// Mirrors `World::token_nacks`.
+    nacks: Counter,
+    /// Mirrors `World::token_retransmits`.
+    retransmits: Counter,
+    /// Mirrors `World::dht_lookups`.
+    dht_lookups: Counter,
+    /// Tokens drained from frozen buffers when a merge discards its
+    /// children.
+    merge_drained: Counter,
+    /// Tokens drained from the parent's buffer when a split completes.
+    split_drained: Counter,
+    /// Components migrated to a new hash owner (churn sweeps).
+    migrations: Counter,
+    /// Node crashes injected by the harness.
+    crashes: Counter,
+    /// Components re-installed by cut repair after crashes.
+    repairs: Counter,
+    /// Level-estimate changes observed at `level_tick` (the adaptivity
+    /// signal of paper Section 3.2).
+    level_changes: Counter,
+    /// Instrumented size/level estimation (`acn.estimator.*`).
+    estimator: acn_estimator::InstrumentedEstimator,
+    /// Event stream for `split.*` / `merge.*` / `dist.*` events.
+    registry: Registry,
+}
+
+impl DistMetrics {
+    fn attach(registry: &Registry) -> Self {
+        DistMetrics {
+            routing_hops: registry.histogram("acn.dist.routing_hops"),
+            split_duration: registry.histogram("acn.dist.split_duration"),
+            merge_duration: registry.histogram("acn.dist.merge_duration"),
+            splits: registry.counter("acn.dist.splits"),
+            merges: registry.counter("acn.dist.merges"),
+            merge_aborts: registry.counter("acn.dist.merge_aborts"),
+            nacks: registry.counter("acn.dist.token_nacks"),
+            retransmits: registry.counter("acn.dist.token_retransmits"),
+            dht_lookups: registry.counter("acn.dist.dht_lookups"),
+            merge_drained: registry.counter("acn.dist.merge_drained_tokens"),
+            split_drained: registry.counter("acn.dist.split_drained_tokens"),
+            migrations: registry.counter("acn.dist.component_migrations"),
+            crashes: registry.counter("acn.dist.crashes"),
+            repairs: registry.counter("acn.dist.repaired_components"),
+            level_changes: registry.counter("acn.dist.level_changes"),
+            estimator: acn_estimator::InstrumentedEstimator::attach(registry),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// Global state shared by all processes of one simulation: the overlay
 /// ring (authoritative membership), the decomposition tree, and
 /// aggregate statistics.
@@ -177,6 +250,8 @@ pub struct World {
     pub token_retransmits: u64,
     /// Next globally unique token id.
     next_guid: u64,
+    /// Pre-resolved `acn.dist.*` telemetry handles (no-ops by default).
+    pub(crate) metrics: DistMetrics,
 }
 
 impl World {
@@ -193,6 +268,7 @@ impl World {
             token_nacks: 0,
             token_retransmits: 0,
             next_guid: 0,
+            metrics: DistMetrics::default(),
         }))
     }
 
@@ -206,6 +282,7 @@ impl World {
     #[must_use]
     pub fn host_of(&mut self, id: &ComponentId) -> NodeId {
         self.dht_lookups += 1;
+        self.metrics.dht_lookups.inc();
         self.ring.owner_of_name(self.tree.preorder_index(id))
     }
 }
@@ -217,15 +294,19 @@ struct UnackedToken {
     addr: WireAddress,
     injected_at: u64,
     sent_at: u64,
+    hops: u64,
 }
+
+/// A token buffered at a frozen component: `(addr, injected_at, hops)`.
+pub type BufferedToken = (WireAddress, u64, u64);
 
 /// A hosted component plus its runtime bookkeeping.
 #[derive(Debug, Clone)]
 struct Hosted {
     comp: Component,
     frozen: bool,
-    /// Tokens buffered while frozen: (addr, injected_at).
-    buffer: Vec<(WireAddress, u64)>,
+    /// Tokens buffered while frozen.
+    buffer: Vec<BufferedToken>,
 }
 
 /// An in-progress split at its coordinator.
@@ -233,11 +314,15 @@ struct Hosted {
 struct SplitOp {
     /// Children still awaiting install acks.
     pending: BTreeSet<ComponentId>,
+    /// When the split froze the parent (telemetry: split duration).
+    started_at: u64,
 }
 
 /// An in-progress merge at its coordinator.
 #[derive(Debug, Clone)]
 struct MergeOp {
+    /// When the merge was started (telemetry: merge duration).
+    started_at: u64,
     /// Collected child states, by child index.
     collected: Vec<Option<Component>>,
     /// The process that reported each child (for `RemoveFrozen`).
@@ -332,7 +417,7 @@ impl NodeProc {
     pub fn take_component(
         &mut self,
         id: &ComponentId,
-    ) -> Option<(Component, Vec<(WireAddress, u64)>)> {
+    ) -> Option<(Component, Vec<BufferedToken>)> {
         if self.components.get(id).map(|h| h.frozen).unwrap_or(true) {
             return None;
         }
@@ -437,17 +522,25 @@ impl NodeProc {
         guid: u64,
         addr: WireAddress,
         injected_at: u64,
+        hops: u64,
     ) {
         if self.hosted_candidate(&addr).is_some() && !self.departed {
-            self.route_token(ctx, addr, injected_at);
+            self.route_token(ctx, addr, injected_at, hops);
         } else {
-            self.send_token(ctx, Some(guid), addr, injected_at, ATTEMPT_CACHED);
+            self.send_token(ctx, Some(guid), addr, injected_at, ATTEMPT_CACHED, hops);
         }
     }
 
     /// Routes a token: processes it locally as long as this node hosts
-    /// the next owner, then sends it on (or to the collector).
-    fn route_token(&mut self, ctx: &mut Context<'_, Msg>, mut addr: WireAddress, injected_at: u64) {
+    /// the next owner, then sends it on (or to the collector). `hops` is
+    /// how many inter-node forwards the token has already taken.
+    fn route_token(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        mut addr: WireAddress,
+        injected_at: u64,
+        hops: u64,
+    ) {
         loop {
             match self.hosted_candidate(&addr) {
                 Some(id) => {
@@ -457,21 +550,22 @@ impl NodeProc {
                     };
                     let hosted = self.components.get_mut(&id).expect("candidate is hosted");
                     if hosted.frozen {
-                        hosted.buffer.push((addr, injected_at));
+                        hosted.buffer.push((addr, injected_at, hops));
                         return;
                     }
                     let in_port = input_port_of(&tree, &id, &addr, style);
                     let port = hosted.comp.process_token(in_port);
                     match resolve_output(&tree, &id, port, style) {
                         OutputDestination::NetworkOutput(wire) => {
-                            ctx.send(COLLECTOR, Msg::Exit { wire, injected_at });
+                            self.world.borrow().metrics.routing_hops.record(hops);
+                            ctx.send(COLLECTOR, Msg::Exit { wire, injected_at, hops });
                             return;
                         }
                         OutputDestination::Wire(next) => addr = next,
                     }
                 }
                 None => {
-                    self.send_token(ctx, None, addr, injected_at, ATTEMPT_CACHED);
+                    self.send_token(ctx, None, addr, injected_at, ATTEMPT_CACHED, hops);
                     return;
                 }
             }
@@ -489,6 +583,7 @@ impl NodeProc {
         addr: WireAddress,
         injected_at: u64,
         attempt: u8,
+        hops: u64,
     ) {
         let guid = guid.unwrap_or_else(|| self.world.borrow_mut().fresh_guid());
         let candidates: Vec<ComponentId> = addr.candidates().collect();
@@ -509,7 +604,7 @@ impl NodeProc {
                 // Chain exhausted (reconfiguration window): keep the
                 // obligation and let the retry timer start over.
                 self.unacked
-                    .insert(guid, UnackedToken { addr, injected_at, sent_at: ctx.now() });
+                    .insert(guid, UnackedToken { addr, injected_at, sent_at: ctx.now(), hops });
                 self.arm_retry(ctx);
                 return;
             };
@@ -522,10 +617,13 @@ impl NodeProc {
             self.cache.insert(addr.clone(), guess.level());
             self.unacked.insert(
                 guid,
-                UnackedToken { addr: addr.clone(), injected_at, sent_at: ctx.now() },
+                UnackedToken { addr: addr.clone(), injected_at, sent_at: ctx.now(), hops },
             );
             self.arm_retry(ctx);
-            ctx.send_lossy(ProcessId(host.0), Msg::Token { guid, addr, injected_at, attempt });
+            ctx.send_lossy(
+                ProcessId(host.0),
+                Msg::Token { guid, addr, injected_at, attempt, hops },
+            );
             return;
         }
     }
@@ -547,7 +645,14 @@ impl NodeProc {
         };
         let hosted = self.components.get_mut(id).expect("split target is hosted");
         hosted.frozen = true;
-        let mut op = SplitOp { pending: BTreeSet::new() };
+        self.world.borrow().metrics.registry.emit(
+            TelemetryEvent::new("split.begin")
+                .at(ctx.now())
+                .node(self.node.0)
+                .component(id.to_string())
+                .with("level", id.level() as u64),
+        );
+        let mut op = SplitOp { pending: BTreeSet::new(), started_at: ctx.now() };
         let mut local_installs = Vec::new();
         for child in children {
             let host = self.world.borrow_mut().host_of(child.id());
@@ -562,19 +667,35 @@ impl NodeProc {
             self.install_component(child);
         }
         if op.pending.is_empty() {
-            self.finish_split(ctx, id.clone());
+            self.finish_split(ctx, id.clone(), op.started_at);
         } else {
             self.splits.insert(id.clone(), op);
         }
     }
 
     /// All children installed: drop the parent and re-route its buffer.
-    fn finish_split(&mut self, ctx: &mut Context<'_, Msg>, id: ComponentId) {
+    fn finish_split(&mut self, ctx: &mut Context<'_, Msg>, id: ComponentId, started_at: u64) {
         let hosted = self.components.remove(&id).expect("split parent is hosted");
+        let drained = hosted.buffer.len() as u64;
+        {
+            let mut w = self.world.borrow_mut();
+            w.splits_done += 1;
+            w.metrics.splits.inc();
+            w.metrics.split_drained.add(drained);
+            let duration = ctx.now().saturating_sub(started_at);
+            w.metrics.split_duration.record(duration);
+            w.metrics.registry.emit(
+                TelemetryEvent::new("split.end")
+                    .at(ctx.now())
+                    .node(self.node.0)
+                    .component(id.to_string())
+                    .with("duration", duration)
+                    .with("drained", drained),
+            );
+        }
         self.split_list.insert(id);
-        self.world.borrow_mut().splits_done += 1;
-        for (addr, injected_at) in hosted.buffer {
-            self.route_token(ctx, addr, injected_at);
+        for (addr, injected_at, hops) in hosted.buffer {
+            self.route_token(ctx, addr, injected_at, hops);
         }
     }
 
@@ -588,9 +709,18 @@ impl NodeProc {
         let tree = self.world.borrow().tree;
         let children = tree.children(id);
         let arity = children.len();
+        self.world.borrow().metrics.registry.emit(
+            TelemetryEvent::new("merge.begin")
+                .at(ctx.now())
+                .node(self.node.0)
+                .component(id.to_string())
+                .with("level", id.level() as u64)
+                .with("nested", requester.is_some()),
+        );
         self.merges.insert(
             id.clone(),
             MergeOp {
+                started_at: ctx.now(),
                 collected: vec![None; arity],
                 reporters: vec![None; arity],
                 stalled_rounds: 0,
@@ -692,9 +822,9 @@ impl NodeProc {
                 parent.clone(),
                 Hosted { comp: merged.clone(), frozen: true, buffer: Vec::new() },
             );
-            self.cleanup_merge(ctx, &parent);
+            let started_at = self.cleanup_merge(ctx, &parent);
             self.split_list.remove(&parent);
-            self.world.borrow_mut().merges_done += 1;
+            self.note_merge_done(ctx, &parent, started_at);
             if req_pid == ctx.self_id() {
                 let me = ctx.self_id();
                 self.record_collect(ctx, merged, &grandparent, me);
@@ -707,9 +837,9 @@ impl NodeProc {
         let host = self.world.borrow_mut().host_of(&parent);
         if ProcessId(host.0) == ctx.self_id() {
             self.install_component(merged);
-            self.cleanup_merge(ctx, &parent);
+            let started_at = self.cleanup_merge(ctx, &parent);
             self.split_list.remove(&parent);
-            self.world.borrow_mut().merges_done += 1;
+            self.note_merge_done(ctx, &parent, started_at);
         } else {
             self.merges
                 .get_mut(&parent)
@@ -719,8 +849,9 @@ impl NodeProc {
         }
     }
 
-    /// After the parent is live, dismiss the frozen children.
-    fn cleanup_merge(&mut self, ctx: &mut Context<'_, Msg>, parent: &ComponentId) {
+    /// After the parent is live, dismiss the frozen children. Returns
+    /// the time the merge started (for duration telemetry).
+    fn cleanup_merge(&mut self, ctx: &mut Context<'_, Msg>, parent: &ComponentId) -> u64 {
         let op = self.merges.remove(parent).expect("merge in progress");
         for (index, reporter) in op.reporters.iter().enumerate() {
             let child = parent.child(index as u8);
@@ -731,6 +862,29 @@ impl NodeProc {
                 ctx.send(reporter, Msg::RemoveFrozen { id: child });
             }
         }
+        op.started_at
+    }
+
+    /// Records a completed merge: counters, duration histogram, and the
+    /// `merge.end` event.
+    fn note_merge_done(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        parent: &ComponentId,
+        started_at: u64,
+    ) {
+        let mut w = self.world.borrow_mut();
+        w.merges_done += 1;
+        w.metrics.merges.inc();
+        let duration = ctx.now().saturating_sub(started_at);
+        w.metrics.merge_duration.record(duration);
+        w.metrics.registry.emit(
+            TelemetryEvent::new("merge.end")
+                .at(ctx.now())
+                .node(self.node.0)
+                .component(parent.to_string())
+                .with("duration", duration),
+        );
     }
 
     /// Aborts an in-progress merge: children are unfrozen in place and
@@ -738,6 +892,16 @@ impl NodeProc {
     /// retry.
     fn abort_merge(&mut self, ctx: &mut Context<'_, Msg>, parent: &ComponentId) {
         let op = self.merges.remove(parent).expect("merge in progress");
+        {
+            let w = self.world.borrow();
+            w.metrics.merge_aborts.inc();
+            w.metrics.registry.emit(
+                TelemetryEvent::new("merge.abort")
+                    .at(ctx.now())
+                    .node(self.node.0)
+                    .component(parent.to_string()),
+            );
+        }
         for (index, reporter) in op.reporters.iter().enumerate() {
             let child = parent.child(index as u8);
             let Some(reporter) = *reporter else { continue };
@@ -765,17 +929,19 @@ impl NodeProc {
         if let Some(hosted) = self.components.get_mut(id) {
             hosted.frozen = false;
             let buffered = std::mem::take(&mut hosted.buffer);
-            for (addr, injected_at) in buffered {
-                self.route_token(ctx, addr, injected_at);
+            for (addr, injected_at, hops) in buffered {
+                self.route_token(ctx, addr, injected_at, hops);
             }
         }
     }
 
-    /// Drops a frozen component and re-routes its buffered tokens.
+    /// Drops a frozen component and re-routes its buffered tokens (the
+    /// merge-drain step of the protocol).
     fn remove_frozen(&mut self, ctx: &mut Context<'_, Msg>, id: &ComponentId) {
         if let Some(hosted) = self.components.remove(id) {
-            for (addr, injected_at) in hosted.buffer {
-                self.route_token(ctx, addr, injected_at);
+            self.world.borrow().metrics.merge_drained.add(hosted.buffer.len() as u64);
+            for (addr, injected_at, hops) in hosted.buffer {
+                self.route_token(ctx, addr, injected_at, hops);
             }
         }
     }
@@ -788,7 +954,22 @@ impl NodeProc {
             if !w.ring.contains(self.node) {
                 return; // departed or crashed: do not re-arm
             }
-            self.level = node_level(&w.ring, self.node).min(w.tree.max_level());
+            let level = w
+                .metrics
+                .estimator
+                .node_level_at(&w.ring, self.node, ctx.now())
+                .min(w.tree.max_level());
+            if level != self.level {
+                w.metrics.level_changes.inc();
+                w.metrics.registry.emit(
+                    TelemetryEvent::new("dist.level_change")
+                        .at(ctx.now())
+                        .node(self.node.0)
+                        .with("from", self.level as u64)
+                        .with("to", level as u64),
+                );
+            }
+            self.level = level;
         }
         // Splitting rule.
         let to_split: Vec<ComponentId> = self
@@ -890,42 +1071,47 @@ impl Process<Msg> for NodeProc {
                 let addr = network_input_address(&tree, wire, style);
                 let now = ctx.now();
                 if self.departed {
-                    self.send_token(ctx, None, addr, now, ATTEMPT_CACHED);
+                    self.send_token(ctx, None, addr, now, ATTEMPT_CACHED, 0);
                 } else {
-                    self.route_token(ctx, addr, now);
+                    self.route_token(ctx, addr, now, 0);
                 }
             }
-            Msg::Token { guid, addr, injected_at, attempt } => {
+            Msg::Token { guid, addr, injected_at, attempt, hops } => {
                 if self.seen.contains(&guid) {
                     // Duplicate (retransmission raced the ack): already
                     // accepted; just re-acknowledge.
                     ctx.send(from, Msg::TokenAck { guid });
                 } else if self.departed || self.hosted_candidate(&addr).is_none() {
-                    self.world.borrow_mut().token_nacks += 1;
+                    {
+                        let mut w = self.world.borrow_mut();
+                        w.token_nacks += 1;
+                        w.metrics.nacks.inc();
+                    }
                     if from == ProcessId::EXTERNAL {
                         // Re-injected buffer token with no live sender:
                         // adopt the obligation ourselves.
-                        self.send_token(ctx, Some(guid), addr, injected_at, attempt);
+                        self.send_token(ctx, Some(guid), addr, injected_at, attempt, hops);
                     } else {
                         ctx.send(from, Msg::TokenNack { guid, addr, injected_at, attempt });
                     }
                 } else {
                     self.seen.insert(guid);
                     ctx.send(from, Msg::TokenAck { guid });
-                    self.route_token(ctx, addr, injected_at);
+                    // Accepting the forward counts as one routing hop.
+                    self.route_token(ctx, addr, injected_at, hops + 1);
                 }
             }
             Msg::TokenAck { guid } => {
                 self.unacked.remove(&guid);
             }
             Msg::TokenNack { guid, addr, injected_at, attempt } => {
-                if self.unacked.remove(&guid).is_none() {
+                let Some(t) = self.unacked.remove(&guid) else {
                     // Stale NACK for an obligation already satisfied
                     // through a different path.
                     return;
-                }
+                };
                 let next = if attempt == ATTEMPT_CACHED { 0 } else { attempt + 1 };
-                self.send_token(ctx, Some(guid), addr, injected_at, next);
+                self.send_token(ctx, Some(guid), addr, injected_at, next, t.hops);
             }
             Msg::Install { comp } => {
                 let id = comp.id().clone();
@@ -938,17 +1124,17 @@ impl Process<Msg> for NodeProc {
                     if let Some(op) = self.splits.get_mut(&parent) {
                         op.pending.remove(&id);
                         if op.pending.is_empty() {
-                            self.splits.remove(&parent);
-                            self.finish_split(ctx, parent);
+                            let op = self.splits.remove(&parent).expect("present");
+                            self.finish_split(ctx, parent, op.started_at);
                         }
                         return;
                     }
                 }
                 // Merge-parent ack?
                 if self.merges.get(&id).map(|op| op.awaiting_install).unwrap_or(false) {
-                    self.cleanup_merge(ctx, &id);
+                    let started_at = self.cleanup_merge(ctx, &id);
                     self.split_list.remove(&id);
-                    self.world.borrow_mut().merges_done += 1;
+                    self.note_merge_done(ctx, &id, started_at);
                 }
             }
             Msg::FreezeCollect { id, parent } => {
@@ -1008,7 +1194,11 @@ impl Process<Msg> for NodeProc {
                     .collect();
                 for guid in stale {
                     let t = self.unacked.remove(&guid).expect("listed above");
-                    self.world.borrow_mut().token_retransmits += 1;
+                    {
+                        let mut w = self.world.borrow_mut();
+                        w.token_retransmits += 1;
+                        w.metrics.retransmits.inc();
+                    }
                     if self.departed {
                         self.send_token(
                             ctx,
@@ -1016,10 +1206,11 @@ impl Process<Msg> for NodeProc {
                             t.addr,
                             t.injected_at,
                             ATTEMPT_CACHED,
+                            t.hops,
                         );
                     } else {
                         // Re-route: we may host the owner by now.
-                        self.route_token_with_guid(ctx, guid, t.addr, t.injected_at);
+                        self.route_token_with_guid(ctx, guid, t.addr, t.injected_at, t.hops);
                     }
                 }
                 let collects = std::mem::take(&mut self.stuck_collects);
@@ -1046,13 +1237,30 @@ pub struct Collector {
     pub total_latency: u64,
     /// Maximum single-token latency.
     pub max_latency: u64,
+    /// Telemetry: end-to-end token latency distribution.
+    latency_hist: Histogram,
+    /// Telemetry: tokens collected.
+    exits: Counter,
 }
 
 impl Collector {
     /// A collector for a width-`w` network.
     #[must_use]
     pub fn new(w: usize) -> Self {
-        Collector { counts: vec![0; w], total_latency: 0, max_latency: 0 }
+        Collector {
+            counts: vec![0; w],
+            total_latency: 0,
+            max_latency: 0,
+            latency_hist: Histogram::default(),
+            exits: Counter::default(),
+        }
+    }
+
+    /// Routes the collector's measurements into `registry`
+    /// (`acn.dist.token_latency` histogram, `acn.dist.exits` counter).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.latency_hist = registry.histogram("acn.dist.token_latency");
+        self.exits = registry.counter("acn.dist.exits");
     }
 
     /// Total tokens collected.
@@ -1064,17 +1272,26 @@ impl Collector {
 
 impl Process<Msg> for Collector {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
-        if let Msg::Exit { wire, injected_at } = msg {
+        if let Msg::Exit { wire, injected_at, hops: _ } = msg {
             self.counts[wire] += 1;
             let latency = ctx.now().saturating_sub(injected_at);
             self.total_latency += latency;
             self.max_latency = self.max_latency.max(latency);
+            self.exits.inc();
+            self.latency_hist.record(latency);
         }
     }
 }
 
 /// Either a node or the collector — the single process type the
 /// simulator hosts.
+///
+/// The variants differ in size (`NodeProc` is much larger than
+/// `Collector`), but there is exactly one `Proc` per simulated
+/// process and they live in the simulator's process map, so the
+/// per-variant waste is bounded and boxing would only add an
+/// indirection on every message dispatch.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Proc {
     /// An overlay node.
@@ -1155,6 +1372,23 @@ impl Deployment {
             np.install_component(Component::new(&tree, &root));
         }
         Deployment { sim, world, level_period, seed: s }
+    }
+
+    /// Routes the whole deployment's telemetry into `registry`: the
+    /// simulator's `acn.sim.*` metrics, the runtime's `acn.dist.*`
+    /// metrics and `split.*`/`merge.*`/`dist.*` events, and the
+    /// collector's token measurements.
+    ///
+    /// Telemetry is observation-only: an attached deployment produces
+    /// bit-identical [`SimStats`](acn_simnet::SimStats), counters, and
+    /// token outcomes to a detached one (pinned by the determinism
+    /// regression test in the root crate).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.sim.attach_telemetry(registry);
+        self.world.borrow_mut().metrics = DistMetrics::attach(registry);
+        if let Some(Proc::Collector(c)) = self.sim.process_mut(COLLECTOR) {
+            c.attach_telemetry(registry);
+        }
     }
 
     /// Injects a token on input wire `wire` via a uniformly random node.
@@ -1278,10 +1512,22 @@ impl Deployment {
     /// Crash: the node vanishes with all its state (components are
     /// lost). Follow with [`repair`](Deployment::repair).
     pub fn crash_node(&mut self, node: NodeId) {
+        let lost_components = match self.sim.process(ProcessId(node.0)) {
+            Some(Proc::Node(np)) => np.components().count() as u64,
+            _ => 0,
+        };
         {
             let mut w = self.world.borrow_mut();
             assert!(w.ring.len() > 1, "cannot crash the last node");
             w.ring.remove_node(node);
+            w.metrics.crashes.inc();
+            let now = self.sim.now();
+            w.metrics.registry.emit(
+                TelemetryEvent::new("dist.crash")
+                    .at(now)
+                    .node(node.0)
+                    .with("lost_components", lost_components),
+            );
         }
         self.sim.remove_process(ProcessId(node.0));
     }
@@ -1316,13 +1562,30 @@ impl Deployment {
                     if let Some(Proc::Node(np)) = self.sim.process_mut(owner_pid) {
                         np.install_component(comp);
                     }
+                    {
+                        let w = self.world.borrow();
+                        w.metrics.migrations.inc();
+                        w.metrics.registry.emit(
+                            TelemetryEvent::new("dist.migrate")
+                                .at(self.sim.now())
+                                .node(owner.0)
+                                .component(id.to_string())
+                                .with("from", pid.0),
+                        );
+                    }
                     // Re-inject buffered tokens via the new owner (it
                     // hosts the component, so it will process them).
-                    for (addr, injected_at) in buffer {
+                    for (addr, injected_at, hops) in buffer {
                         let guid = self.world.borrow_mut().fresh_guid();
                         self.sim.send_external(
                             owner_pid,
-                            Msg::Token { guid, addr, injected_at, attempt: ATTEMPT_CACHED },
+                            Msg::Token {
+                                guid,
+                                addr,
+                                injected_at,
+                                attempt: ATTEMPT_CACHED,
+                                hops,
+                            },
                         );
                     }
                 }
@@ -1358,6 +1621,14 @@ impl Deployment {
             let owner = self.world.borrow_mut().host_of(&id);
             if let Some(Proc::Node(np)) = self.sim.process_mut(ProcessId(owner.0)) {
                 np.install_component(Component::new(&tree, &id));
+                let w = self.world.borrow();
+                w.metrics.repairs.inc();
+                w.metrics.registry.emit(
+                    TelemetryEvent::new("dist.repair")
+                        .at(self.sim.now())
+                        .node(owner.0)
+                        .component(id.to_string()),
+                );
             }
         }
     }

@@ -542,7 +542,7 @@ mod tests {
                             let _ = net.merge(&pick.clone());
                         }
                     }
-                    2 | 3 | 4 => {
+                    2..=4 => {
                         let wire = (lcg(&mut seed) as usize) % w;
                         in_flight.push(net.inject(wire));
                     }

@@ -212,7 +212,7 @@ mod tests {
         let mut matches = Vec::new();
         for _ in 0..400 {
             let wire = (lcg(&mut seed) as usize) % 8;
-            if lcg(&mut seed) % 2 == 0 {
+            if lcg(&mut seed).is_multiple_of(2) {
                 if let MatchOutcome::Matched { slot, supply, request } =
                     m.supply(supplies, wire)
                 {
@@ -251,7 +251,7 @@ mod tests {
         for round in 0..6 {
             // Resize one side per round.
             match round % 4 {
-                0 => m.split(Side::Supply, &root).map(|()| ()).unwrap(),
+                0 => m.split(Side::Supply, &root).unwrap(),
                 1 => m.split(Side::Request, &root).unwrap(),
                 2 => m.merge(Side::Supply, &root).unwrap(),
                 _ => m.merge(Side::Request, &root).unwrap(),

@@ -66,6 +66,10 @@ impl ElasticCounter {
 
     /// The next counter value. Input wires are spread round-robin, as
     /// independent clients would.
+    ///
+    /// Named `next` to match counting-network convention (`next_value`,
+    /// fetch-and-increment); this is not an `Iterator` — it never ends.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let wire = (self.arrivals % self.net.width() as u64) as usize;
         self.arrivals += 1;

@@ -27,6 +27,7 @@
 //! rewrites the output ledger so that application-level counter values
 //! resume consistently.
 
+use acn_telemetry::{Event as TelemetryEvent, Registry};
 use acn_topology::{resolve_output, ComponentDag, ComponentId, OutputDestination};
 
 use crate::component::{port_emissions, Component};
@@ -209,6 +210,26 @@ pub fn stabilize(net: &mut LocalAdaptiveNetwork) -> usize {
     corrected
 }
 
+/// Like [`audit`], but also records the fault count in `registry`
+/// (`acn.dist.audit_faults` gauge) and emits a `stabilize.audit` event.
+#[must_use]
+pub fn audit_with_telemetry(net: &LocalAdaptiveNetwork, registry: &Registry) -> Vec<Fault> {
+    let faults = audit(net);
+    registry.gauge("acn.dist.audit_faults").set(faults.len() as f64);
+    registry.emit(TelemetryEvent::new("stabilize.audit").with("faults", faults.len()));
+    faults
+}
+
+/// Like [`stabilize`], but also counts corrected components in
+/// `registry` (`acn.dist.stabilize_corrected` counter) and emits a
+/// `stabilize.pass` event.
+pub fn stabilize_with_telemetry(net: &mut LocalAdaptiveNetwork, registry: &Registry) -> usize {
+    let corrected = stabilize(net);
+    registry.counter("acn.dist.stabilize_corrected").add(corrected as u64);
+    registry.emit(TelemetryEvent::new("stabilize.pass").with("corrected", corrected));
+    corrected
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,7 +281,7 @@ mod tests {
                     .cut()
                     .leaves()
                     .iter()
-                    .filter(|_| lcg(&mut seed) % 2 == 0)
+                    .filter(|_| lcg(&mut seed).is_multiple_of(2))
                     .cloned()
                     .collect();
                 for v in &victims {
@@ -293,6 +314,27 @@ mod tests {
                 assert!(audit(&net).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn telemetry_wrappers_record_faults_and_corrections() {
+        let registry = Registry::new();
+        let mut seed = 17u64;
+        let mut net = warmed_network(16, 21, &mut seed);
+        assert!(audit_with_telemetry(&net, &registry).is_empty());
+        assert_eq!(registry.snapshot().gauge("acn.dist.audit_faults"), Some(0.0));
+        let victim = net.cut().leaves().iter().next().expect("non-empty cut").clone();
+        net.component_mut(&victim).expect("live").set_tokens(4242);
+        assert!(!audit_with_telemetry(&net, &registry).is_empty());
+        let snap = registry.snapshot();
+        assert!(snap.gauge("acn.dist.audit_faults").expect("gauge present") >= 1.0);
+        let corrected = stabilize_with_telemetry(&mut net, &registry);
+        assert!(corrected >= 1);
+        assert_eq!(
+            registry.snapshot().counter("acn.dist.stabilize_corrected"),
+            Some(corrected as u64)
+        );
+        assert!(audit(&net).is_empty());
     }
 
     #[test]

@@ -119,6 +119,106 @@ pub fn node_level(ring: &Ring, node: NodeId) -> usize {
     level_estimate(estimate_size(ring, node).size)
 }
 
+/// An estimator front-end that records telemetry for every estimate.
+///
+/// All handles are no-ops by [`Default`], so the instrumented entry
+/// points are free when no registry is attached. Telemetry is
+/// observation-only: the estimates returned are bit-identical to
+/// [`estimate_size`] / [`node_level`].
+///
+/// Metrics (under `acn.estimator.*`):
+///
+/// - `size_estimate` (gauge) — the latest refined estimate `n_v`.
+/// - `size_error` (gauge) — the latest relative error `|n_v - N| / N`
+///   against the ring's true size (the simulator knows ground truth; a
+///   real deployment would leave this gauge untouched).
+/// - `level` (gauge) — the latest derived level estimate `l_v`.
+/// - `walk_length` (histogram) — successors walked per estimate.
+/// - `estimates` (counter) — estimates performed.
+///
+/// Each estimate also emits an `estimator.estimate` event carrying the
+/// node, estimate, ground truth, relative error, and level.
+#[derive(Debug, Default, Clone)]
+pub struct InstrumentedEstimator {
+    size: acn_telemetry::Gauge,
+    error: acn_telemetry::Gauge,
+    level: acn_telemetry::Gauge,
+    walk_length: acn_telemetry::Histogram,
+    estimates: acn_telemetry::Counter,
+    registry: acn_telemetry::Registry,
+}
+
+impl InstrumentedEstimator {
+    /// Registers the `acn.estimator.*` metrics with `registry`.
+    #[must_use]
+    pub fn attach(registry: &acn_telemetry::Registry) -> Self {
+        InstrumentedEstimator {
+            size: registry.gauge("acn.estimator.size_estimate"),
+            error: registry.gauge("acn.estimator.size_error"),
+            level: registry.gauge("acn.estimator.level"),
+            walk_length: registry.histogram("acn.estimator.walk_length"),
+            estimates: registry.counter("acn.estimator.estimates"),
+            registry: registry.clone(),
+        }
+    }
+
+    /// [`estimate_size`] plus telemetry (see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty or does not contain `node`.
+    pub fn estimate(&self, ring: &Ring, node: NodeId) -> SizeEstimate {
+        self.estimate_at(ring, node, 0)
+    }
+
+    /// [`estimate`](Self::estimate) with an explicit event timestamp
+    /// (e.g. the simulation clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty or does not contain `node`.
+    pub fn estimate_at(&self, ring: &Ring, node: NodeId, t: u64) -> SizeEstimate {
+        let est = estimate_size(ring, node);
+        let truth = ring.len() as f64;
+        let error = (est.size - truth).abs() / truth;
+        let level = level_estimate(est.size);
+        self.estimates.inc();
+        self.size.set(est.size);
+        self.error.set(error);
+        self.level.set(level as f64);
+        self.walk_length.record(est.walk_length as u64);
+        self.registry.emit(
+            acn_telemetry::Event::new("estimator.estimate")
+                .at(t)
+                .node(node.0)
+                .with("size", est.size)
+                .with("truth", truth)
+                .with("error", error)
+                .with("level", level as u64),
+        );
+        est
+    }
+
+    /// [`node_level`] plus telemetry (see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty or does not contain `node`.
+    pub fn node_level(&self, ring: &Ring, node: NodeId) -> usize {
+        self.node_level_at(ring, node, 0)
+    }
+
+    /// [`node_level`](Self::node_level) with an explicit event
+    /// timestamp (e.g. the simulation clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty or does not contain `node`.
+    pub fn node_level_at(&self, ring: &Ring, node: NodeId, t: u64) -> usize {
+        level_estimate(self.estimate_at(ring, node, t).size)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +297,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn instrumented_estimator_matches_plain_and_records_error() {
+        let registry = acn_telemetry::Registry::new();
+        let inst = InstrumentedEstimator::attach(&registry);
+        let ring = seeded_ring(256, 7);
+        let nodes: Vec<NodeId> = ring.nodes().collect();
+        for &node in nodes.iter().take(10) {
+            let plain = estimate_size(&ring, node);
+            let traced = inst.estimate(&ring, node);
+            assert_eq!(plain, traced, "telemetry must be observation-only");
+            assert_eq!(inst.node_level(&ring, node), node_level(&ring, node));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("acn.estimator.estimates"), Some(20));
+        let err = snap.gauge("acn.estimator.size_error").expect("error gauge");
+        assert!((0.0..10.0).contains(&err), "relative error {err} out of range");
+        let walks = snap.histogram("acn.estimator.walk_length").expect("walk histogram");
+        assert_eq!(walks.count, 20);
+        assert!(walks.sum > 0);
+        assert!(snap.gauge("acn.estimator.level").is_some());
+        assert!(snap.gauge("acn.estimator.size_estimate").is_some());
+    }
+
+    #[test]
+    fn default_instrumented_estimator_is_a_noop() {
+        let inst = InstrumentedEstimator::default();
+        let ring = seeded_ring(64, 3);
+        let node = ring.nodes().next().unwrap();
+        assert_eq!(inst.estimate(&ring, node), estimate_size(&ring, node));
     }
 
     #[test]

@@ -40,8 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt;
+
+use acn_telemetry::{Counter, Event as TelemetryEvent, Gauge, Histogram, Registry};
 
 /// Identifier of a process (the counting layer uses the overlay node id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -96,18 +98,76 @@ impl Default for SimConfig {
 }
 
 /// Counters the simulator maintains.
+///
+/// Two counters track messages that never reach a handler, and they are
+/// deliberately distinct:
+///
+/// - [`messages_dropped`](SimStats::messages_dropped) counts *absent
+///   destination* drops: the message was enqueued (and consumed latency
+///   randomness), but at delivery time no process was registered under
+///   the destination id — the node had left, crashed, or never existed.
+///   This applies to every send path, including
+///   [`Simulator::send_external`].
+/// - [`messages_lost`](SimStats::messages_lost) counts *loss-model*
+///   drops: the message was sent through [`Context::send_lossy`] and the
+///   configured [`SimConfig::loss_per_mille`] coin removed it at send
+///   time, before it was ever enqueued. Reliable sends are never counted
+///   here.
+///
+/// A lost message is decided at send time and consumes one RNG draw; a
+/// dropped message is decided at delivery time and still advances the
+/// link's FIFO clock.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Messages delivered to a live process.
     pub messages_delivered: u64,
-    /// Messages dropped because the destination process was absent.
+    /// Messages dropped at delivery time because the destination process
+    /// was absent (left, crashed, or never registered). See the type
+    /// docs for how this differs from [`messages_lost`](Self::messages_lost).
     pub messages_dropped: u64,
-    /// Lossy-channel messages dropped by the configured loss rate.
+    /// Lossy-channel messages removed at send time by the configured
+    /// [`SimConfig::loss_per_mille`] rate. See the type docs for how
+    /// this differs from [`messages_dropped`](Self::messages_dropped).
     pub messages_lost: u64,
     /// Timer events fired.
     pub timers_fired: u64,
     /// Events processed in total.
     pub events_processed: u64,
+}
+
+/// Pre-resolved telemetry handles for the simulator's hot path
+/// (`acn.sim.*`). All handles are no-ops until
+/// [`Simulator::attach_telemetry`] is called with an enabled registry.
+#[derive(Debug, Default)]
+struct SimMetrics {
+    /// Per-message delivery latency (delivery time − send time), ticks.
+    latency: Histogram,
+    /// Event-queue depth sampled after every processed event.
+    queue_depth: Gauge,
+    /// Messages delivered to a live process.
+    delivered: Counter,
+    /// Timer events fired.
+    timers_fired: Counter,
+    /// Absent-destination drops (mirrors `SimStats::messages_dropped`).
+    drops_absent: Counter,
+    /// Loss-model drops (mirrors `SimStats::messages_lost`).
+    drops_loss: Counter,
+    /// Event stream for per-drop `sim.drop` events.
+    registry: Registry,
+}
+
+impl SimMetrics {
+    fn attach(registry: &Registry) -> Self {
+        SimMetrics {
+            latency: registry.histogram("acn.sim.latency"),
+            queue_depth: registry.gauge("acn.sim.queue_depth"),
+            delivered: registry.counter("acn.sim.delivered"),
+            timers_fired: registry.counter("acn.sim.timers_fired"),
+            drops_absent: registry.counter("acn.sim.drops_absent"),
+            drops_loss: registry.counter("acn.sim.drops_loss"),
+            registry: registry.clone(),
+        }
+    }
 }
 
 /// The per-handler view a process uses to interact with the world.
@@ -178,6 +238,8 @@ enum Payload<M> {
 struct Event<M> {
     time: u64,
     seq: u64,
+    /// Simulated time the event was scheduled (for latency telemetry).
+    sent_at: u64,
     to: ProcessId,
     payload: Payload<M>,
 }
@@ -203,7 +265,11 @@ impl<M> Ord for Event<M> {
 
 /// The discrete-event simulator.
 pub struct Simulator<M, P> {
-    processes: HashMap<ProcessId, P>,
+    /// Registered processes. A `BTreeMap` so that `process_ids()` has a
+    /// deterministic (sorted) order: harnesses iterate it for sweeps
+    /// like component migration, and a randomized order would leak
+    /// nondeterminism into otherwise seeded runs.
+    processes: BTreeMap<ProcessId, P>,
     queue: BinaryHeap<Event<M>>,
     /// Last scheduled delivery time per (from, to) link, to enforce FIFO.
     link_clock: HashMap<(ProcessId, ProcessId), u64>,
@@ -212,6 +278,7 @@ pub struct Simulator<M, P> {
     rng: u64,
     config: SimConfig,
     stats: SimStats,
+    metrics: SimMetrics,
     outbox: Vec<(ProcessId, ProcessId, M, bool)>,
     timer_requests: Vec<(ProcessId, u64, u64)>,
 }
@@ -221,7 +288,7 @@ impl<M, P: Process<M>> Simulator<M, P> {
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
         Simulator {
-            processes: HashMap::new(),
+            processes: BTreeMap::new(),
             queue: BinaryHeap::new(),
             link_clock: HashMap::new(),
             time: 0,
@@ -229,9 +296,24 @@ impl<M, P: Process<M>> Simulator<M, P> {
             rng: config.seed,
             config,
             stats: SimStats::default(),
+            metrics: SimMetrics::default(),
             outbox: Vec::new(),
             timer_requests: Vec::new(),
         }
+    }
+
+    /// Routes the simulator's telemetry into `registry`: the
+    /// `acn.sim.latency` histogram (per-message delivery latency in
+    /// ticks), the `acn.sim.queue_depth` gauge (event-queue depth after
+    /// each event), the `acn.sim.delivered` / `acn.sim.timers_fired` /
+    /// `acn.sim.drops_absent` / `acn.sim.drops_loss` counters, and a
+    /// `sim.drop` event per dropped or lost message.
+    ///
+    /// Telemetry is strictly observation-only: attaching it changes no
+    /// delivery order, consumes no randomness, and leaves
+    /// [`SimStats`] identical to an untelemetered run.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = SimMetrics::attach(registry);
     }
 
     /// The current simulated time.
@@ -278,7 +360,8 @@ impl<M, P: Process<M>> Simulator<M, P> {
         self.processes.get_mut(&id)
     }
 
-    /// Iterates over the registered process ids.
+    /// Iterates over the registered process ids in ascending order
+    /// (deterministic, so harness sweeps over processes are replayable).
     pub fn process_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.processes.keys().copied()
     }
@@ -293,7 +376,8 @@ impl<M, P: Process<M>> Simulator<M, P> {
     pub fn set_timer_external(&mut self, on: ProcessId, delay: u64, tag: u64) {
         let time = self.time + delay;
         let seq = self.next_seq();
-        self.queue.push(Event { time, seq, to: on, payload: Payload::Timer { tag } });
+        let sent_at = self.time;
+        self.queue.push(Event { time, seq, sent_at, to: on, payload: Payload::Timer { tag } });
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -307,6 +391,14 @@ impl<M, P: Process<M>> Simulator<M, P> {
             && splitmix(&mut self.rng) % 1000 < u64::from(self.config.loss_per_mille)
         {
             self.stats.messages_lost += 1;
+            self.metrics.drops_loss.inc();
+            self.metrics.registry.emit(
+                TelemetryEvent::new("sim.drop")
+                    .at(self.time)
+                    .node(to.0)
+                    .with("cause", "loss")
+                    .with("from", from.0),
+            );
             return;
         }
         let latency = self.config.base_latency
@@ -318,7 +410,8 @@ impl<M, P: Process<M>> Simulator<M, P> {
         let time = earliest.max(*clock + 1);
         *clock = time;
         let seq = self.next_seq();
-        self.queue.push(Event { time, seq, to, payload: Payload::Message { from, msg } });
+        let sent_at = self.time;
+        self.queue.push(Event { time, seq, sent_at, to, payload: Payload::Message { from, msg } });
     }
 
     /// Processes a single event. Returns `false` if the queue is empty.
@@ -331,9 +424,18 @@ impl<M, P: Process<M>> Simulator<M, P> {
         self.stats.events_processed += 1;
         // Take the process out to sidestep aliasing with the context.
         let Some(mut process) = self.processes.remove(&event.to) else {
-            if matches!(event.payload, Payload::Message { .. }) {
+            if let Payload::Message { from, .. } = &event.payload {
                 self.stats.messages_dropped += 1;
+                self.metrics.drops_absent.inc();
+                self.metrics.registry.emit(
+                    TelemetryEvent::new("sim.drop")
+                        .at(self.time)
+                        .node(event.to.0)
+                        .with("cause", "absent")
+                        .with("from", from.0),
+                );
             }
+            self.metrics.queue_depth.set(self.queue.len() as f64);
             return true;
         };
         {
@@ -347,10 +449,13 @@ impl<M, P: Process<M>> Simulator<M, P> {
             match event.payload {
                 Payload::Message { from, msg } => {
                     self.stats.messages_delivered += 1;
+                    self.metrics.delivered.inc();
+                    self.metrics.latency.record(event.time.saturating_sub(event.sent_at));
                     process.on_message(&mut ctx, from, msg);
                 }
                 Payload::Timer { tag } => {
                     self.stats.timers_fired += 1;
+                    self.metrics.timers_fired.inc();
                     process.on_timer(&mut ctx, tag);
                 }
             }
@@ -365,8 +470,10 @@ impl<M, P: Process<M>> Simulator<M, P> {
         for (on, delay, tag) in timers {
             let time = self.time + delay.max(1);
             let seq = self.next_seq();
-            self.queue.push(Event { time, seq, to: on, payload: Payload::Timer { tag } });
+            let sent_at = self.time;
+            self.queue.push(Event { time, seq, sent_at, to: on, payload: Payload::Timer { tag } });
         }
+        self.metrics.queue_depth.set(self.queue.len() as f64);
         true
     }
 
@@ -565,6 +672,117 @@ mod tests {
         assert!(lossy.messages_delivered < clean.messages_delivered);
         // Determinism across runs.
         assert_eq!(run(200), lossy);
+    }
+
+    #[test]
+    fn dropped_means_absent_destination_not_loss_model() {
+        // A reliable send to a never-registered process: counted as
+        // dropped (absent destination), never as lost.
+        let mut sim: Simulator<u32, PingPong> = Simulator::new(SimConfig {
+            base_latency: 1,
+            jitter: 0,
+            loss_per_mille: 1000, // full loss, but only for lossy sends
+            seed: 5,
+        });
+        sim.send_external(ProcessId(9), 1);
+        assert!(sim.run_until_idle(10));
+        let stats = sim.stats();
+        assert_eq!(stats.messages_dropped, 1, "absent destination counts as dropped");
+        assert_eq!(stats.messages_lost, 0, "reliable sends never hit the loss model");
+    }
+
+    #[test]
+    fn lost_means_loss_model_not_absent_destination() {
+        // A lossy send to a *live* process under 100% loss: counted as
+        // lost at send time, never as dropped.
+        struct LossySender;
+        impl Process<u32> for LossySender {
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ProcessId, msg: u32) {
+                if msg > 0 {
+                    ctx.send_lossy(ctx.self_id(), msg - 1);
+                }
+            }
+        }
+        let mut sim: Simulator<u32, LossySender> = Simulator::new(SimConfig {
+            base_latency: 1,
+            jitter: 0,
+            loss_per_mille: 1000,
+            seed: 5,
+        });
+        sim.add_process(ProcessId(1), LossySender);
+        sim.send_external(ProcessId(1), 3);
+        assert!(sim.run_until_idle(10));
+        let stats = sim.stats();
+        assert_eq!(stats.messages_delivered, 1, "the external injection still arrives");
+        assert_eq!(stats.messages_lost, 1, "the lossy resend dies at send time");
+        assert_eq!(stats.messages_dropped, 0, "a live destination never counts as dropped");
+    }
+
+    #[test]
+    fn send_external_to_departed_process_is_dropped() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulator<u32, Recorder> = Simulator::new(SimConfig::default());
+        sim.add_process(ProcessId(4), Recorder { log: Rc::clone(&log) });
+        sim.send_external(ProcessId(4), 1);
+        assert!(sim.run_until_idle(10));
+        assert_eq!(sim.stats().messages_delivered, 1);
+        // The node departs; a late external injection is dropped and
+        // counted, not delivered and not "lost".
+        sim.remove_process(ProcessId(4));
+        sim.send_external(ProcessId(4), 2);
+        assert!(sim.run_until_idle(10));
+        let stats = sim.stats();
+        assert_eq!(stats.messages_delivered, 1);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_lost, 0);
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_and_tags_drop_causes() {
+        use acn_telemetry::{RingBufferSink, Value};
+
+        let registry = Registry::new();
+        let sink = RingBufferSink::with_capacity(128);
+        registry.add_sink(sink.clone());
+
+        struct LossyForwarder;
+        impl Process<u32> for LossyForwarder {
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ProcessId, msg: u32) {
+                if msg > 0 {
+                    ctx.send_lossy(ProcessId(2), msg - 1);
+                }
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, u32>, _: u64) {}
+        }
+        let mut sim: Simulator<u32, LossyForwarder> = Simulator::new(SimConfig {
+            base_latency: 3,
+            jitter: 4,
+            loss_per_mille: 1000,
+            seed: 11,
+        });
+        sim.attach_telemetry(&registry);
+        sim.add_process(ProcessId(1), LossyForwarder);
+        sim.send_external(ProcessId(1), 5); // delivered; lossy resend lost
+        sim.send_external(ProcessId(3), 1); // absent: dropped
+        sim.set_timer_external(ProcessId(1), 7, 0);
+        assert!(sim.run_until_idle(100));
+
+        let stats = sim.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("acn.sim.delivered"), Some(stats.messages_delivered));
+        assert_eq!(snap.counter("acn.sim.drops_absent"), Some(stats.messages_dropped));
+        assert_eq!(snap.counter("acn.sim.drops_loss"), Some(stats.messages_lost));
+        assert_eq!(snap.counter("acn.sim.timers_fired"), Some(stats.timers_fired));
+        let latency = snap.histogram("acn.sim.latency").expect("latency histogram");
+        assert_eq!(latency.count, stats.messages_delivered);
+        assert!(latency.sum >= 3 * stats.messages_delivered, "latency >= base");
+        assert_eq!(snap.gauge("acn.sim.queue_depth"), Some(0.0), "idle queue is empty");
+
+        let drops = sink.events_of_kind("sim.drop");
+        assert_eq!(drops.len() as u64, stats.messages_dropped + stats.messages_lost);
+        assert!(drops.iter().any(|e| e.field("cause") == Some(&Value::Str("absent".into()))));
+        assert!(drops.iter().any(|e| e.field("cause") == Some(&Value::Str("loss".into()))));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Structured events: `{t, node, component, kind, fields}` with a
+//! small tagged value type and JSONL-friendly serialization.
+
+use crate::json::{push_f64, push_str_literal};
+
+/// A field value attached to an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, ticks).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Floating point (ratios, errors).
+    F64(f64),
+    /// Free-form text (causes, labels).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+/// One structured occurrence in the system: what happened
+/// ([`kind`](Event::kind)), when ([`t`](Event::t)), where
+/// ([`node`](Event::node) / [`component`](Event::component)), and any
+/// extra key/value detail ([`fields`](Event::fields)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Logical timestamp (simulation ticks or a harness-defined clock).
+    pub t: u64,
+    /// The node / process the event is attributed to, if any.
+    pub node: Option<u64>,
+    /// The network component (cut element) involved, if any.
+    pub component: Option<String>,
+    /// Event kind under the `layer.verb` convention
+    /// (`"split.begin"`, `"sim.drop"`, ...).
+    pub kind: &'static str,
+    /// Ordered extra fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event of `kind` at time zero with no attribution.
+    #[must_use]
+    pub fn new(kind: &'static str) -> Self {
+        Event { t: 0, node: None, component: None, kind, fields: Vec::new() }
+    }
+
+    /// Sets the timestamp.
+    #[must_use]
+    pub fn at(mut self, t: u64) -> Self {
+        self.t = t;
+        self
+    }
+
+    /// Attributes the event to a node / process id.
+    #[must_use]
+    pub fn node(mut self, node: u64) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Attributes the event to a network component.
+    #[must_use]
+    pub fn component(mut self, component: impl Into<String>) -> Self {
+        self.component = Some(component.into());
+        self
+    }
+
+    /// Appends a `key = value` field.
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The first field named `key`, if present.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// One-line JSON object (the JSONL sink writes exactly this).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"t\":");
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", self.t));
+        out.push_str(",\"kind\":");
+        push_str_literal(&mut out, self.kind);
+        if let Some(node) = self.node {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"node\":{node}"));
+        }
+        if let Some(component) = &self.component {
+            out.push_str(",\"component\":");
+            push_str_literal(&mut out, component);
+        }
+        for (key, value) in &self.fields {
+            out.push(',');
+            push_str_literal(&mut out, key);
+            out.push(':');
+            match value {
+                Value::U64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                Value::I64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                Value::F64(v) => push_f64(&mut out, *v),
+                Value::Str(s) => push_str_literal(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_fills_all_parts() {
+        let e = Event::new("split.begin")
+            .at(42)
+            .node(7)
+            .component("w=3;[2,4)")
+            .with("level", 3u64)
+            .with("cause", "overload");
+        assert_eq!(e.t, 42);
+        assert_eq!(e.node, Some(7));
+        assert_eq!(e.component.as_deref(), Some("w=3;[2,4)"));
+        assert_eq!(e.field("level"), Some(&Value::U64(3)));
+        assert_eq!(e.field("cause"), Some(&Value::Str("overload".into())));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let e = Event::new("sim.drop").at(9).node(1).with("reason", "loss").with("len", 3u64);
+        assert_eq!(
+            e.to_json(),
+            "{\"t\":9,\"kind\":\"sim.drop\",\"node\":1,\"reason\":\"loss\",\"len\":3}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_floats() {
+        let e = Event::new("x").with("s", "a\"b").with("f", 0.5).with("bad", f64::NAN);
+        let json = e.to_json();
+        assert!(json.contains("\"s\":\"a\\\"b\""));
+        assert!(json.contains("\"f\":0.5"));
+        assert!(json.contains("\"bad\":null"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! Two implementations ship with the crate — an in-memory
+//! [`RingBufferSink`] for tests and interactive inspection, and a
+//! [`JsonlSink`] that streams one JSON object per line for harness
+//! artifacts. Anything else can implement [`EventSink`].
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::event::Event;
+
+/// A destination for emitted events.
+///
+/// Implementations must be cheap and must never panic on emit: sinks
+/// run inline on instrumented hot paths.
+pub trait EventSink: Send + Sync {
+    /// Receives one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output (default: nothing to do).
+    fn flush(&self) {}
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An in-memory sink keeping the most recent `capacity` events.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingBufferSink {
+    /// A ring buffer holding at most `capacity` events (older events
+    /// are discarded first).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(RingBufferSink { capacity, events: Mutex::new(VecDeque::new()) })
+    }
+
+    /// All retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        relock(self.events.lock()).iter().cloned().collect()
+    }
+
+    /// Retained events of the given kind, oldest first.
+    #[must_use]
+    pub fn events_of_kind(&self, kind: &str) -> Vec<Event> {
+        relock(self.events.lock()).iter().filter(|e| e.kind == kind).cloned().collect()
+    }
+
+    /// How many retained events have the given kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: &str) -> usize {
+        relock(self.events.lock()).iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        relock(self.events.lock()).len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all retained events.
+    pub fn clear(&self) {
+        relock(self.events.lock()).clear();
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn emit(&self, event: &Event) {
+        let mut events = relock(self.events.lock());
+        if self.capacity == 0 {
+            return;
+        }
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// A sink appending one JSON object per event to a file (JSONL).
+///
+/// Output is buffered; call [`EventSink::flush`] (or rely on `Drop`)
+/// before reading the file.
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Arc<Self>> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Arc::new(JsonlSink { path, writer: Mutex::new(BufWriter::new(file)) }))
+    }
+
+    /// The file this sink writes to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut writer = relock(self.writer.lock());
+        // Best-effort: a full disk must not take down the system under
+        // observation.
+        let _ = writeln!(writer, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = relock(self.writer.lock()).flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = relock(self.writer.lock()).flush();
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").field("path", &self.path).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let sink = RingBufferSink::with_capacity(2);
+        for kind in ["a", "b", "c"] {
+            sink.emit(&Event::new(kind));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "b");
+        assert_eq!(events[1].kind, "c");
+        assert_eq!(sink.count_kind("c"), 1);
+        assert_eq!(sink.count_kind("a"), 0);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_ring_buffer_drops_everything() {
+        let sink = RingBufferSink::with_capacity(0);
+        sink.emit(&Event::new("x"));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("acn-telemetry-test-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).expect("create sink");
+            assert_eq!(sink.path(), path.as_path());
+            sink.emit(&Event::new("a").at(1));
+            sink.emit(&Event::new("b").at(2).with("n", 5u64));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":1,\"kind\":\"a\""));
+        assert!(lines[1].contains("\"n\":5"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,280 @@
+//! Point-in-time captures of a registry and window diffs between them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{push_f64, push_str_literal};
+use crate::metrics::bucket_bounds;
+
+/// The captured state of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts ([`crate::BUCKET_COUNT`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+        }
+    }
+}
+
+/// The captured value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge's latest value.
+    Gauge(f64),
+    /// A histogram's full state.
+    Histogram(HistogramSnapshot),
+}
+
+/// An ordered capture of every metric in a registry.
+///
+/// Obtained from [`crate::Registry::snapshot`]; [`Snapshot::diff`]
+/// isolates the activity between two captures.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    pub(crate) fn insert(&mut self, name: &str, value: MetricValue) {
+        self.metrics.insert(name.to_owned(), value);
+    }
+
+    /// Number of captured metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether nothing was captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The counter named `name`, if captured as one.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge named `name`, if captured as one.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram named `name`, if captured as one.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The activity between `earlier` and `self`.
+    ///
+    /// Counters and histograms subtract (saturating, so a metric that
+    /// only exists in `self` passes through unchanged); gauges keep the
+    /// latest value. Metrics present only in `earlier` are omitted.
+    #[must_use]
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (name, now) in &self.metrics {
+            let value = match (now, earlier.metrics.get(name)) {
+                (MetricValue::Counter(n), Some(MetricValue::Counter(e))) => {
+                    MetricValue::Counter(n.saturating_sub(*e))
+                }
+                (MetricValue::Histogram(n), Some(MetricValue::Histogram(e))) => {
+                    MetricValue::Histogram(n.diff(e))
+                }
+                (now, _) => now.clone(),
+            };
+            out.metrics.insert(name.clone(), value);
+        }
+        out
+    }
+
+    /// One JSON object mapping metric names to values. Histograms
+    /// render as `{"count", "sum", "buckets"}` with zero buckets
+    /// omitted (`"buckets"` maps bucket index to count).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        let mut first = true;
+        for (name, value) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_str_literal(&mut out, name);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                MetricValue::Gauge(v) => push_f64(&mut out, *v),
+                MetricValue::Histogram(h) => {
+                    let _ = std::fmt::Write::write_fmt(
+                        &mut out,
+                        format_args!("{{\"count\":{},\"sum\":{},\"buckets\":{{", h.count, h.sum),
+                    );
+                    let mut first_bucket = true;
+                    for (i, n) in h.buckets.iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        if !first_bucket {
+                            out.push(',');
+                        }
+                        first_bucket = false;
+                        let _ = std::fmt::Write::write_fmt(
+                            &mut out,
+                            format_args!("\"{i}\":{n}"),
+                        );
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => writeln!(f, "{name:<44} {v}")?,
+                MetricValue::Gauge(v) => writeln!(f, "{name:<44} {v}")?,
+                MetricValue::Histogram(h) => {
+                    let mean =
+                        h.mean().map_or_else(|| "-".to_owned(), |m| format!("{m:.2}"));
+                    writeln!(
+                        f,
+                        "{name:<44} count={} sum={} mean={mean}",
+                        h.count, h.sum
+                    )?;
+                    for (i, n) in h.buckets.iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        let (lo, hi) = bucket_bounds(i);
+                        writeln!(f, "    [{lo}, {hi}] {n}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(buckets: &[(usize, u64)], count: u64, sum: u64) -> HistogramSnapshot {
+        let mut b = vec![0u64; crate::BUCKET_COUNT];
+        for &(i, n) in buckets {
+            b[i] = n;
+        }
+        HistogramSnapshot { count, sum, buckets: b }
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_gauges() {
+        let mut earlier = Snapshot::default();
+        earlier.insert("c", MetricValue::Counter(5));
+        earlier.insert("g", MetricValue::Gauge(0.1));
+        let mut now = Snapshot::default();
+        now.insert("c", MetricValue::Counter(9));
+        now.insert("g", MetricValue::Gauge(0.9));
+        now.insert("new", MetricValue::Counter(2));
+        let d = now.diff(&earlier);
+        assert_eq!(d.counter("c"), Some(4));
+        assert_eq!(d.gauge("g"), Some(0.9));
+        assert_eq!(d.counter("new"), Some(2));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn histogram_diff_is_per_bucket() {
+        let earlier = hist(&[(1, 2), (3, 1)], 3, 10);
+        let now = hist(&[(1, 5), (3, 1), (7, 2)], 8, 300);
+        let d = now.diff(&earlier);
+        assert_eq!(d.count, 5);
+        assert_eq!(d.sum, 290);
+        assert_eq!(d.buckets[1], 3);
+        assert_eq!(d.buckets[3], 0);
+        assert_eq!(d.buckets[7], 2);
+    }
+
+    #[test]
+    fn json_omits_empty_buckets() {
+        let mut snap = Snapshot::default();
+        snap.insert("h", MetricValue::Histogram(hist(&[(0, 1), (4, 2)], 3, 20)));
+        snap.insert("c", MetricValue::Counter(7));
+        assert_eq!(
+            snap.to_json(),
+            "{\"c\":7,\"h\":{\"count\":3,\"sum\":20,\"buckets\":{\"0\":1,\"4\":2}}}"
+        );
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut snap = Snapshot::default();
+        snap.insert("acn.test.c", MetricValue::Counter(3));
+        snap.insert("acn.test.h", MetricValue::Histogram(hist(&[(2, 4)], 4, 10)));
+        let text = snap.to_string();
+        assert!(text.contains("acn.test.c"));
+        assert!(text.contains("count=4 sum=10 mean=2.50"));
+        assert!(text.contains("[2, 3] 4"));
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(hist(&[], 0, 0).mean(), None);
+        assert_eq!(hist(&[(1, 2)], 2, 6).mean(), Some(3.0));
+    }
+}

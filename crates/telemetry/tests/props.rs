@@ -1,0 +1,75 @@
+//! Property tests for the log₂ histogram (satellite of the
+//! observability PR): bucket layout, sample placement, and count/sum
+//! round-trips through `Snapshot::diff`.
+
+use acn_telemetry::{bucket_bounds, bucket_of, Registry, BUCKET_COUNT};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket bounds tile the u64 range: monotone, contiguous, gap-free.
+    #[test]
+    fn bucket_bounds_are_monotone_and_contiguous(i in 1usize..BUCKET_COUNT) {
+        let (prev_lo, prev_hi) = bucket_bounds(i - 1);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(prev_lo <= prev_hi, "bucket {} inverted", i - 1);
+        prop_assert!(lo <= hi, "bucket {i} inverted");
+        prop_assert_eq!(lo, prev_hi + 1, "gap or overlap between buckets {} and {}", i - 1, i);
+    }
+
+    /// Every sample lands in exactly the bucket whose bounds contain it.
+    #[test]
+    fn every_sample_falls_in_exactly_one_bucket(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < BUCKET_COUNT);
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {b} = [{lo}, {hi}]");
+        // No other bucket contains it (bounds are contiguous, so it is
+        // enough to check the neighbours).
+        if b > 0 {
+            let (_, prev_hi) = bucket_bounds(b - 1);
+            prop_assert!(prev_hi < v);
+        }
+        if b + 1 < BUCKET_COUNT {
+            let (next_lo, _) = bucket_bounds(b + 1);
+            prop_assert!(v < next_lo);
+        }
+    }
+
+    /// Recording arbitrary samples: count and sum survive the round trip
+    /// through `Registry::snapshot` and `Snapshot::diff`, and the bucket
+    /// vector accounts for every sample.
+    ///
+    /// Samples are capped at 2^56 so the aggregate sum cannot overflow
+    /// `u64`: histogram sums (like all metric totals) assume the
+    /// lifetime total fits in a `u64`, which every realistic
+    /// duration/size series satisfies by a wide margin.
+    #[test]
+    fn count_and_sum_round_trip_through_snapshot_diff(
+        warmup in proptest::collection::vec(0u64..(1 << 56), 0..20),
+        samples in proptest::collection::vec(0u64..(1 << 56), 1..100),
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("acn.test.prop_hist");
+        for &v in &warmup {
+            hist.record(v);
+        }
+        let before = registry.snapshot();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let delta = registry.snapshot().diff(&before);
+        let snap = delta.histogram("acn.test.prop_hist").expect("histogram in diff");
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        let expected_sum: u64 = samples.iter().sum();
+        prop_assert_eq!(snap.sum, expected_sum, "sum mismatch");
+        prop_assert_eq!(
+            snap.buckets.iter().sum::<u64>(),
+            samples.len() as u64,
+            "buckets must account for every sample"
+        );
+        // Each sample's bucket is non-empty in the delta.
+        for &v in &samples {
+            prop_assert!(snap.buckets[bucket_of(v)] > 0);
+        }
+    }
+}

@@ -111,7 +111,7 @@ pub fn parent_input_to_child(
         // y side depends on the wiring style.
         ComponentKind::Merger => {
             if port < half {
-                if port % 2 == 0 {
+                if port.is_multiple_of(2) {
                     (0, port / 2)
                 } else {
                     (1, port / 2)
@@ -120,7 +120,7 @@ pub fn parent_input_to_child(
                 let q = port - half;
                 let to_top = match style {
                     WiringStyle::Ahs => q % 2 == 1,
-                    WiringStyle::PaperLiteral => q % 2 == 0,
+                    WiringStyle::PaperLiteral => q.is_multiple_of(2),
                 };
                 if to_top {
                     (0, quarter + q / 2)
@@ -165,7 +165,7 @@ pub fn child_output_destination(
             // Top BITONIC: even outputs feed the top MERGER's top inputs,
             // odd outputs the bottom MERGER's top inputs.
             0 => {
-                if port % 2 == 0 {
+                if port.is_multiple_of(2) {
                     ChildOutput::Sibling { child: 2, port: port / 2 }
                 } else {
                     ChildOutput::Sibling { child: 3, port: port / 2 }
@@ -176,7 +176,7 @@ pub fn child_output_destination(
             1 => {
                 let to_top = match style {
                     WiringStyle::Ahs => port % 2 == 1,
-                    WiringStyle::PaperLiteral => port % 2 == 0,
+                    WiringStyle::PaperLiteral => port.is_multiple_of(2),
                 };
                 if to_top {
                     ChildOutput::Sibling { child: 2, port: quarter + port / 2 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full local gate: release build, test suite, and lint-clean clippy.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -13,6 +13,8 @@
 //!   distributed runtimes, split/merge protocols, routing).
 //! - [`periodic`] — the adaptive *periodic* network: the paper's
 //!   generality claim transferred to a second recursive decomposition.
+//! - [`telemetry`] — metrics registry and structured event tracing used
+//!   to observe all of the above (see `DESIGN.md` §"Telemetry").
 
 pub use acn_bitonic as bitonic;
 pub use acn_core as core;
@@ -20,4 +22,5 @@ pub use acn_estimator as estimator;
 pub use acn_overlay as overlay;
 pub use acn_periodic as periodic;
 pub use acn_simnet as simnet;
+pub use acn_telemetry as telemetry;
 pub use acn_topology as topology;

@@ -56,7 +56,7 @@ fn converged_cut_counts_under_interleaved_traffic() {
         let mut in_flight: Vec<TokenPos> = Vec::new();
         let mut seed = 99u64;
         for _ in 0..2000 {
-            if splitmix64(&mut seed) % 3 == 0 {
+            if splitmix64(&mut seed).is_multiple_of(3) {
                 in_flight.push(net.inject((splitmix64(&mut seed) as usize) % 64));
             } else if !in_flight.is_empty() {
                 let i = (splitmix64(&mut seed) as usize) % in_flight.len();

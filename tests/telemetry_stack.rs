@@ -1,0 +1,137 @@
+//! Stack-level telemetry tests:
+//!
+//! 1. Telemetry is observation-only — a seeded deployment produces
+//!    bit-identical results with and without a registry attached
+//!    (regression guard: instrumentation must never consume RNG draws
+//!    or change control flow).
+//! 2. A churn scenario populates the full metric and event surface —
+//!    every layer's instruments are asserted in one place.
+
+use adaptive_counting_networks::core::dist::Deployment;
+use adaptive_counting_networks::overlay::NodeId;
+use adaptive_counting_networks::simnet::SimStats;
+use adaptive_counting_networks::telemetry::{Registry, RingBufferSink, Snapshot, Value};
+use adaptive_counting_networks::topology::Cut;
+
+/// One deterministic churn scenario: grow 4 → 16 nodes with traffic,
+/// then shrink back to 6, settling at each phase boundary.
+fn run_scenario(registry: Option<&Registry>) -> (SimStats, Vec<u64>, u64, u64, Cut) {
+    let w = 64;
+    let mut d = Deployment::new(w, 4, 0xD37E);
+    if let Some(r) = registry {
+        d.attach_telemetry(r);
+    }
+    for i in 0..40usize {
+        d.inject((i * 13) % w);
+        d.run_for(50);
+    }
+    for j in 0..12usize {
+        d.join_node();
+        for i in 0..4usize {
+            d.inject((j * 17 + i * 5) % w);
+            d.run_for(50);
+        }
+    }
+    assert!(d.settle(300), "failed to settle after growth");
+    d.run_for(100_000);
+    let victims: Vec<NodeId> = d.world.borrow().ring.nodes().take(10).collect();
+    for (j, v) in victims.into_iter().enumerate() {
+        d.leave_node(v);
+        d.inject((j * 11) % w);
+        d.run_for(50);
+        d.migrate_components();
+    }
+    d.run_for(100_000);
+    assert!(d.settle(300), "failed to settle after shrink");
+    let (cut, busy) = d.live_cut();
+    assert!(!busy, "deployment must be quiescent right after settling");
+    let world = d.world.borrow();
+    (d.sim.stats(), d.collector().counts.clone(), world.splits_done, world.merges_done, cut)
+}
+
+#[test]
+fn telemetry_is_observation_only() {
+    let baseline = run_scenario(None);
+
+    // Attached registry with an event sink: same seed, same behaviour.
+    let registry = Registry::new();
+    let sink = RingBufferSink::with_capacity(1 << 20);
+    registry.add_sink(sink);
+    let observed = run_scenario(Some(&registry));
+    assert_eq!(baseline, observed, "telemetry changed deployment behaviour");
+
+    // And twice with telemetry: identical results *and* identical
+    // metric snapshots (the instruments themselves are deterministic).
+    let registry2 = Registry::new();
+    let observed2 = run_scenario(Some(&registry2));
+    assert_eq!(observed, observed2);
+    let render = |s: &Snapshot| s.to_json();
+    assert_eq!(
+        render(&registry.snapshot()),
+        render(&registry2.snapshot()),
+        "metric snapshots differ between identical seeded runs"
+    );
+}
+
+#[test]
+fn churn_scenario_populates_the_full_metric_surface() {
+    let registry = Registry::new();
+    let sink = RingBufferSink::with_capacity(1 << 20);
+    registry.add_sink(sink.clone());
+    let (stats, counts, splits_done, merges_done, _cut) = run_scenario(Some(&registry));
+    let injected: u64 = counts.iter().sum();
+    assert!(injected > 0 && splits_done > 0 && merges_done > 0, "scenario too quiet");
+    let snap = registry.snapshot();
+
+    // --- simnet layer ---
+    assert_eq!(snap.counter("acn.sim.delivered"), Some(stats.messages_delivered)); // 1
+    let latency = snap.histogram("acn.sim.latency").expect("sim latency"); // 2
+    assert_eq!(latency.count, stats.messages_delivered);
+    assert!(latency.sum > 0, "messages take nonzero simulated time");
+    assert_eq!(snap.counter("acn.sim.timers_fired"), Some(stats.timers_fired)); // 3
+    assert!(stats.timers_fired > 0);
+    // At quiescence the queue still holds the armed level timers, so the
+    // gauge is present and small but not necessarily zero.
+    let depth = snap.gauge("acn.sim.queue_depth").expect("queue depth gauge"); // 4
+    assert!(depth >= 0.0 && depth.fract() == 0.0, "queue depth is a whole count, got {depth}");
+    assert_eq!(snap.counter("acn.sim.drops_absent"), Some(stats.messages_dropped)); // 5
+
+    // --- dist runtime layer ---
+    assert_eq!(snap.counter("acn.dist.splits"), Some(splits_done)); // 6
+    assert_eq!(snap.counter("acn.dist.merges"), Some(merges_done)); // 7
+    let split_dur = snap.histogram("acn.dist.split_duration").expect("split durations"); // 8
+    assert_eq!(split_dur.count, splits_done);
+    assert!(split_dur.sum > 0, "multi-node splits must take positive time");
+    let hops = snap.histogram("acn.dist.routing_hops").expect("routing hops"); // 9
+    assert_eq!(hops.count, injected, "every exited token records its hop count");
+    assert!(hops.sum > 0, "routed increments must record >= 1 inter-node hop");
+    assert!(snap.counter("acn.dist.dht_lookups").unwrap_or(0) > 0); // 10
+    assert_eq!(snap.counter("acn.dist.exits"), Some(injected)); // 11
+    let tok_latency = snap.histogram("acn.dist.token_latency").expect("token latency"); // 12
+    assert_eq!(tok_latency.count, injected);
+    assert!(snap.counter("acn.dist.component_migrations").unwrap_or(0) > 0); // 13
+    assert!(snap.counter("acn.dist.level_changes").unwrap_or(0) > 0); // 14
+
+    // --- estimator layer ---
+    assert!(snap.counter("acn.estimator.estimates").unwrap_or(0) > 0); // 15
+    let err = snap.gauge("acn.estimator.size_error").expect("size error gauge"); // 16
+    assert!(err.is_finite() && err >= 0.0);
+    assert!(snap.histogram("acn.estimator.walk_length").expect("walks").count > 0); // 17
+
+    // --- event stream ---
+    let begins = sink.count_kind("split.begin");
+    let ends = sink.count_kind("split.end");
+    assert_eq!(ends as u64, splits_done);
+    assert!(begins >= ends, "every completed split began");
+    assert!(
+        sink.events_of_kind("split.end").iter().any(|e| {
+            matches!(e.field("duration"), Some(&Value::U64(d)) if d > 0)
+        }),
+        "at least one split.end must carry a positive duration"
+    );
+    assert_eq!(sink.count_kind("merge.end") as u64, merges_done);
+    assert!(sink.count_kind("merge.begin") >= sink.count_kind("merge.end"));
+    assert!(sink.count_kind("estimator.estimate") > 0);
+    assert!(sink.count_kind("dist.level_change") > 0);
+    assert!(sink.count_kind("dist.migrate") > 0);
+}
