@@ -41,6 +41,7 @@ impl CentralCounter {
 
 impl Counter for CentralCounter {
     fn next(&self) -> u64 {
+        // lint: relaxed-ok(single fetch_add cell; values come from one modification order, no cross-location ordering needed)
         self.value.fetch_add(1, Ordering::Relaxed)
     }
 }
@@ -102,6 +103,7 @@ impl Counter for TreeCounter {
         // Walk from the root (heap index 1) to a leaf.
         let mut node = 1usize;
         while node < self.leaves {
+            // lint: relaxed-ok(toggle parity only needs the per-toggle modification order; balancer safety is location-local)
             let bit = self.toggles[node].fetch_add(1, Ordering::Relaxed) % 2;
             node = 2 * node + bit as usize;
         }
@@ -115,6 +117,7 @@ impl Counter for TreeCounter {
         } else {
             (heap_leaf.reverse_bits() >> (usize::BITS - depth)) & (self.leaves - 1)
         };
+        // lint: relaxed-ok(per-leaf round counter; each leaf's modification order alone makes leaf values disjoint)
         let round = self.leaf_counts[leaf].fetch_add(1, Ordering::Relaxed);
         leaf as u64 + round * self.leaves as u64
     }

@@ -1,7 +1,6 @@
 //! Lock-free concurrent execution of balancing networks.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use acn_sync::{Ordering, RealSync, SyncApi, SyncAtomicU64};
 use acn_telemetry::{Counter as TelemetryCounter, Histogram, Registry};
 
 use crate::baselines::Counter;
@@ -38,6 +37,9 @@ impl BitonicMetrics {
 /// overlapping operations are not linearizable — but no value is ever
 /// duplicated or skipped.
 ///
+/// Generic over [`SyncApi`] (default [`RealSync`]): the production
+/// executor and the model-checked artifact are the same code.
+///
 /// # Example
 ///
 /// ```
@@ -49,25 +51,41 @@ impl BitonicMetrics {
 /// assert_eq!(seen, (0..10).collect::<Vec<u64>>());
 /// ```
 #[derive(Debug)]
-pub struct AtomicNetworkCounter {
+pub struct AtomicNetworkCounter<S: SyncApi = RealSync>
+where
+    S::AtomicU64: std::fmt::Debug,
+{
     net: BalancingNetwork,
-    toggles: Vec<AtomicU64>,
-    wire_counts: Vec<AtomicU64>,
-    arrivals: AtomicU64,
+    toggles: Vec<S::AtomicU64>,
+    wire_counts: Vec<S::AtomicU64>,
+    arrivals: S::AtomicU64,
     metrics: BitonicMetrics,
 }
 
-impl AtomicNetworkCounter {
+impl AtomicNetworkCounter<RealSync> {
     /// Wraps a balancing network into a concurrent counter.
     #[must_use]
     pub fn new(net: BalancingNetwork) -> Self {
-        let toggles = (0..net.balancer_count()).map(|_| AtomicU64::new(0)).collect();
-        let wire_counts = (0..net.width()).map(|_| AtomicU64::new(0)).collect();
+        Self::new_in(net)
+    }
+}
+
+impl<S: SyncApi> AtomicNetworkCounter<S>
+where
+    S::AtomicU64: std::fmt::Debug,
+{
+    /// Wraps a balancing network into a concurrent counter under an
+    /// explicit [`SyncApi`] (the model checker instantiates this with
+    /// `VirtualSync`).
+    #[must_use]
+    pub fn new_in(net: BalancingNetwork) -> Self {
+        let toggles = (0..net.balancer_count()).map(|_| S::AtomicU64::new(0)).collect();
+        let wire_counts = (0..net.width()).map(|_| S::AtomicU64::new(0)).collect();
         AtomicNetworkCounter {
             net,
             toggles,
             wire_counts,
-            arrivals: AtomicU64::new(0),
+            arrivals: S::AtomicU64::new(0),
             metrics: BitonicMetrics::default(),
         }
     }
@@ -99,6 +117,7 @@ impl AtomicNetworkCounter {
         loop {
             match dest {
                 Dest::Balancer(b) => {
+                    // lint: relaxed-ok(the toggle's own RMW modification order alternates ports regardless of cross-balancer visibility; the step property is only claimed at quiescence)
                     let port = (self.toggles[b].fetch_add(1, Ordering::Relaxed) % 2) as usize;
                     depth += 1;
                     dest = self.net.balancer_outputs(b)[port];
@@ -113,23 +132,36 @@ impl AtomicNetworkCounter {
     }
 
     /// Tokens that have exited on each wire so far (a quiescent snapshot
-    /// of this vector has the step property).
+    /// of this vector has the step property). `Acquire` pairs with the
+    /// caller's quiescence protocol (thread join or stronger).
     #[must_use]
     pub fn output_counts(&self) -> Vec<u64> {
-        self.wire_counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.wire_counts.iter().map(|c| c.load(Ordering::Acquire)).collect()
     }
-}
 
-impl Counter for AtomicNetworkCounter {
-    fn next(&self) -> u64 {
+    /// Hands out the next counter value (round-robin arrival wire).
+    /// Exposed inherently so `SyncApi`-generic callers (the model
+    /// checker) can use it without importing the [`Counter`] trait.
+    pub fn next_value(&self) -> u64 {
         let w = self.net.width();
         // Spread arrivals across input wires round-robin, as independent
         // clients would.
+        // lint: relaxed-ok(wire assignment is load-balancing only; any interleaving of the arrival RMW is equally correct)
         let wire = (self.arrivals.fetch_add(1, Ordering::Relaxed) % w as u64) as usize;
         self.metrics.tokens.inc();
         let out = self.traverse(wire);
+        // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
         let round = self.wire_counts[out].fetch_add(1, Ordering::Relaxed);
         out as u64 + round * w as u64
+    }
+}
+
+impl<S: SyncApi> Counter for AtomicNetworkCounter<S>
+where
+    S::AtomicU64: std::fmt::Debug,
+{
+    fn next(&self) -> u64 {
+        self.next_value()
     }
 }
 

@@ -144,12 +144,14 @@ impl ReactiveTreeCounter {
                 Node::Folded { count } => {
                     // Unfold hot counters (visit proxy: emissions since
                     // creation — adequate for a load experiment).
+                    // lint: relaxed-ok(heuristic hotness probe under the adaptation lock; staleness only delays unfolding)
                     if span > 1 && count.load(Ordering::Relaxed) >= unfold_above {
                         ReactiveTreeCounter::unfold_node(node, span);
                         *unfolds += 1;
                     }
                 }
                 Node::Active { visits, left, right, .. } => {
+                    // lint: relaxed-ok(visit-rate sample under the adaptation lock; a lost concurrent visit only skews the fold heuristic)
                     let v = visits.swap(0, Ordering::Relaxed);
                     if v < fold_below {
                         let total = ReactiveTreeCounter::fold_node(node);
@@ -175,6 +177,7 @@ impl ReactiveTreeCounter {
         if span < 2 {
             return; // single leaves cannot unfold
         }
+        // lint: relaxed-ok(called with the structure write lock held, so the folded count is quiescent)
         let k = count.load(Ordering::Relaxed);
         let k_left = k - k / 2;
         let k_right = k / 2;
@@ -189,6 +192,7 @@ impl ReactiveTreeCounter {
     /// Total emissions of a subtree (the folded counter value).
     fn fold_node(node: &Node) -> u64 {
         match node {
+            // lint: relaxed-ok(called with the structure write lock held, so the folded count is quiescent)
             Node::Folded { count } => count.load(Ordering::Relaxed),
             Node::Active { left, right, .. } => {
                 Self::fold_node(left) + Self::fold_node(right)
@@ -205,13 +209,16 @@ impl ReactiveTreeCounter {
         loop {
             match node {
                 Node::Folded { count } => {
+                    // lint: relaxed-ok(folded-leaf emission counter; the per-cell modification order alone keeps emitted values distinct)
                     let k = count.fetch_add(1, Ordering::Relaxed);
                     let base = bitrev(lo, leaves);
                     let stride = leaves / span;
                     return base + (k % span) * stride + leaves * (k / span);
                 }
                 Node::Active { toggle, left, right, visits } => {
+                    // lint: relaxed-ok(hotness statistic; losing ordering against the toggle below only perturbs the heuristic)
                     visits.fetch_add(1, Ordering::Relaxed);
+                    // lint: relaxed-ok(toggle parity is location-local, same argument as the static toggle tree)
                     let bit = toggle.fetch_add(1, Ordering::Relaxed) % 2;
                     span /= 2;
                     if bit == 0 {
@@ -353,6 +360,7 @@ mod tests {
             let stop = Arc::clone(&stop);
             handles.push(std::thread::spawn(move || {
                 let mut got = Vec::new();
+                // lint: relaxed-ok(test stop flag; the joining thread synchronizes via JoinHandle::join)
                 while !stop.load(Ordering::Relaxed) {
                     got.push(tree.next());
                 }
@@ -364,6 +372,7 @@ mod tests {
             std::thread::yield_now();
             tree.fold_root();
         }
+        // lint: relaxed-ok(test stop flag; join() below provides the needed happens-before)
         stop.store(true, Ordering::Relaxed);
         let mut all: Vec<u64> = handles
             .into_iter()

@@ -12,6 +12,10 @@ use crate::network::{BalancingNetwork, Dest, NetworkState};
 /// Whether `counts` has the step property:
 /// `0 <= counts[i] - counts[j] <= 1` for all `i < j`.
 ///
+/// Delegates to the shared oracle in [`acn_topology::oracle`] so every
+/// verification layer (these harnesses, the `acn-check` model checker,
+/// the workspace property tests) asserts exactly the same predicate.
+///
 /// # Example
 ///
 /// ```
@@ -23,18 +27,16 @@ use crate::network::{BalancingNetwork, Dest, NetworkState};
 /// ```
 #[must_use]
 pub fn is_step_sequence(counts: &[u64]) -> bool {
-    let Some(&last) = counts.last() else { return true };
-    // Non-increasing, and (first = max) <= (last = min) + 1.
-    counts.windows(2).all(|w| w[0] >= w[1]) && counts[0] <= last + 1
+    acn_topology::oracle::is_step_sequence(counts)
 }
 
 /// The unique step sequence of width `w` summing to `total`:
 /// `ceil((total - i) / w)` tokens on wire `i`.
+///
+/// Delegates to the shared oracle in [`acn_topology::oracle`].
 #[must_use]
 pub fn step_sequence(width: usize, total: u64) -> Vec<u64> {
-    (0..width as u64)
-        .map(|i| (total + width as u64 - 1 - i) / width as u64)
-        .collect()
+    acn_topology::oracle::step_sequence(width, total)
 }
 
 /// Result of a verification run.

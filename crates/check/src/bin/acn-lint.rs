@@ -1,0 +1,49 @@
+//! `acn-lint`: workspace determinism/discipline lints.
+//!
+//! Scans every non-vendored `.rs` file in the workspace with the rules
+//! in [`acn_check::lint`] and exits non-zero on any finding. Run it as
+//!
+//! ```text
+//! cargo run -p acn-check --bin acn-lint
+//! ```
+//!
+//! (wired into `scripts/check.sh`). An optional argument overrides the
+//! workspace root.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    // Under cargo, this crate lives at <root>/crates/check.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(manifest);
+        if let Some(root) = manifest.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() {
+    let root = workspace_root();
+    match acn_check::lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("acn-lint: clean ({})", root.display());
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                eprintln!("{finding}");
+            }
+            eprintln!("acn-lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(err) => {
+            eprintln!("acn-lint: failed to scan {}: {err}", root.display());
+            std::process::exit(2);
+        }
+    }
+}

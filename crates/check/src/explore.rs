@@ -1,0 +1,495 @@
+//! Schedule exploration: exhaustive DFS with sleep sets and
+//! state-hash memoization, plus a seeded randomized (PCT-style) mode.
+//!
+//! # Exhaustive mode
+//!
+//! Stateless replay DFS: every execution re-runs the scenario from
+//! scratch, replaying the choice prefix on the DFS stack and then
+//! extending it leftmost until the execution finishes or is pruned.
+//! Two prunings keep the space tractable:
+//!
+//! - **Sleep sets**: after a subtree for thread `t`'s transition is
+//!   fully explored at a node, `t` sleeps in the sibling subtrees
+//!   until some dependent operation (same object, at least one write —
+//!   including lock releases bundled into the preceding step, and
+//!   thread terminations for pending joins) executes. A node whose
+//!   enabled transitions are all asleep is redundant and the branch is
+//!   dropped.
+//! - **State memoization**: at every fresh node the kernel fingerprint
+//!   (object states + per-thread clocks, observation hashes and
+//!   pending ops) is looked up in a visited table. A hit whose
+//!   recorded sleep set is a subset of the current one means every
+//!   continuation from here was already explored *with at least as
+//!   many scheduling options*, so the branch is dropped. (The subset
+//!   condition is what keeps combining the two prunings sound.)
+//!
+//! # Randomized mode
+//!
+//! For configurations too large to exhaust, a seeded priority
+//! scheduler in the PCT spirit: each logical thread gets a random
+//! priority at first sight, the highest-priority enabled thread runs,
+//! and at random points the running thread's priority is demoted —
+//! which is exactly the shape of schedule (long runs with a few
+//! adversarial preemptions) that exposes most ordering bugs. Failures
+//! report the iteration seed; re-running with the same seed reproduces
+//! the schedule, as does replaying the printed choice list.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::rng::SplitMix64;
+use crate::sched::{
+    Choice, Failure, FailureKind, Kernel, Op, Pending, ScheduleStep, Tid, WaitOutcome,
+};
+use crate::vthread::start_root;
+
+/// How schedules are generated.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Explore every inequivalent schedule (DFS + sleep sets + state
+    /// memoization). `Report::completed` says whether the space was
+    /// exhausted within the budget.
+    Exhaustive,
+    /// Seeded randomized priority (PCT-style) exploration.
+    Random {
+        /// Number of schedules to sample.
+        iterations: u64,
+        /// Base seed; iteration `i` uses a seed derived from it, and
+        /// failures report the exact iteration seed.
+        seed: u64,
+    },
+}
+
+/// Exploration budget and mode.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Schedule generation mode.
+    pub mode: Mode,
+    /// Max executions (full or pruned) before giving up; exhaustive
+    /// runs that hit this report `completed == false`.
+    pub max_executions: u64,
+    /// Max granted steps in a single execution (runaway guard).
+    pub max_steps: usize,
+    /// Stop at the first failure (default) or keep exploring.
+    pub stop_on_failure: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            mode: Mode::Exhaustive,
+            max_executions: 250_000,
+            max_steps: 20_000,
+            stop_on_failure: true,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Exhaustive exploration with the default budget.
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        CheckConfig::default()
+    }
+
+    /// Randomized exploration of `iterations` schedules from `seed`.
+    #[must_use]
+    pub fn random(iterations: u64, seed: u64) -> Self {
+        CheckConfig { mode: Mode::Random { iterations, seed }, ..CheckConfig::default() }
+    }
+}
+
+/// Outcome and statistics of a check.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Executions that ran to completion (distinct explored schedules).
+    pub schedules: u64,
+    /// Branches dropped by the visited-state table.
+    pub memo_prunes: u64,
+    /// Branches dropped because every enabled transition slept.
+    pub sleep_prunes: u64,
+    /// Distinct state fingerprints seen.
+    pub states_seen: u64,
+    /// Deepest decision stack reached.
+    pub max_depth: usize,
+    /// Whether the space was exhausted (exhaustive) / all iterations
+    /// ran (random) within the budget.
+    pub completed: bool,
+    /// Recorded failures (at most one unless `stop_on_failure` is
+    /// off).
+    pub failures: Vec<Failure>,
+}
+
+impl Report {
+    /// Whether the check passed: no failures and the configured
+    /// exploration actually completed.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.completed && self.failures.is_empty()
+    }
+
+    /// Emits the checker statistics as `acn.check.*` metrics.
+    pub fn emit(&self, registry: &acn_telemetry::Registry) {
+        registry.counter("acn.check.schedules").add(self.schedules);
+        registry.counter("acn.check.memo_prunes").add(self.memo_prunes);
+        registry.counter("acn.check.sleep_prunes").add(self.sleep_prunes);
+        registry.counter("acn.check.states_seen").add(self.states_seen);
+        registry.counter("acn.check.failures").add(self.failures.len() as u64);
+        registry.gauge("acn.check.max_depth").set(self.max_depth as f64);
+    }
+
+    /// Panics with the first failure's full report if the check did
+    /// not pass (the convenient assertion form for tests).
+    pub fn assert_ok(&self) {
+        if let Some(failure) = self.failures.first() {
+            panic!(
+                "model check failed after {} schedules:\n{failure}",
+                self.schedules
+            );
+        }
+        assert!(self.completed, "exploration budget exhausted before completion: {self:?}");
+    }
+}
+
+/// One node of the DFS stack.
+struct Node {
+    /// Choices taken at this node so far; the last one is on the
+    /// current path.
+    taken: Vec<Choice>,
+    /// Alternatives not yet explored.
+    todo: Vec<Choice>,
+    /// Sleep set when the node was first reached.
+    sleep_entry: BTreeSet<Tid>,
+}
+
+impl Node {
+    /// Tids whose transitions at this node are fully explored (they
+    /// sleep in the remaining subtrees).
+    fn exhausted(&self) -> BTreeSet<Tid> {
+        let current = self.taken.last().map(|c| c.tid);
+        let open: BTreeSet<Tid> = self.todo.iter().map(|c| c.tid).collect();
+        self.taken
+            .iter()
+            .map(|c| c.tid)
+            .filter(|t| Some(*t) != current && !open.contains(t))
+            .collect()
+    }
+}
+
+enum ExecEnd {
+    Finished,
+    Failed(Failure),
+    Pruned,
+}
+
+/// Runs `scenario` under the model checker per `config` and returns
+/// the exploration report. The scenario runs once per schedule on a
+/// controlled logical thread 0 and may [`crate::vthread::spawn`]
+/// further logical threads; every `VirtualSync` operation is a
+/// scheduling point.
+pub fn check<F>(config: CheckConfig, scenario: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+    match config.mode.clone() {
+        Mode::Exhaustive => check_exhaustive(&config, &scenario),
+        Mode::Random { iterations, seed } => check_random(&config, &scenario, iterations, seed),
+    }
+}
+
+/// Replays one explicit choice sequence (as printed in a failure
+/// report) and returns the failure it reproduces, if any. After the
+/// given choices are exhausted the execution is completed
+/// deterministically (first enabled choice).
+pub fn replay_schedule<F>(scenario: F, choices: &[Choice]) -> Option<Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+    let kernel = start_execution(&scenario);
+    let mut at = 0usize;
+    let end = loop {
+        match kernel.wait_quiescent() {
+            WaitOutcome::Failed => break kernel.take_failure(),
+            WaitOutcome::AllFinished => break None,
+            WaitOutcome::Node(pending) => {
+                let _ = kernel.take_touched();
+                let choice = if at < choices.len() {
+                    let c = choices[at];
+                    assert!(
+                        pending.iter().any(|p| p.tid == c.tid && p.enabled),
+                        "replay diverged at step {at}: t{} not pending/enabled",
+                        c.tid
+                    );
+                    c
+                } else {
+                    match first_enabled(&pending) {
+                        Some(c) => c,
+                        None => break deadlock_failure(&kernel, &pending).into(),
+                    }
+                };
+                at += 1;
+                kernel.grant(choice);
+            }
+        }
+    };
+    kernel.poison_and_join();
+    end
+}
+
+fn start_execution(scenario: &Arc<dyn Fn() + Send + Sync>) -> Arc<Kernel> {
+    let kernel = Arc::new(Kernel::new());
+    let body = Arc::clone(scenario);
+    start_root(&kernel, move || body());
+    kernel
+}
+
+fn first_enabled(pending: &[Pending]) -> Option<Choice> {
+    pending.iter().find(|p| p.enabled).map(|p| Choice { tid: p.tid, variant: 0 })
+}
+
+fn deadlock_failure(kernel: &Kernel, pending: &[Pending]) -> Failure {
+    let (mut schedule, choices) = kernel.schedule();
+    for p in pending {
+        schedule.push(ScheduleStep {
+            tid: p.tid,
+            variant: 0,
+            desc: format!("[blocked on {:?}]", p.op),
+        });
+    }
+    Failure {
+        kind: FailureKind::Deadlock,
+        message: format!("no pending operation is enabled ({} threads blocked)", pending.len()),
+        schedule,
+        choices,
+        seed: None,
+    }
+}
+
+fn depth_failure(kernel: &Kernel, max_steps: usize) -> Failure {
+    let (schedule, choices) = kernel.schedule();
+    Failure {
+        kind: FailureKind::DepthExceeded,
+        message: format!("execution exceeded {max_steps} steps (livelock or runaway scenario)"),
+        schedule,
+        choices,
+        seed: None,
+    }
+}
+
+/// Applies the sleep-set wake rule between two consecutive nodes.
+fn wake(
+    sleep: &mut BTreeSet<Tid>,
+    executed: Option<&Op>,
+    touched: &[u64],
+    pending: &[Pending],
+    kernel: &Kernel,
+) {
+    sleep.retain(|tid| {
+        let Some(p) = pending.iter().find(|p| p.tid == *tid) else {
+            // The sleeper somehow finished (can't happen: sleepers are
+            // never granted); drop it defensively.
+            return false;
+        };
+        if let Some(op) = executed {
+            if op.dependent(&p.op) {
+                return false;
+            }
+        }
+        if p.op.obj().is_some_and(|obj| touched.contains(&obj)) {
+            return false;
+        }
+        if let Op::Join { target } = p.op {
+            if kernel.is_finished(target) {
+                return false;
+            }
+        }
+        true
+    });
+}
+
+fn check_exhaustive(config: &CheckConfig, scenario: &Arc<dyn Fn() + Send + Sync>) -> Report {
+    let mut report = Report::default();
+    let mut path: Vec<Node> = Vec::new();
+    // fingerprint -> sleep sets it was explored with.
+    let mut memo: BTreeMap<u64, Vec<BTreeSet<Tid>>> = BTreeMap::new();
+    let mut executions = 0u64;
+
+    'executions: loop {
+        if executions >= config.max_executions {
+            report.completed = false;
+            return report;
+        }
+        executions += 1;
+
+        let kernel = start_execution(scenario);
+        let mut depth = 0usize;
+        let mut sleep: BTreeSet<Tid> = BTreeSet::new();
+        let mut prev_op: Option<Op> = None;
+
+        let end = loop {
+            match kernel.wait_quiescent() {
+                WaitOutcome::Failed => {
+                    break ExecEnd::Failed(kernel.take_failure().expect("failed => failure"));
+                }
+                WaitOutcome::AllFinished => break ExecEnd::Finished,
+                WaitOutcome::Node(pending) => {
+                    if depth >= config.max_steps {
+                        break ExecEnd::Failed(depth_failure(&kernel, config.max_steps));
+                    }
+                    let touched = kernel.take_touched();
+                    wake(&mut sleep, prev_op.as_ref(), &touched, &pending, &kernel);
+
+                    let choice = if depth < path.len() {
+                        // Replay segment: take the recorded choice.
+                        let node = &path[depth];
+                        sleep = &node.sleep_entry | &node.exhausted();
+                        *node.taken.last().expect("replayed node has a choice")
+                    } else {
+                        // Fresh node.
+                        let fingerprint = kernel.fingerprint();
+                        match memo.get_mut(&fingerprint) {
+                            Some(seen) => {
+                                if seen.iter().any(|s| s.is_subset(&sleep)) {
+                                    report.memo_prunes += 1;
+                                    break ExecEnd::Pruned;
+                                }
+                                seen.push(sleep.clone());
+                            }
+                            None => {
+                                report.states_seen += 1;
+                                memo.insert(fingerprint, vec![sleep.clone()]);
+                            }
+                        }
+                        let mut choices: Vec<Choice> = Vec::new();
+                        for p in &pending {
+                            if p.enabled && !sleep.contains(&p.tid) {
+                                for variant in 0..p.variants {
+                                    choices.push(Choice { tid: p.tid, variant });
+                                }
+                            }
+                        }
+                        match choices.split_first() {
+                            None => {
+                                if pending.iter().any(|p| p.enabled) {
+                                    report.sleep_prunes += 1;
+                                    break ExecEnd::Pruned;
+                                }
+                                break ExecEnd::Failed(deadlock_failure(&kernel, &pending));
+                            }
+                            Some((first, rest)) => {
+                                path.push(Node {
+                                    taken: vec![*first],
+                                    todo: rest.to_vec(),
+                                    sleep_entry: sleep.clone(),
+                                });
+                                *first
+                            }
+                        }
+                    };
+
+                    prev_op = pending
+                        .iter()
+                        .find(|p| p.tid == choice.tid)
+                        .map(|p| p.op.clone());
+                    depth += 1;
+                    report.max_depth = report.max_depth.max(depth);
+                    kernel.grant(choice);
+                }
+            }
+        };
+        kernel.poison_and_join();
+
+        match end {
+            ExecEnd::Finished => report.schedules += 1,
+            ExecEnd::Pruned => {}
+            ExecEnd::Failed(failure) => {
+                report.schedules += 1;
+                report.failures.push(failure);
+                if config.stop_on_failure {
+                    report.completed = false;
+                    return report;
+                }
+            }
+        }
+
+        // Backtrack to the deepest node with an untried alternative.
+        while let Some(top) = path.last_mut() {
+            if top.todo.is_empty() {
+                path.pop();
+            } else {
+                let next = top.todo.remove(0);
+                top.taken.push(next);
+                continue 'executions;
+            }
+        }
+        report.completed = true;
+        return report;
+    }
+}
+
+fn check_random(
+    config: &CheckConfig,
+    scenario: &Arc<dyn Fn() + Send + Sync>,
+    iterations: u64,
+    seed: u64,
+) -> Report {
+    let mut report = Report::default();
+    for iteration in 0..iterations {
+        let iter_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(iteration)
+            .rotate_left(17);
+        let mut rng = SplitMix64::new(iter_seed);
+        let mut priorities: BTreeMap<Tid, u64> = BTreeMap::new();
+        let kernel = start_execution(scenario);
+        let mut depth = 0usize;
+        let failure = loop {
+            match kernel.wait_quiescent() {
+                WaitOutcome::Failed => break kernel.take_failure(),
+                WaitOutcome::AllFinished => break None,
+                WaitOutcome::Node(pending) => {
+                    if depth >= config.max_steps {
+                        break Some(depth_failure(&kernel, config.max_steps));
+                    }
+                    let _ = kernel.take_touched();
+                    for p in &pending {
+                        let r = rng.next_u64();
+                        priorities.entry(p.tid).or_insert(r);
+                    }
+                    let Some(best) = pending
+                        .iter()
+                        .filter(|p| p.enabled)
+                        .max_by_key(|p| priorities[&p.tid])
+                    else {
+                        break Some(deadlock_failure(&kernel, &pending));
+                    };
+                    let variant =
+                        if best.variants > 1 { rng.below(best.variants as usize) as u32 } else { 0 };
+                    let choice = Choice { tid: best.tid, variant };
+                    // PCT-style preemption: occasionally demote the
+                    // scheduled thread so another one overtakes it.
+                    if rng.below(8) == 0 {
+                        priorities.insert(best.tid, rng.next_u64() >> 16);
+                    }
+                    depth += 1;
+                    report.max_depth = report.max_depth.max(depth);
+                    kernel.grant(choice);
+                }
+            }
+        };
+        kernel.poison_and_join();
+        report.schedules += 1;
+        if let Some(mut failure) = failure {
+            failure.seed = Some(iter_seed);
+            report.failures.push(failure);
+            if config.stop_on_failure {
+                report.completed = false;
+                return report;
+            }
+        }
+    }
+    report.completed = true;
+    report
+}

@@ -1,0 +1,60 @@
+//! `acn-check`: the workspace's verification toolbox.
+//!
+//! Two pillars, both dependency-free (the workspace is vendored and
+//! offline):
+//!
+//! 1. **A schedule-exploring model checker** for the `SyncApi`-generic
+//!    concurrent executors. [`VirtualSync`] routes every lock
+//!    acquisition, atomic access, and join through a cooperative
+//!    scheduler ([`sched`]); the explorer ([`explore`]) then drives
+//!    either an exhaustive DFS (sleep sets + state-hash memoization)
+//!    or a seeded randomized PCT-style search over interleavings,
+//!    asserting the shared quiescent oracles ([`oracles`]) in every
+//!    final state. Invariant violations print the full offending
+//!    schedule, replayable by choice list ([`replay_schedule`]) or by
+//!    seed.
+//!
+//! 2. **Workspace determinism lints** ([`lint`], shipped as the
+//!    `acn-lint` binary): line-level checks that hash-ordered
+//!    collections stay out of the deterministic subsystems, that every
+//!    `Ordering::Relaxed` carries a justification, that raw
+//!    `std::sync` locks don't sneak past the `parking_lot` convention,
+//!    and that component locks are not visibly nested against the
+//!    declared `ComponentId` lock order.
+//!
+//! # Checking an executor
+//!
+//! ```
+//! use acn_check::{check, vthread, CheckConfig, VirtualSync};
+//! use acn_core::SharedAdaptiveNetwork;
+//! use std::sync::Arc;
+//!
+//! let report = check(CheckConfig::exhaustive(), || {
+//!     let net = Arc::new(SharedAdaptiveNetwork::<VirtualSync>::new_in(4));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|wire| {
+//!             let net = Arc::clone(&net);
+//!             vthread::spawn(move || net.next_value(wire))
+//!         })
+//!         .collect();
+//!     let values: Vec<u64> = handles.into_iter().map(|h| h.join()).collect();
+//!     acn_check::oracles::assert_values_dense(&values);
+//!     acn_check::oracles::assert_network_quiescent(&net.output_counts(), 2);
+//! });
+//! report.assert_ok();
+//! assert!(report.schedules > 1, "interleavings were actually explored");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod lint;
+pub mod oracles;
+pub mod rng;
+pub mod sched;
+pub mod virtual_sync;
+pub mod vthread;
+
+pub use explore::{check, replay_schedule, CheckConfig, Mode, Report};
+pub use sched::{Choice, Failure, FailureKind, ScheduleStep};
+pub use virtual_sync::VirtualSync;

@@ -1,0 +1,440 @@
+//! Workspace determinism/discipline lints (the `acn-lint` binary).
+//!
+//! Line-level scanning, no dependencies, no parser: the rules are
+//! deliberately narrow so that zero findings is enforceable in CI and
+//! every finding is actionable. Suppression is explicit and reasoned:
+//! a finding on line *n* is waived by an annotation on line *n* or on
+//! a comment line directly above it, of the form
+//!
+//! ```text
+//! // lint: <rule>-ok(<non-empty reason>)
+//! ```
+//!
+//! # Rules
+//!
+//! - **`hash`** — `HashMap`/`HashSet` in the *deterministic
+//!   subsystems* (`crates/simnet/`, `crates/core/src/dist.rs`,
+//!   `crates/core/src/stabilize.rs`). Hash iteration order leaks
+//!   nondeterminism into seeded simulations; PR 1 fixed exactly this
+//!   bug in the simulator's process table. Use `BTreeMap`/`BTreeSet`.
+//! - **`relaxed`** — `Ordering::Relaxed` anywhere without a
+//!   `relaxed-ok` justification. The model checker interprets
+//!   orderings, so an unjustified `Relaxed` is either a latent bug or
+//!   a missing one-line proof.
+//! - **`std-sync`** — raw `std::sync::Mutex`/`RwLock`/`Condvar` where
+//!   `parking_lot` (or the `SyncApi` layer) is the workspace standard.
+//!   Guard types (`MutexGuard`, ...) are not flagged.
+//! - **`lock-order`** — a `let`-bound guard over a component-map lock
+//!   while another such guard is still live in an enclosing scope.
+//!   Static scanning cannot prove the acquisition order matches the
+//!   declared `ComponentId` lock order, so visible nesting must either
+//!   be restructured or waived with `lock-order-ok`; the model checker
+//!   enforces the rank order dynamically. Transient
+//!   `.lock().clone()`-style accesses (no live guard) are exempt.
+
+use std::path::{Path, PathBuf};
+
+/// Pattern constants are assembled with `concat!` so this file does
+/// not itself contain the flagged token sequences.
+const RELAXED: &str = concat!("Ordering::", "Relaxed");
+const STD_SYNC_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+const STD_SYNC_PREFIX: &str = concat!("std::", "sync::");
+const HASH_TYPES: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
+
+/// Files (by workspace-relative path) where hash-ordered collections
+/// are forbidden.
+fn in_deterministic_subsystem(path: &str) -> bool {
+    path.starts_with("crates/simnet/")
+        || path == "crates/core/src/dist.rs"
+        || path == "crates/core/src/stabilize.rs"
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`hash`, `relaxed`, `std-sync`, `lock-order`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do.
+    pub message: String,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Whether `line` (or `above`) waives `rule` via `// lint: <rule>-ok(reason)`.
+fn annotated(rule: &str, line: &str, above: Option<&str>) -> bool {
+    let marker = format!("lint: {rule}-ok(");
+    let has = |l: &str| {
+        l.find(&marker).is_some_and(|start| {
+            let rest = &l[start + marker.len()..];
+            // Require a non-empty reason before the closing paren.
+            rest.find(')').is_some_and(|end| !rest[..end].trim().is_empty())
+        })
+    };
+    has(line) || above.is_some_and(|l| is_comment_line(l) && has(l))
+}
+
+fn is_comment_line(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("//!") || t.starts_with("///")
+}
+
+/// Whether `haystack` contains `needle` NOT immediately followed by an
+/// identifier character (so `MutexGuard` does not match `Mutex`).
+fn contains_token(haystack: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let end = from + pos + needle.len();
+        let boundary = haystack[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Whether a line uses a raw `std::sync` lock type (definition, `use`
+/// import, or path expression).
+fn uses_std_sync_lock(line: &str) -> bool {
+    for ty in STD_SYNC_TYPES {
+        let direct = format!("{STD_SYNC_PREFIX}{ty}");
+        if contains_token(line, &direct) {
+            return true;
+        }
+    }
+    // Brace imports: `use std::sync::{Arc, Mutex};`
+    if let Some(pos) = line.find(&format!("{STD_SYNC_PREFIX}{{")) {
+        let group = &line[pos..];
+        let group = group.split('}').next().unwrap_or(group);
+        for ty in STD_SYNC_TYPES {
+            if contains_token(group, ty) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether a line `let`-binds a guard over a component-map lock
+/// (`let g = ...components...lock()...;` with the guard kept alive).
+fn binds_component_guard(line: &str) -> bool {
+    let t = line.trim_start();
+    if !t.starts_with("let ") {
+        return false;
+    }
+    if !(t.contains("components[") || t.contains("components.get")) {
+        return false;
+    }
+    // Transient access (`.lock().clone()` and other method chains)
+    // drops the guard within the statement and is exempt.
+    t.contains(".lock()") && !t.contains(".lock().")
+}
+
+/// Lints one source file (workspace-relative `path`, full `source`).
+#[must_use]
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = source.lines().collect();
+    // (brace depth at binding, line) of live component-lock guards.
+    let mut live_guards: Vec<(i64, usize)> = Vec::new();
+    let mut depth: i64 = 0;
+    let restricted = in_deterministic_subsystem(path);
+
+    for (idx, &line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let above = if idx > 0 { Some(lines[idx - 1]) } else { None };
+        let snippet = line.trim().to_string();
+        if is_comment_line(line) {
+            continue;
+        }
+
+        if restricted {
+            for ty in HASH_TYPES {
+                if contains_token(line, ty) && !annotated("hash", line, above) {
+                    findings.push(Finding {
+                        rule: "hash",
+                        path: path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "{ty} in a deterministic subsystem: hash iteration order leaks \
+                             nondeterminism into seeded runs; use BTree{} (or annotate \
+                             `// lint: hash-ok(reason)`)",
+                            &ty[4..]
+                        ),
+                        snippet: snippet.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+
+        if line.contains(RELAXED) && !annotated("relaxed", line, above) {
+            findings.push(Finding {
+                rule: "relaxed",
+                path: path.to_string(),
+                line: lineno,
+                message: format!(
+                    "unjustified {RELAXED}: state why relaxed ordering is sufficient with \
+                     `// lint: relaxed-ok(reason)` or strengthen the ordering"
+                ),
+                snippet: snippet.clone(),
+            });
+        }
+
+        if uses_std_sync_lock(line) && !annotated("std-sync", line, above) {
+            findings.push(Finding {
+                rule: "std-sync",
+                path: path.to_string(),
+                line: lineno,
+                message: "raw std::sync lock where parking_lot (via the SyncApi layer) is \
+                          the workspace standard; switch or annotate \
+                          `// lint: std-sync-ok(reason)`"
+                    .to_string(),
+                snippet: snippet.clone(),
+            });
+        }
+
+        // Lock-order heuristic: nested live component guards.
+        if binds_component_guard(line) {
+            if !live_guards.is_empty() && !annotated("lock-order", line, above) {
+                let (_, first_line) = live_guards[0];
+                findings.push(Finding {
+                    rule: "lock-order",
+                    path: path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "component lock taken while the guard from line {first_line} is \
+                         still live; the acquisition order against the declared \
+                         ComponentId lock order cannot be verified statically — take \
+                         locks in ascending ComponentId order and annotate \
+                         `// lint: lock-order-ok(reason)`, or restructure"
+                    ),
+                    snippet: snippet.clone(),
+                });
+            }
+            live_guards.push((depth, lineno));
+        }
+
+        // Rough brace tracking (strings with braces are rare in this
+        // workspace; comment lines are already skipped).
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    // A guard bound at depth d dies when its scope
+                    // closes (depth falls below d).
+                    live_guards.retain(|&(d, _)| d <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+fn is_excluded(path: &Path) -> bool {
+    path.components().any(|c| {
+        let s = c.as_os_str();
+        s == "vendor" || s == "target" || s == ".git"
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if is_excluded(&path) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Every `.rs` file the workspace scan covers: the `crates/`, `src/`,
+/// `tests/`, and `examples/` trees under `root`, excluding `vendor/`,
+/// `target/`, and `.git/`, sorted by path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking the tree.
+pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every `.rs` file under `root` (excluding `vendor/`,
+/// `target/`, `.git/`), returning all findings sorted by path/line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = workspace_rs_files(root)?;
+    let mut findings = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds fixture sources at runtime so this file never contains
+    /// the flagged token sequences itself.
+    fn relaxed_expr() -> String {
+        format!("    counter.fetch_add(1, {RELAXED});\n")
+    }
+
+    #[test]
+    fn flags_hash_collections_only_in_deterministic_subsystems() {
+        let src = format!("use std::collections::{};\n", HASH_TYPES[0]);
+        let hits = lint_source("crates/simnet/src/lib.rs", &src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "hash");
+        assert_eq!(hits[0].line, 1);
+        assert!(lint_source("crates/core/src/dist.rs", &src).len() == 1);
+        assert!(lint_source("crates/core/src/stabilize.rs", &src).len() == 1);
+        // The same code is fine elsewhere.
+        assert!(lint_source("crates/bench/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn flags_the_pre_fix_shared_network_pattern() {
+        // Satellite (a) regression: the executor's component map was a
+        // HashMap before this PR; the deterministic-subsystem rule
+        // must flag that pattern when it appears in restricted code.
+        let src = format!(
+            "struct Structure {{\n    components: {}<ComponentId, Mutex<Component>>,\n}}\n",
+            HASH_TYPES[0]
+        );
+        let hits = lint_source("crates/core/src/dist.rs", &src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("BTreeMap"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn flags_unjustified_relaxed_and_accepts_annotated() {
+        let bare = relaxed_expr();
+        let hits = lint_source("crates/core/src/concurrent.rs", &bare);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "relaxed");
+
+        let same_line = format!(
+            "    counter.fetch_add(1, {RELAXED}); // lint: relaxed-ok(tally read at quiescence)\n"
+        );
+        assert!(lint_source("x.rs", &same_line).is_empty());
+
+        let line_above =
+            format!("    // lint: relaxed-ok(tally read at quiescence)\n{bare}");
+        assert!(lint_source("x.rs", &line_above).is_empty());
+
+        // Empty reasons do not count.
+        let empty_reason = format!("    counter.fetch_add(1, {RELAXED}); // lint: relaxed-ok()\n");
+        assert_eq!(lint_source("x.rs", &empty_reason).len(), 1);
+    }
+
+    #[test]
+    fn flags_raw_std_sync_locks_but_not_guards() {
+        for ty in STD_SYNC_TYPES {
+            let src = format!("use {STD_SYNC_PREFIX}{ty};\n");
+            let hits = lint_source("crates/core/src/lib.rs", &src);
+            assert_eq!(hits.len(), 1, "{ty}: {hits:?}");
+            assert_eq!(hits[0].rule, "std-sync");
+        }
+        let brace = format!("use {STD_SYNC_PREFIX}{{Arc, Mutex}};\n");
+        assert_eq!(lint_source("x.rs", &brace).len(), 1);
+        // Guard types and Arc-only imports are fine.
+        let guard = format!("    inner: Option<{STD_SYNC_PREFIX}MutexGuard<'a, T>>,\n");
+        assert!(lint_source("x.rs", &guard).is_empty(), "guards are not locks");
+        let arc = format!("use {STD_SYNC_PREFIX}Arc;\n");
+        assert!(lint_source("x.rs", &arc).is_empty());
+        // Annotated use is accepted.
+        let annotated =
+            format!("// lint: std-sync-ok(zero-dep crate)\nuse {STD_SYNC_PREFIX}Mutex;\n");
+        assert!(lint_source("x.rs", &annotated).is_empty());
+    }
+
+    /// A component-guard binding line, assembled at runtime so this
+    /// file's own scan stays clean.
+    fn guard_line(name: &str, key: &str) -> String {
+        format!("    let {name} = structure.components[&{key}].{}();\n", concat!("lo", "ck"))
+    }
+
+    #[test]
+    fn flags_nested_component_guards() {
+        let src = format!(
+            "fn bad(structure: &Structure) {{\n{}    {{\n    {}        drop(b);\n    }}\n    drop(a);\n}}\n",
+            guard_line("a", "first"),
+            guard_line("b", "second"),
+        );
+        let hits = lint_source("crates/core/src/concurrent.rs", &src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "lock-order");
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn sequential_component_guards_are_fine() {
+        let transient = format!(
+            "    let c: Vec<_> = ids.iter().map(|i| structure.components[i].{}().clone()).collect();\n",
+            concat!("lo", "ck"),
+        );
+        let src = format!(
+            "fn good(structure: &Structure) {{\n    {{\n    {}        drop(a);\n    }}\n    {{\n    {}        drop(b);\n    }}\n{transient}}}\n",
+            guard_line("a", "first"),
+            guard_line("b", "second"),
+        );
+        assert!(lint_source("x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let src = format!("// example: counter.fetch_add(1, {RELAXED})\n");
+        assert!(lint_source("x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn workspace_walk_excludes_vendor() {
+        assert!(is_excluded(Path::new("vendor/parking_lot/src/lib.rs")));
+        assert!(is_excluded(Path::new("target/debug/build/x.rs")));
+        assert!(!is_excluded(Path::new("crates/core/src/dist.rs")));
+    }
+}

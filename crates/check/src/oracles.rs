@@ -1,0 +1,96 @@
+//! Quiescent-state oracles asserted inside checked scenarios.
+//!
+//! Thin assertion wrappers over the *shared* predicates in
+//! [`acn_topology::oracle`] — the same functions the balancer
+//! harnesses and the workspace property tests use, so every
+//! verification layer agrees on what "correct" means. Each function
+//! panics with a descriptive message on violation; under the checker a
+//! panic becomes a [`Failure`](crate::sched::Failure) carrying the
+//! full replayable schedule.
+
+use acn_topology::oracle::{step_sequence, step_violation};
+
+/// Asserts the quiescent **step property** of per-wire exit counts
+/// (paper Section 1.1): `0 <= x_i - x_j <= 1` for `i < j`.
+///
+/// # Panics
+///
+/// Panics with the oracle's diagnosis on violation.
+pub fn assert_step(counts: &[u64]) {
+    if let Some(violation) = step_violation(counts) {
+        panic!("{violation}");
+    }
+}
+
+/// Asserts that a quiescent counter handed out **exactly** the values
+/// `0..n` — no lost, duplicated, or skipped values (the distributed
+/// counter contract of Section 1.1).
+///
+/// # Panics
+///
+/// Panics naming the first missing/duplicated value on violation.
+pub fn assert_values_dense(values: &[u64]) {
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    for (i, &v) in sorted.iter().enumerate() {
+        assert!(
+            v == i as u64,
+            "counter values are not dense: expected {i} at position {i}, got {v} \
+             (sorted values {sorted:?})"
+        );
+    }
+}
+
+/// Asserts everything a quiescent counting network owes its callers:
+/// the step property, exit-count conservation (`sum == expected
+/// total`), and agreement with the unique step sequence of that total.
+///
+/// # Panics
+///
+/// Panics with the specific violated clause.
+pub fn assert_network_quiescent(counts: &[u64], expected_total: u64) {
+    assert_step(counts);
+    let total: u64 = counts.iter().sum();
+    assert!(
+        total == expected_total,
+        "token conservation violated: {total} tokens exited, {expected_total} entered \
+         (counts {counts:?})"
+    );
+    let ideal = step_sequence(counts.len(), total);
+    assert!(
+        counts == ideal,
+        "quiescent counts {counts:?} are a step sequence but not THE step sequence \
+         {ideal:?} for {total} tokens"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_correct_states() {
+        assert_step(&[3, 3, 2, 2]);
+        assert_values_dense(&[3, 0, 2, 1]);
+        assert_network_quiescent(&[2, 2, 1, 1], 6);
+        assert_values_dense(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step property violated")]
+    fn rejects_gap() {
+        assert_step(&[4, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not dense")]
+    fn rejects_duplicated_value() {
+        assert_values_dense(&[0, 1, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation")]
+    fn rejects_lost_token() {
+        assert_network_quiescent(&[1, 1, 1, 1], 5);
+    }
+}

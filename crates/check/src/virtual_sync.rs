@@ -1,0 +1,253 @@
+//! `VirtualSync`: the [`SyncApi`] implementation that routes every
+//! primitive through the model-checking scheduler.
+//!
+//! Data still lives in real `std::sync` cells — but because the kernel
+//! only ever lets one logical thread run, and only grants a lock
+//! decision while the *virtual* lock is free, those cells are always
+//! uncontended: they exist purely to hand out `&mut T` with the same
+//! guard shapes production code uses. All contention, blocking, and
+//! memory-ordering semantics live in the kernel ([`crate::sched`]).
+//!
+//! Instantiate the workspace executors with this to model-check them:
+//! `SharedAdaptiveNetwork::<VirtualSync>::new_in(w)`,
+//! `AtomicNetworkCounter::<VirtualSync>::new_in(net)`.
+
+// lint: std-sync-ok(uncontended data cells behind the checker kernel; see module docs)
+use std::sync::PoisonError;
+use std::sync::Arc;
+
+use acn_sync::{Ordering, SyncApi, SyncAtomicU64, SyncData, SyncMutex, SyncRwLock};
+
+use crate::sched::{hash_of, ord_class, Kernel, Op, Tid};
+use crate::vthread::with_kernel;
+
+/// The model-checked synchronization family. See the module docs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualSync;
+
+impl SyncApi for VirtualSync {
+    /// Observation probes would double the visible ops per lock
+    /// acquisition without changing behaviour; skip them while
+    /// checking.
+    const CONTENTION_PROBES: bool = false;
+
+    type AtomicU64 = VAtomicU64;
+    type Mutex<T: SyncData> = VMutex<T>;
+    type RwLock<T: SyncData + Sync> = VRwLock<T>;
+}
+
+/// A checked atomic: state lives in the kernel's store history.
+#[derive(Debug)]
+pub struct VAtomicU64 {
+    obj: u64,
+}
+
+impl SyncAtomicU64 for VAtomicU64 {
+    fn new(value: u64) -> Self {
+        VAtomicU64 { obj: with_kernel(|kernel, _| kernel.register_atomic(value)) }
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        let op = Op::Load { obj: self.obj, ord: ord_class(order) };
+        with_kernel(|kernel, tid| kernel.decision(tid, op))
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        let op = Op::Store { obj: self.obj, value, ord: ord_class(order) };
+        with_kernel(|kernel, tid| kernel.decision(tid, op));
+    }
+
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        let op = Op::RmwAdd { obj: self.obj, value, ord: ord_class(order) };
+        with_kernel(|kernel, tid| kernel.decision(tid, op))
+    }
+}
+
+/// A checked mutex: the virtual lock lives in the kernel; the data
+/// cell is an uncontended `std::sync::Mutex`.
+#[derive(Debug)]
+pub struct VMutex<T> {
+    obj: u64,
+    // lint: std-sync-ok(uncontended data cell behind the checker kernel; see module docs)
+    data: std::sync::Mutex<T>,
+}
+
+/// RAII guard of a [`VMutex`]; reports the release (with the new data
+/// hash) to the kernel on drop.
+pub struct VMutexGuard<'a, T: SyncData> {
+    kernel: Arc<Kernel>,
+    tid: Tid,
+    obj: u64,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: SyncData> std::ops::Deref for VMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: SyncData> std::ops::DerefMut for VMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T: SyncData> Drop for VMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let data_hash = hash_of(&**self);
+        drop(self.inner.take());
+        self.kernel.mutex_release(self.tid, self.obj, data_hash);
+    }
+}
+
+impl<T: SyncData> SyncMutex<T> for VMutex<T> {
+    type Guard<'a>
+        = VMutexGuard<'a, T>
+    where
+        Self: 'a;
+
+    fn new(value: T) -> Self {
+        Self::with_rank(value, 0)
+    }
+
+    fn with_rank(value: T, rank: u64) -> Self {
+        let data_hash = hash_of(&value);
+        VMutex {
+            obj: with_kernel(|kernel, _| kernel.register_mutex(data_hash, rank)),
+            // lint: std-sync-ok(inert data cell; all scheduling goes through the kernel, this mutex is never contended)
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn lock(&self) -> Self::Guard<'_> {
+        let (kernel, tid) = with_kernel(|kernel, tid| {
+            let granted = kernel.decision(tid, Op::MutexLock { obj: self.obj });
+            debug_assert_eq!(granted, 1, "blocking lock grants imply acquisition");
+            (Arc::clone(kernel), tid)
+        });
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        VMutexGuard { kernel, tid, obj: self.obj, inner: Some(inner) }
+    }
+
+    fn try_lock(&self) -> Option<Self::Guard<'_>> {
+        let (kernel, tid, acquired) = with_kernel(|kernel, tid| {
+            let acquired = kernel.decision(tid, Op::MutexTryLock { obj: self.obj });
+            (Arc::clone(kernel), tid, acquired == 1)
+        });
+        if !acquired {
+            return None;
+        }
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(VMutexGuard { kernel, tid, obj: self.obj, inner: Some(inner) })
+    }
+}
+
+impl<T: std::hash::Hash> std::hash::Hash for VMutex<T> {
+    /// Hashes the protected data when free. (The kernel keeps its own
+    /// authoritative data hashes for fingerprints; this impl exists
+    /// for the `SyncApi` bound and ad-hoc hashing of free structures.)
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        if let Ok(data) = self.data.try_lock() {
+            data.hash(state);
+        }
+    }
+}
+
+/// A checked reader–writer lock.
+#[derive(Debug)]
+pub struct VRwLock<T> {
+    obj: u64,
+    // lint: std-sync-ok(uncontended data cell behind the checker kernel; see module docs)
+    data: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard of a [`VRwLock`].
+pub struct VRwReadGuard<'a, T: SyncData> {
+    kernel: Arc<Kernel>,
+    tid: Tid,
+    obj: u64,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T: SyncData> std::ops::Deref for VRwReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: SyncData> Drop for VRwReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        self.kernel.rw_read_release(self.tid, self.obj);
+    }
+}
+
+/// Exclusive-write guard of a [`VRwLock`].
+pub struct VRwWriteGuard<'a, T: SyncData> {
+    kernel: Arc<Kernel>,
+    tid: Tid,
+    obj: u64,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: SyncData> std::ops::Deref for VRwWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: SyncData> std::ops::DerefMut for VRwWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T: SyncData> Drop for VRwWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let data_hash = hash_of(&**self);
+        drop(self.inner.take());
+        self.kernel.rw_write_release(self.tid, self.obj, data_hash);
+    }
+}
+
+impl<T: SyncData + Sync> SyncRwLock<T> for VRwLock<T> {
+    type ReadGuard<'a>
+        = VRwReadGuard<'a, T>
+    where
+        Self: 'a;
+    type WriteGuard<'a>
+        = VRwWriteGuard<'a, T>
+    where
+        Self: 'a;
+
+    fn new(value: T) -> Self {
+        let data_hash = hash_of(&value);
+        VRwLock {
+            obj: with_kernel(|kernel, _| kernel.register_rw(data_hash)),
+            // lint: std-sync-ok(inert data cell; all scheduling goes through the kernel, this lock is never contended)
+            data: std::sync::RwLock::new(value),
+        }
+    }
+
+    fn read(&self) -> Self::ReadGuard<'_> {
+        let (kernel, tid) = with_kernel(|kernel, tid| {
+            kernel.decision(tid, Op::RwRead { obj: self.obj });
+            (Arc::clone(kernel), tid)
+        });
+        let inner = self.data.read().unwrap_or_else(PoisonError::into_inner);
+        VRwReadGuard { kernel, tid, obj: self.obj, inner: Some(inner) }
+    }
+
+    fn write(&self) -> Self::WriteGuard<'_> {
+        let (kernel, tid) = with_kernel(|kernel, tid| {
+            kernel.decision(tid, Op::RwWrite { obj: self.obj });
+            (Arc::clone(kernel), tid)
+        });
+        let inner = self.data.write().unwrap_or_else(PoisonError::into_inner);
+        VRwWriteGuard { kernel, tid, obj: self.obj, inner: Some(inner) }
+    }
+}

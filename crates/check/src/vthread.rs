@@ -1,0 +1,165 @@
+//! Controlled logical threads for checked scenarios.
+//!
+//! Scenario code running under the checker uses [`spawn`]/[`JoinHandle`]
+//! instead of `std::thread`: each spawn registers a *logical* thread
+//! with the execution's [`Kernel`], and `join` is a scheduling decision
+//! (enabled once the target finished, contributing the happens-before
+//! edge real joins have).
+//!
+//! The current kernel and logical thread id travel in thread-locals;
+//! `VirtualSync` primitives look them up on every operation, which is
+//! also what keeps concurrently running checks (e.g. `cargo test`
+//! running several `#[test]`s in parallel) fully isolated — each
+//! execution has its own kernel and its own worker threads.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+// lint: std-sync-ok(the checker kernel cannot be built on the lock layer it model-checks)
+use std::sync::{Mutex, PoisonError};
+
+use crate::sched::{Kernel, Op, PoisonPayload, Tid};
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Kernel>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the calling thread's kernel context.
+///
+/// # Panics
+///
+/// Panics if the calling thread is not a controlled worker (i.e.
+/// `VirtualSync` was used outside a checked scenario).
+pub(crate) fn with_kernel<R>(f: impl FnOnce(&Arc<Kernel>, Tid) -> R) -> R {
+    CONTEXT.with(|ctx| {
+        let borrowed = ctx.borrow();
+        let (kernel, tid) = borrowed
+            .as_ref()
+            .expect("VirtualSync primitive used outside a checked scenario thread");
+        f(kernel, *tid)
+    })
+}
+
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that silences panics on
+/// checker worker threads: worker panics are *reports* (captured and
+/// re-printed in [`Failure`](crate::sched::Failure) form), and poison
+/// unwinds are routine.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("acn-check-"));
+            if !on_worker {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A handle to a logical thread; `join` blocks (as a scheduling
+/// decision) until the thread finished and returns its result.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The logical thread id (as it appears in printed schedules).
+    #[must_use]
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Joins the logical thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target panicked (its result never arrived); the
+    /// target's panic is separately captured as the execution failure.
+    pub fn join(self) -> T {
+        let target = self.tid;
+        with_kernel(|kernel, tid| kernel.decision(tid, Op::Join { target }));
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined thread panicked before producing a result")
+    }
+}
+
+/// Spawns a controlled logical thread running `f`.
+///
+/// # Panics
+///
+/// Panics if called outside a checked scenario.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (kernel, parent) = with_kernel(|kernel, tid| (Arc::clone(kernel), tid));
+    let tid = kernel.spawn_thread(parent);
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let worker_slot = Arc::clone(&slot);
+    let worker_kernel = Arc::clone(&kernel);
+    let handle = std::thread::Builder::new()
+        .name(format!("acn-check-w{tid}"))
+        .spawn(move || run_worker(worker_kernel, tid, f, worker_slot))
+        .expect("spawn checker worker thread");
+    kernel.adopt_handle(handle);
+    JoinHandle { tid, slot }
+}
+
+/// Body shared by worker threads and the scenario root: set context,
+/// run, catch panics, report to the kernel.
+fn run_worker<T, F>(kernel: Arc<Kernel>, tid: Tid, f: F, slot: Arc<Mutex<Option<T>>>)
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    install_quiet_hook();
+    CONTEXT.with(|ctx| *ctx.borrow_mut() = Some((Arc::clone(&kernel), tid)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    CONTEXT.with(|ctx| *ctx.borrow_mut() = None);
+    match result {
+        Ok(value) => {
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+            kernel.finish_thread(tid, None);
+        }
+        Err(payload) => {
+            if payload.is::<PoisonPayload>() {
+                kernel.finish_thread(tid, None);
+            } else {
+                kernel.finish_thread(tid, Some(payload_message(&payload)));
+            }
+        }
+    }
+}
+
+/// Starts the scenario root (logical thread 0) on a fresh real thread;
+/// the caller becomes the controller. The handle is adopted by the
+/// kernel and joined in `poison_and_join`.
+pub(crate) fn start_root<F>(kernel: &Arc<Kernel>, scenario: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let worker_kernel = Arc::clone(kernel);
+    let slot = Arc::new(Mutex::new(None::<()>));
+    let handle = std::thread::Builder::new()
+        .name("acn-check-w0".to_string())
+        .spawn(move || run_worker(worker_kernel, 0, scenario, slot))
+        .expect("spawn checker root thread");
+    kernel.adopt_handle(handle);
+}

@@ -81,7 +81,11 @@ impl std::fmt::Display for TransferError {
 impl std::error::Error for TransferError {}
 
 /// A live component of the adaptive network.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` feeds `acn-check`'s state fingerprints (the model checker
+/// hashes lock payloads at every scheduling point); the runtimes never
+/// hash components.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Component {
     id: ComponentId,
     kind: ComponentKind,

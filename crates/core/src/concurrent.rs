@@ -11,6 +11,15 @@
 //! reconfiguration point quiescent (so state transfer is always exact
 //! and never deferred).
 //!
+//! # Synchronization abstraction
+//!
+//! The network is generic over [`SyncApi`]: production code uses the
+//! default [`RealSync`] (parking_lot + std atomics, zero-cost), while
+//! `acn-check`'s `VirtualSync` routes every primitive through a
+//! schedule-exploring model checker. Per-component locks are *ranked*
+//! by the `ComponentId` total order (pre-order over `T_w`), declaring
+//! the workspace lock order; the checker enforces it dynamically.
+//!
 //! # Example
 //!
 //! ```
@@ -30,10 +39,11 @@
 //! assert_eq!(net.total_exited(), 400);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 
+use acn_sync::{Ordering, RealSync, SyncApi, SyncAtomicU64, SyncMutex, SyncRwLock};
 use acn_telemetry::{Counter, Histogram, Registry};
-use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use acn_topology::{
     input_port_of, network_input_address, resolve_output, ComponentId, Cut, CutError,
@@ -44,9 +54,40 @@ use crate::component::{merge_components, split_component, Component};
 use crate::local::AdaptError;
 
 /// The lock-protected structure: the cut and its live components.
-struct Structure {
+///
+/// `BTreeMap` (not `HashMap`) so that iteration — and therefore lock
+/// acquisition order, migration sweeps, and checker fingerprints — is
+/// deterministic in the declared `ComponentId` order. (`acn-lint`
+/// forbids hash collections in this module; PR 1 hit exactly this bug
+/// class in the simulator.)
+struct Structure<S: SyncApi> {
     cut: Cut,
-    components: std::collections::HashMap<ComponentId, Mutex<Component>>,
+    components: BTreeMap<ComponentId, S::Mutex<Component>>,
+}
+
+impl<S: SyncApi> Hash for Structure<S> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.cut.hash(state);
+        self.components.hash(state);
+    }
+}
+
+/// The lock-order rank of a component lock: its position in the
+/// `ComponentId` total order, approximated by the pre-order index the
+/// id would have in a deep tree. Ranks only need to be monotone in the
+/// declared order for the checker's dynamic lock-order verification,
+/// and `ComponentId`s order lexicographically by path, so encoding the
+/// path bytes into a u64 (most-significant-first) preserves the order
+/// for all depths that fit.
+fn lock_rank(id: &ComponentId) -> u64 {
+    let mut rank: u64 = 0;
+    for (i, &step) in id.path().iter().take(8).enumerate() {
+        // Child indices are < 8 for every component kind; one octal
+        // digit per level keeps lexicographic order. Deeper levels tie,
+        // which is still a valid (coarser) order declaration.
+        rank |= u64::from(step + 1) << (56 - 8 * i);
+    }
+    rank
 }
 
 /// Telemetry handles for the shared runtime (all no-ops by default).
@@ -77,8 +118,16 @@ impl ConcMetrics {
 
     /// Locks `mutex`, counting the acquisition as contended when another
     /// holder forced a wait. Purely observational: the token takes the
-    /// same lock either way.
-    fn lock<'a>(&self, mutex: &'a Mutex<Component>) -> MutexGuard<'a, Component> {
+    /// same lock either way. Under the model checker
+    /// (`CONTENTION_PROBES == false`) the probe is skipped so the
+    /// observation does not double the explored operations.
+    fn lock<'a, S: SyncApi>(
+        &self,
+        mutex: &'a S::Mutex<Component>,
+    ) -> <S::Mutex<Component> as SyncMutex<Component>>::Guard<'a> {
+        if !S::CONTENTION_PROBES {
+            return mutex.lock();
+        }
         match mutex.try_lock() {
             Some(guard) => guard,
             None => {
@@ -92,16 +141,18 @@ impl ConcMetrics {
 /// A concurrent adaptive counting network for one address space.
 ///
 /// Cloneable via `Arc`; see the module docs for the locking discipline.
-pub struct SharedAdaptiveNetwork {
+/// Generic over [`SyncApi`] (default [`RealSync`]) so the same code is
+/// both the production executor and the model-checked artifact.
+pub struct SharedAdaptiveNetwork<S: SyncApi = RealSync> {
     tree: Tree,
     style: WiringStyle,
-    structure: RwLock<Structure>,
-    input_counts: Vec<AtomicU64>,
-    output_counts: Vec<AtomicU64>,
+    structure: S::RwLock<Structure<S>>,
+    input_counts: Vec<S::AtomicU64>,
+    output_counts: Vec<S::AtomicU64>,
     metrics: ConcMetrics,
 }
 
-impl SharedAdaptiveNetwork {
+impl SharedAdaptiveNetwork<RealSync> {
     /// A new shared network of width `w`, starting as one component.
     ///
     /// # Panics
@@ -109,19 +160,34 @@ impl SharedAdaptiveNetwork {
     /// Panics if `w` is not a power of two or `w < 2`.
     #[must_use]
     pub fn new(w: usize) -> Self {
+        Self::new_in(w)
+    }
+}
+
+impl<S: SyncApi> SharedAdaptiveNetwork<S> {
+    /// A new shared network of width `w` under an explicit [`SyncApi`]
+    /// (the model checker instantiates this with `VirtualSync`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two or `w < 2`.
+    #[must_use]
+    pub fn new_in(w: usize) -> Self {
         let tree = Tree::new(w);
         let cut = Cut::root();
         let components = cut
             .leaves()
             .iter()
-            .map(|id| (id.clone(), Mutex::new(Component::new(&tree, id))))
+            .map(|id| {
+                (id.clone(), S::Mutex::with_rank(Component::new(&tree, id), lock_rank(id)))
+            })
             .collect();
         SharedAdaptiveNetwork {
             tree,
             style: WiringStyle::Ahs,
-            structure: RwLock::new(Structure { cut, components }),
-            input_counts: (0..w).map(|_| AtomicU64::new(0)).collect(),
-            output_counts: (0..w).map(|_| AtomicU64::new(0)).collect(),
+            structure: S::RwLock::new(Structure { cut, components }),
+            input_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
+            output_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
             metrics: ConcMetrics::default(),
         }
     }
@@ -147,6 +213,17 @@ impl SharedAdaptiveNetwork {
         self.structure.read().cut.clone()
     }
 
+    /// Whether the installed component set is exactly the cut's leaf
+    /// set — the split/merge atomicity invariant (a token must never
+    /// observe a half-installed child set). The model checker asserts
+    /// this at every quiescent point.
+    #[must_use]
+    pub fn structure_consistent(&self) -> bool {
+        let structure = self.structure.read();
+        structure.components.len() == structure.cut.leaves().len()
+            && structure.cut.leaves().iter().all(|id| structure.components.contains_key(id))
+    }
+
     /// Routes one token from `wire` to an output wire. Many threads may
     /// push concurrently; the quiescent per-wire exit counts always have
     /// the step property.
@@ -155,6 +232,7 @@ impl SharedAdaptiveNetwork {
     ///
     /// Panics if `wire >= width`.
     pub fn push(&self, wire: usize) -> usize {
+        // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
         self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
         let structure = self.structure.read();
@@ -164,13 +242,14 @@ impl SharedAdaptiveNetwork {
             let owner = addr.owner_under(&structure.cut).expect("valid cut");
             let in_port = input_port_of(&self.tree, &owner, &addr, self.style);
             let out_port = {
-                let mut comp = self.metrics.lock(&structure.components[&owner]);
+                let mut comp = self.metrics.lock::<S>(&structure.components[&owner]);
                 comp.process_token(in_port)
             };
             depth += 1;
             match resolve_output(&self.tree, &owner, out_port, self.style) {
                 OutputDestination::Wire(next) => addr = next,
                 OutputDestination::NetworkOutput(out) => {
+                    // lint: relaxed-ok(RMWs on one location totally order in the modification order; cross-wire step claims hold only at quiescence)
                     self.output_counts[out].fetch_add(1, Ordering::Relaxed);
                     self.metrics.traversal_depth.record(depth);
                     return out;
@@ -187,6 +266,7 @@ impl SharedAdaptiveNetwork {
     ///
     /// Panics if `wire >= width`.
     pub fn next_value(&self, wire: usize) -> u64 {
+        // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
         self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
         let structure = self.structure.read();
@@ -196,13 +276,14 @@ impl SharedAdaptiveNetwork {
             let owner = addr.owner_under(&structure.cut).expect("valid cut");
             let in_port = input_port_of(&self.tree, &owner, &addr, self.style);
             let out_port = {
-                let mut comp = self.metrics.lock(&structure.components[&owner]);
+                let mut comp = self.metrics.lock::<S>(&structure.components[&owner]);
                 comp.process_token(in_port)
             };
             depth += 1;
             match resolve_output(&self.tree, &owner, out_port, self.style) {
                 OutputDestination::Wire(next) => addr = next,
                 OutputDestination::NetworkOutput(out) => {
+                    // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
                     let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
                     self.metrics.traversal_depth.record(depth);
                     return out as u64 + round * self.width() as u64;
@@ -232,7 +313,10 @@ impl SharedAdaptiveNetwork {
         };
         structure.components.remove(id);
         for child in children {
-            structure.components.insert(child.id().clone(), Mutex::new(child));
+            let rank = lock_rank(child.id());
+            structure
+                .components
+                .insert(child.id().clone(), S::Mutex::with_rank(child, rank));
         }
         structure.cut = cut;
         self.metrics.splits.inc();
@@ -258,7 +342,7 @@ impl SharedAdaptiveNetwork {
     fn merge_locked(
         tree: &Tree,
         style: WiringStyle,
-        structure: &mut Structure,
+        structure: &mut Structure<S>,
         id: &ComponentId,
     ) -> Result<(), AdaptError> {
         if structure.cut.contains(id) {
@@ -282,26 +366,36 @@ impl SharedAdaptiveNetwork {
         for c in &children_ids {
             structure.components.remove(c);
         }
-        structure.components.insert(id.clone(), Mutex::new(parent));
+        let rank = lock_rank(id);
+        structure.components.insert(id.clone(), S::Mutex::with_rank(parent, rank));
         structure.cut.merge(tree, id).expect("children are leaves now");
         Ok(())
     }
 
     /// Tokens that exited per output wire (quiescent snapshots have the
-    /// step property).
+    /// step property). `Acquire` pairs with the caller's quiescence
+    /// protocol (thread join or stronger); the per-wire RMWs themselves
+    /// stay `Relaxed`.
     #[must_use]
     pub fn output_counts(&self) -> Vec<u64> {
-        self.output_counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.output_counts.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    }
+
+    /// Tokens that arrived per input wire (diagnostic; exact once
+    /// quiescent).
+    #[must_use]
+    pub fn input_counts(&self) -> Vec<u64> {
+        self.input_counts.iter().map(|c| c.load(Ordering::Acquire)).collect()
     }
 
     /// Total tokens that exited.
     #[must_use]
     pub fn total_exited(&self) -> u64 {
-        self.output_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.output_counts.iter().map(|c| c.load(Ordering::Acquire)).sum()
     }
 }
 
-impl std::fmt::Debug for SharedAdaptiveNetwork {
+impl<S: SyncApi> std::fmt::Debug for SharedAdaptiveNetwork<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let structure = self.structure.read();
         f.debug_struct("SharedAdaptiveNetwork")
@@ -365,6 +459,7 @@ mod tests {
             let stop = Arc::clone(&stop);
             handles.push(std::thread::spawn(move || {
                 let mut n = 0u64;
+                // lint: relaxed-ok(test stop flag; any stale read only runs one more harmless iteration)
                 while !stop.load(Ordering::Relaxed) {
                     let _ = net.push((t * 5 + n as usize) % 16);
                     n += 1;
@@ -379,6 +474,7 @@ mod tests {
             net.split(&root.child(0)).expect("split at quiescence");
             net.merge(&root).expect("merge at quiescence");
         }
+        // lint: relaxed-ok(test stop flag; workers observe it eventually, exactness is not required)
         stop.store(true, Ordering::Relaxed);
         let pushed: u64 = handles.into_iter().map(|h| h.join().expect("worker")).sum();
         assert_eq!(net.total_exited(), pushed, "token conservation");
@@ -387,6 +483,7 @@ mod tests {
             acn_bitonic::step::is_step_sequence(&counts),
             "step property violated: {counts:?}"
         );
+        assert!(net.structure_consistent(), "components must mirror the cut");
     }
 
     #[test]
@@ -415,6 +512,28 @@ mod tests {
         assert!(depth.sum >= 50 + 40, "sum {} too small", depth.sum);
         // No contention in a single-threaded run.
         assert_eq!(snap.counter("acn.conc.lock_contention"), Some(0));
+    }
+
+    #[test]
+    fn lock_ranks_follow_component_order() {
+        let ids = [
+            ComponentId::root(),
+            ComponentId::from_path(vec![0]),
+            ComponentId::from_path(vec![0, 1]),
+            ComponentId::from_path(vec![1]),
+            ComponentId::from_path(vec![4]),
+            ComponentId::from_path(vec![5, 3]),
+        ];
+        for a in &ids {
+            for b in &ids {
+                if a < b {
+                    assert!(
+                        lock_rank(a) < lock_rank(b),
+                        "rank order must follow ComponentId order: {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! measurement endpoint for the experiments.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use acn_overlay::{NodeId, Ring};
@@ -340,24 +340,24 @@ struct MergeOp {
 pub struct NodeProc {
     world: Rc<RefCell<World>>,
     node: NodeId,
-    components: HashMap<ComponentId, Hosted>,
+    components: BTreeMap<ComponentId, Hosted>,
     /// Components this node split and has not merged back yet (the
     /// paper's per-node split list).
     split_list: BTreeSet<ComponentId>,
-    splits: HashMap<ComponentId, SplitOp>,
-    merges: HashMap<ComponentId, MergeOp>,
+    splits: BTreeMap<ComponentId, SplitOp>,
+    merges: BTreeMap<ComponentId, MergeOp>,
     /// Tokens this node is responsible for until acknowledged:
     /// guid -> (addr, injected_at, attempt of the outstanding send,
     /// send time; `sent` false while the probe chain is exhausted).
-    unacked: HashMap<u64, UnackedToken>,
+    unacked: BTreeMap<u64, UnackedToken>,
     /// GUIDs of tokens this node has accepted (duplicate suppression).
-    seen: std::collections::HashSet<u64>,
+    seen: BTreeSet<u64>,
     /// Merge collections to retry (child is mid-reconfiguration).
     stuck_collects: Vec<(ComponentId, ComponentId)>,
     /// Whether a retry timer is already armed.
     retry_armed: bool,
     /// Last known owner level per wire address (the Section 3.5 cache).
-    cache: HashMap<WireAddress, usize>,
+    cache: BTreeMap<WireAddress, usize>,
     /// Current level estimate `l_v`.
     level: usize,
     /// Period of the level-maintenance timer.
@@ -374,15 +374,15 @@ impl NodeProc {
         NodeProc {
             world,
             node,
-            components: HashMap::new(),
+            components: BTreeMap::new(),
             split_list: BTreeSet::new(),
-            splits: HashMap::new(),
-            merges: HashMap::new(),
-            unacked: HashMap::new(),
-            seen: std::collections::HashSet::new(),
+            splits: BTreeMap::new(),
+            merges: BTreeMap::new(),
+            unacked: BTreeMap::new(),
+            seen: BTreeSet::new(),
             stuck_collects: Vec::new(),
             retry_armed: false,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             level: 0,
             level_period,
             departed: false,

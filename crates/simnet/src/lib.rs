@@ -40,7 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use acn_telemetry::{Counter, Event as TelemetryEvent, Gauge, Histogram, Registry};
@@ -271,8 +271,11 @@ pub struct Simulator<M, P> {
     /// nondeterminism into otherwise seeded runs.
     processes: BTreeMap<ProcessId, P>,
     queue: BinaryHeap<Event<M>>,
-    /// Last scheduled delivery time per (from, to) link, to enforce FIFO.
-    link_clock: HashMap<(ProcessId, ProcessId), u64>,
+    /// Last scheduled delivery time per (from, to) link, to enforce
+    /// FIFO. A `BTreeMap` for the same determinism discipline as
+    /// `processes`: simnet state must never depend on hash iteration
+    /// order (enforced by `acn-lint`).
+    link_clock: BTreeMap<(ProcessId, ProcessId), u64>,
     time: u64,
     seq: u64,
     rng: u64,
@@ -290,7 +293,7 @@ impl<M, P: Process<M>> Simulator<M, P> {
         Simulator {
             processes: BTreeMap::new(),
             queue: BinaryHeap::new(),
-            link_clock: HashMap::new(),
+            link_clock: BTreeMap::new(),
             time: 0,
             seq: 0,
             rng: config.seed,

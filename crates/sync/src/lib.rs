@@ -1,0 +1,308 @@
+//! The synchronization abstraction layer of the workspace.
+//!
+//! The concurrent executors ([`SharedAdaptiveNetwork`] in `acn-core`,
+//! [`AtomicNetworkCounter`] in `acn-bitonic`) are generic over a
+//! [`SyncApi`]: the small set of primitives they actually use — a
+//! mutex, a reader–writer lock, and a 64-bit atomic with explicit
+//! memory orderings.
+//!
+//! Two implementations exist:
+//!
+//! - [`RealSync`] (this crate): zero-cost forwarding to `parking_lot`
+//!   locks and `std::sync::atomic`. Every production path uses it; it
+//!   is the default type parameter everywhere, so callers never see
+//!   the abstraction.
+//! - `VirtualSync` (in `acn-check`): routes every acquire/load/store
+//!   through a cooperative single-threaded scheduler that *explores
+//!   interleavings* — an in-repo model checker in the spirit of loom,
+//!   built from scratch because the workspace is vendored/offline.
+//!
+//! The traits use GATs for the guard types so that both the
+//! `parking_lot` guards and the checker's instrumented guards fit
+//! without boxing.
+//!
+//! # Data bounds
+//!
+//! Lock payloads must satisfy [`SyncData`] (`Send + Hash + 'static`).
+//! The `Hash` bound is what lets the model checker fingerprint the
+//! whole shared state at every scheduling point for its
+//! visited-state pruning; for `RealSync` it costs nothing (the real
+//! lock types implement `Hash` as a no-op and never call `T::hash`).
+//!
+//! [`SharedAdaptiveNetwork`]: https://docs.rs/acn-core
+//! [`AtomicNetworkCounter`]: https://docs.rs/acn-bitonic
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hash::Hash;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU64;
+
+pub use std::sync::atomic::Ordering;
+
+/// Bounds required of data protected by a [`SyncApi`] lock.
+///
+/// `Hash` exists for the model checker's state fingerprinting;
+/// `RealSync` never calls it.
+pub trait SyncData: Send + Hash + 'static {}
+impl<T: Send + Hash + 'static> SyncData for T {}
+
+/// A 64-bit atomic with explicit memory orderings.
+///
+/// The checker's implementation *interprets* the orderings: `Relaxed`
+/// loads may observe stale values unless a happens-before edge makes
+/// the latest store visible, so choosing too-weak orderings is a
+/// checkable bug rather than a latent one.
+pub trait SyncAtomicU64: Send + Sync + 'static {
+    /// A new atomic holding `value`.
+    fn new(value: u64) -> Self;
+    /// Atomically loads the value.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomically stores `value`.
+    fn store(&self, value: u64, order: Ordering);
+    /// Atomically adds `value`, returning the previous value.
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64;
+}
+
+/// A mutual-exclusion lock.
+pub trait SyncMutex<T: SyncData>: Send + Sync + Sized + 'static {
+    /// RAII guard; unlocks on drop.
+    type Guard<'a>: DerefMut<Target = T>
+    where
+        Self: 'a;
+
+    /// A new mutex protecting `value`.
+    fn new(value: T) -> Self;
+
+    /// A new mutex carrying a *lock-order rank*: whenever a thread
+    /// acquires two ranked locks simultaneously it must take them in
+    /// ascending rank order. `RealSync` ignores the rank; the model
+    /// checker enforces it dynamically and reports the offending
+    /// schedule on violation. The workspace convention is to rank
+    /// per-component locks by the `ComponentId` total order.
+    fn with_rank(value: T, rank: u64) -> Self {
+        let _ = rank;
+        Self::new(value)
+    }
+
+    /// Acquires the lock, blocking until available.
+    fn lock(&self) -> Self::Guard<'_>;
+
+    /// Attempts to acquire the lock without blocking.
+    fn try_lock(&self) -> Option<Self::Guard<'_>>;
+}
+
+/// A reader–writer lock.
+pub trait SyncRwLock<T: SyncData>: Send + Sync + Sized + 'static {
+    /// Shared-read guard.
+    type ReadGuard<'a>: Deref<Target = T>
+    where
+        Self: 'a;
+    /// Exclusive-write guard.
+    type WriteGuard<'a>: DerefMut<Target = T>
+    where
+        Self: 'a;
+
+    /// A new lock protecting `value`.
+    fn new(value: T) -> Self;
+    /// Acquires shared read access.
+    fn read(&self) -> Self::ReadGuard<'_>;
+    /// Acquires exclusive write access.
+    fn write(&self) -> Self::WriteGuard<'_>;
+}
+
+/// The family of synchronization primitives a concurrent executor is
+/// built from.
+pub trait SyncApi: Send + Sync + 'static {
+    /// Whether telemetry may probe locks with `try_lock` before a
+    /// blocking `lock` to count contention. The checker turns this
+    /// off so that the observation probe does not double the visible
+    /// operations per acquisition (telemetry is observation-only, so
+    /// the explored behaviours are identical).
+    const CONTENTION_PROBES: bool = true;
+
+    /// The atomic 64-bit integer.
+    type AtomicU64: SyncAtomicU64;
+    /// The mutex. `Hash` feeds the checker's state fingerprints; the
+    /// real implementation hashes nothing.
+    type Mutex<T: SyncData>: SyncMutex<T> + Hash;
+    /// The reader–writer lock (payloads are additionally `Sync`,
+    /// since readers share them).
+    type RwLock<T: SyncData + Sync>: SyncRwLock<T>;
+}
+
+/// Production synchronization: `parking_lot` locks, `std` atomics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RealSync;
+
+/// [`RealSync`]'s atomic: a transparent `std::sync::atomic::AtomicU64`.
+#[derive(Debug, Default)]
+pub struct RealAtomicU64(AtomicU64);
+
+impl SyncAtomicU64 for RealAtomicU64 {
+    #[inline]
+    fn new(value: u64) -> Self {
+        RealAtomicU64(AtomicU64::new(value))
+    }
+
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    #[inline]
+    fn store(&self, value: u64, order: Ordering) {
+        self.0.store(value, order)
+    }
+
+    #[inline]
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.0.fetch_add(value, order)
+    }
+}
+
+/// [`RealSync`]'s mutex: a transparent `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct RealMutex<T>(parking_lot::Mutex<T>);
+
+impl<T: SyncData> SyncMutex<T> for RealMutex<T> {
+    type Guard<'a>
+        = parking_lot::MutexGuard<'a, T>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn new(value: T) -> Self {
+        RealMutex(parking_lot::Mutex::new(value))
+    }
+
+    #[inline]
+    fn lock(&self) -> Self::Guard<'_> {
+        self.0.lock()
+    }
+
+    #[inline]
+    fn try_lock(&self) -> Option<Self::Guard<'_>> {
+        self.0.try_lock()
+    }
+}
+
+impl<T> Hash for RealMutex<T> {
+    /// Production locks contribute nothing to state fingerprints
+    /// (fingerprinting is a checker concern); hashing is a no-op.
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
+}
+
+/// [`RealSync`]'s reader–writer lock: a transparent
+/// `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RealRwLock<T>(parking_lot::RwLock<T>);
+
+impl<T: SyncData + Sync> SyncRwLock<T> for RealRwLock<T> {
+    type ReadGuard<'a>
+        = parking_lot::RwLockReadGuard<'a, T>
+    where
+        Self: 'a;
+    type WriteGuard<'a>
+        = parking_lot::RwLockWriteGuard<'a, T>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn new(value: T) -> Self {
+        RealRwLock(parking_lot::RwLock::new(value))
+    }
+
+    #[inline]
+    fn read(&self) -> Self::ReadGuard<'_> {
+        self.0.read()
+    }
+
+    #[inline]
+    fn write(&self) -> Self::WriteGuard<'_> {
+        self.0.write()
+    }
+}
+
+impl SyncApi for RealSync {
+    type AtomicU64 = RealAtomicU64;
+    type Mutex<T: SyncData> = RealMutex<T>;
+    type RwLock<T: SyncData + Sync> = RealRwLock<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A tiny SyncApi-generic structure, exercised under RealSync the
+    /// way the executors are.
+    struct PaddedCounter<S: SyncApi> {
+        fast: S::AtomicU64,
+        slow: S::Mutex<u64>,
+    }
+
+    impl<S: SyncApi> PaddedCounter<S> {
+        fn new() -> Self {
+            PaddedCounter { fast: S::AtomicU64::new(0), slow: S::Mutex::new(0) }
+        }
+
+        fn bump(&self) -> u64 {
+            let n = self.fast.fetch_add(1, Ordering::AcqRel);
+            *self.slow.lock() += 1;
+            n
+        }
+    }
+
+    #[test]
+    fn real_sync_round_trip() {
+        let c: Arc<PaddedCounter<RealSync>> = Arc::new(PaddedCounter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || (0..100).map(|_| c.bump()).max())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.fast.load(Ordering::Acquire), 400);
+        assert_eq!(*c.slow.lock(), 400);
+    }
+
+    #[test]
+    fn try_lock_contends() {
+        let m: RealMutex<u32> = SyncMutex::new(7);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().expect("free"), 7);
+    }
+
+    #[test]
+    fn rwlock_readers_share() {
+        let l: RealRwLock<Vec<u8>> = SyncRwLock::new(vec![1, 2]);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a, *b);
+        drop((a, b));
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn ranked_mutex_defaults_to_plain() {
+        let m: RealMutex<u8> = SyncMutex::with_rank(9, 42);
+        assert_eq!(*m.lock(), 9);
+    }
+
+    #[test]
+    fn atomic_orderings_forward() {
+        let a = RealAtomicU64::new(5);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 5);
+        a.store(11, Ordering::Release);
+        assert_eq!(a.load(Ordering::Acquire), 11);
+    }
+}

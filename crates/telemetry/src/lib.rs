@@ -74,6 +74,7 @@ pub use sink::{EventSink, JsonlSink, RingBufferSink};
 pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot};
 
 use std::collections::HashMap;
+// lint: std-sync-ok(acn-telemetry is zero-dependency by policy; it cannot pull in parking_lot)
 use std::sync::{Arc, Mutex};
 
 use metrics::{CounterCell, GaugeCell, HistogramCell};
@@ -124,6 +125,7 @@ impl Registry {
         self.inner.is_some()
     }
 
+    // lint: std-sync-ok(zero-dependency crate policy; guard type of the std mutex above)
     fn lock_metrics(&self) -> Option<std::sync::MutexGuard<'_, HashMap<&'static str, Handle>>> {
         self.inner
             .as_ref()

@@ -54,10 +54,12 @@ pub(crate) struct CounterCell {
 
 impl CounterCell {
     pub(crate) fn add(&self, n: u64) {
+        // lint: relaxed-ok(telemetry counter; only the per-cell total matters and snapshots tolerate slight staleness)
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn get(&self) -> u64 {
+        // lint: relaxed-ok(snapshot read of a statistics cell; no cross-location ordering consumed)
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -70,10 +72,12 @@ pub(crate) struct GaugeCell {
 
 impl GaugeCell {
     pub(crate) fn set(&self, v: f64) {
+        // lint: relaxed-ok(last-writer-wins gauge cell; no other memory is published through it)
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     pub(crate) fn get(&self) -> f64 {
+        // lint: relaxed-ok(snapshot read of a statistics cell; no cross-location ordering consumed)
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -98,16 +102,21 @@ impl Default for HistogramCell {
 
 impl HistogramCell {
     pub(crate) fn record(&self, v: u64) {
+        // lint: relaxed-ok(histogram bucket increment; per-cell totals only, snapshots are advisory)
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        // lint: relaxed-ok(histogram count increment; per-cell totals only, snapshots are advisory)
         self.count.fetch_add(1, Ordering::Relaxed);
+        // lint: relaxed-ok(histogram sum increment; per-cell totals only, snapshots are advisory)
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     pub(crate) fn count(&self) -> u64 {
+        // lint: relaxed-ok(snapshot read of a statistics cell; no cross-location ordering consumed)
         self.count.load(Ordering::Relaxed)
     }
 
     pub(crate) fn sum(&self) -> u64 {
+        // lint: relaxed-ok(snapshot read of a statistics cell; no cross-location ordering consumed)
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -115,6 +124,7 @@ impl HistogramCell {
         HistogramSnapshot {
             count: self.count(),
             sum: self.sum(),
+            // lint: relaxed-ok(advisory snapshot; buckets/count/sum may be mutually torn by design)
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
         }
     }

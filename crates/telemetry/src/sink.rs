@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+// lint: std-sync-ok(acn-telemetry is zero-dependency by policy; it cannot pull in parking_lot)
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::Event;

@@ -53,7 +53,7 @@ impl std::error::Error for CutError {}
 /// cut.merge(&tree, &root).unwrap();
 /// assert_eq!(cut.leaves().len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Cut {
     leaves: BTreeSet<ComponentId>,
 }

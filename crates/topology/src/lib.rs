@@ -47,6 +47,7 @@ mod dag;
 mod id;
 mod kind;
 mod metrics;
+pub mod oracle;
 mod phi;
 mod tree;
 mod wiring;

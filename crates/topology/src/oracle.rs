@@ -1,0 +1,114 @@
+//! Quiescent-state oracles shared by the verification layers.
+//!
+//! The paper's central correctness claim is about *quiescent* states:
+//! whenever no token is in flight, the per-output-wire exit counts
+//! `x_0, ..., x_{w-1}` form a **step sequence** —
+//! `0 <= x_i - x_j <= 1` for all `i < j` (Section 1.1). These helpers
+//! implement that predicate and its diagnostics once, so the
+//! balancer-level harnesses (`acn-bitonic`), the model checker
+//! (`acn-check`), and the property tests all assert exactly the same
+//! oracle instead of re-deriving it.
+
+/// Whether `counts` has the step property:
+/// `0 <= counts[i] - counts[j] <= 1` for all `i < j`.
+///
+/// # Example
+///
+/// ```
+/// use acn_topology::oracle::is_step_sequence;
+///
+/// assert!(is_step_sequence(&[3, 3, 2, 2]));
+/// assert!(!is_step_sequence(&[2, 3, 2, 2])); // not non-increasing
+/// assert!(!is_step_sequence(&[4, 2, 2, 2])); // gap of 2
+/// ```
+#[must_use]
+pub fn is_step_sequence(counts: &[u64]) -> bool {
+    let Some(&last) = counts.last() else { return true };
+    // Non-increasing, and (first = max) <= (last = min) + 1.
+    counts.windows(2).all(|w| w[0] >= w[1]) && counts[0] <= last + 1
+}
+
+/// The unique step sequence of width `w` summing to `total`:
+/// `ceil((total - i) / w)` tokens on wire `i`.
+#[must_use]
+pub fn step_sequence(width: usize, total: u64) -> Vec<u64> {
+    (0..width as u64)
+        .map(|i| (total + width as u64 - 1 - i) / width as u64)
+        .collect()
+}
+
+/// The largest pairwise gap `max(counts) - min(counts)`; the step
+/// property bounds it by 1 at quiescence. Returns 0 for empty input.
+#[must_use]
+pub fn max_gap(counts: &[u64]) -> u64 {
+    match (counts.iter().max(), counts.iter().min()) {
+        (Some(max), Some(min)) => max - min,
+        _ => 0,
+    }
+}
+
+/// Total deviation from the ideal step sequence for the same token
+/// count: `sum_i |counts[i] - step_sequence(w, total)[i]|`. Zero iff
+/// `counts` *is* the step sequence.
+#[must_use]
+pub fn step_discrepancy(counts: &[u64]) -> u64 {
+    let total: u64 = counts.iter().sum();
+    step_sequence(counts.len(), total)
+        .iter()
+        .zip(counts)
+        .map(|(ideal, got)| ideal.abs_diff(*got))
+        .sum()
+}
+
+/// `None` if `counts` satisfies the step property, otherwise a
+/// human-readable description of the violation (used verbatim in
+/// checker failure reports).
+#[must_use]
+pub fn step_violation(counts: &[u64]) -> Option<String> {
+    if is_step_sequence(counts) {
+        return None;
+    }
+    Some(format!(
+        "step property violated: counts {:?} (gap {}, discrepancy {} from ideal {:?})",
+        counts,
+        max_gap(counts),
+        step_discrepancy(counts),
+        step_sequence(counts.len(), counts.iter().sum()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_sequences_are_steps() {
+        for w in [1usize, 2, 4, 8] {
+            for total in 0..40u64 {
+                let s = step_sequence(w, total);
+                assert!(is_step_sequence(&s), "{s:?}");
+                assert_eq!(s.iter().sum::<u64>(), total);
+                assert_eq!(step_discrepancy(&s), 0);
+                assert!(max_gap(&s) <= 1);
+                assert!(step_violation(&s).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_described() {
+        let msg = step_violation(&[4, 2, 2, 2]).expect("gap of 2");
+        assert!(msg.contains("gap 2"), "{msg}");
+        assert!(step_violation(&[2, 3, 2, 2]).is_some());
+        assert!(step_violation(&[]).is_none());
+        assert_eq!(max_gap(&[]), 0);
+    }
+
+    #[test]
+    fn discrepancy_counts_misplaced_tokens() {
+        // [3, 1] should be [2, 2]: one token on the wrong wire, counted
+        // once per side.
+        assert_eq!(step_discrepancy(&[3, 1]), 2);
+        assert_eq!(step_discrepancy(&[2, 2]), 0);
+    }
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# The full local gate: release build, test suite, and lint-clean clippy.
+# The full local gate: release build, test suite, determinism lints,
+# the bounded model-check suite, and lint-clean clippy.
 # Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 
@@ -10,6 +11,15 @@ cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+echo "==> acn-lint (workspace determinism lints)"
+cargo run -q -p acn-check --bin acn-lint
+
+echo "==> model checker (bounded exhaustive + seeded random suite)"
+# Re-runs the acn-check suite on its own so a red gate names the checker
+# directly; exploration statistics land in acn.check.* metrics
+# (Report::emit) and the suite is budgeted to stay well under a minute.
+cargo test -q -p acn-check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,5 +1,7 @@
 //! Property-based tests (proptest) on the core invariants.
 
+use std::sync::Arc;
+
 use adaptive_counting_networks::bitonic::step::{is_step_sequence, step_sequence};
 use adaptive_counting_networks::core::component::{
     merge_components, split_component, Component,
@@ -167,5 +169,61 @@ proptest! {
             }
         }
         prop_assert!(is_step_sequence(net.output_counts()));
+    }
+
+    /// The SyncApi-generic shared executor under `RealSync` (real OS
+    /// threads and `parking_lot` locks — the production instantiation)
+    /// satisfies the same quiescent oracles the model checker asserts
+    /// under `VirtualSync`: randomly interleaved `next_value` calls
+    /// racing a random split/merge schedule hand out exactly `0..total`
+    /// and leave THE step sequence on the output wires.
+    #[test]
+    fn concurrent_network_counts_under_random_adaptation(
+        width_pick in 0usize..3,
+        threads in 2usize..5,
+        per_thread in 1usize..10,
+        adapt_ops in proptest::collection::vec((0usize..100, 0usize..2), 0..6),
+    ) {
+        use adaptive_counting_networks::core::SharedAdaptiveNetwork;
+
+        let w = [4usize, 8, 16][width_pick];
+        let net = Arc::new(SharedAdaptiveNetwork::new(w));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let net = Arc::clone(&net);
+                std::thread::spawn(move || {
+                    (0..per_thread).map(|i| net.next_value((t * 7 + i * 3) % w)).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let adapter = {
+            let net = Arc::clone(&net);
+            std::thread::spawn(move || {
+                for (pick, kind) in adapt_ops {
+                    let leaves: Vec<ComponentId> = net.cut().leaves().iter().cloned().collect();
+                    let leaf = leaves[pick % leaves.len()].clone();
+                    if kind == 0 {
+                        // Leaves of minimal width are not splittable;
+                        // racing tokens may also defer — both are fine.
+                        let _ = net.split(&leaf);
+                    } else if let Some(parent) = leaf.parent() {
+                        let _ = net.merge(&parent);
+                    }
+                }
+            })
+        };
+        let mut values = Vec::new();
+        for worker in workers {
+            values.extend(worker.join().expect("worker thread panicked"));
+        }
+        adapter.join().expect("adaptation thread panicked");
+
+        // The *same* oracles the model checker asserts under VirtualSync.
+        acn_check::oracles::assert_values_dense(&values);
+        acn_check::oracles::assert_network_quiescent(
+            &net.output_counts(),
+            (threads * per_thread) as u64,
+        );
+        prop_assert!(net.structure_consistent(), "adaptation left a half-installed structure");
     }
 }
