@@ -1,0 +1,35 @@
+//! Runs experiment `exp18_throughput` (locked vs lock-free executor at
+//! 1/2/4/8 threads), prints the table, and writes the
+//! `BENCH_throughput.json` perf-trajectory artifact.
+//!
+//! Flags / environment:
+//!
+//! - `--smoke` (or `ACN_BENCH_SMOKE=1`): shrink the per-thread op count
+//!   for CI gates; the artifact then lands in
+//!   `target/BENCH_throughput.smoke.json` so the committed full-run
+//!   artifact is never overwritten by a smoke pass.
+//! - `ACN_BENCH_OUT=<path>`: explicit artifact path (overrides both
+//!   defaults).
+
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var_os("ACN_BENCH_SMOKE").is_some();
+    let (report, json) = acn_bench::exp18_throughput::run_report(smoke);
+    let path = std::env::var_os("ACN_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|| {
+        if smoke {
+            PathBuf::from("target").join("BENCH_throughput.smoke.json")
+        } else {
+            PathBuf::from("BENCH_throughput.json")
+        }
+    });
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(&path, &json).expect("write throughput artifact");
+    print!("{report}");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,187 @@
+//! E18 — multi-threaded token throughput: locked vs lock-free executor.
+//!
+//! The ROADMAP's north star is a counting service "as fast as the
+//! hardware allows"; the paper's own pitch is that each component is
+//! *one counter*, so routing a token should cost a handful of atomic
+//! ops — not a global `RwLock` plus a per-component `Mutex` per hop.
+//! This harness measures exactly that: the same
+//! [`SharedAdaptiveNetwork`] workload under [`ExecMode::Locked`] (the
+//! pre-fast-path executor, kept for comparison and checking) and
+//! [`ExecMode::LockFree`] (the epoch-published snapshot fast path of
+//! `DESIGN.md` §8), at 1/2/4/8 threads.
+//!
+//! Besides the human-readable table, [`run_report`] renders
+//! `BENCH_throughput.json` — the repo's first perf-trajectory artifact
+//! (see README "Benchmarks"). Numbers are only meaningful from release
+//! builds (`scripts/bench.sh`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use acn_core::{ExecMode, SharedAdaptiveNetwork};
+use acn_topology::ComponentId;
+
+use crate::util::{section, Table};
+
+/// Network width (BITONIC[8]); the root is split once so tokens route
+/// through a real multi-component cut rather than a single counter.
+const WIDTH: usize = 8;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputRow {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Locked-mode throughput, tokens/second.
+    pub locked: f64,
+    /// Lock-free-mode throughput, tokens/second.
+    pub lockfree: f64,
+}
+
+impl ThroughputRow {
+    /// Lock-free over locked speedup.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.lockfree / self.locked
+    }
+}
+
+/// Runs `threads × ops` tokens through a fresh network in `mode` and
+/// returns the aggregate throughput in tokens/second. Panics if the
+/// handed-out token count disagrees with the quiescent output counts
+/// (the benchmark must never trade correctness for speed silently).
+fn run_mode(mode: ExecMode, threads: usize, ops: u64) -> f64 {
+    let net = Arc::new(match mode {
+        ExecMode::Locked => SharedAdaptiveNetwork::new_locked(WIDTH),
+        ExecMode::LockFree => SharedAdaptiveNetwork::new(WIDTH),
+    });
+    net.split(&ComponentId::root()).expect("root splits");
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let net = Arc::clone(&net);
+            std::thread::spawn(move || {
+                let mut wire = t % WIDTH;
+                for _ in 0..ops {
+                    let _ = net.next_value(wire);
+                    wire = (wire + 1) % WIDTH;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let total = threads as u64 * ops;
+    let counted: u64 = net.output_counts().iter().sum();
+    assert_eq!(counted, total, "{mode:?}: outputs disagree with tokens issued");
+    total as f64 / elapsed
+}
+
+/// Runs the sweep over `thread_counts` with `ops` tokens per thread.
+#[must_use]
+pub fn measure(thread_counts: &[usize], ops: u64) -> Vec<ThroughputRow> {
+    thread_counts
+        .iter()
+        .map(|&threads| ThroughputRow {
+            threads,
+            locked: run_mode(ExecMode::Locked, threads, ops),
+            lockfree: run_mode(ExecMode::LockFree, threads, ops),
+        })
+        .collect()
+}
+
+/// Renders the rows as the `BENCH_throughput.json` artifact: a single
+/// JSON object, hand-rolled (no serde in the workspace) and stable in
+/// field order so diffs across PRs read as a trajectory.
+#[must_use]
+pub fn render_json(rows: &[ThroughputRow], ops: u64, smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"throughput_locked_vs_lockfree\",\n");
+    out.push_str(&format!("  \"width\": {WIDTH},\n"));
+    out.push_str(&format!("  \"ops_per_thread\": {ops},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"locked_tokens_per_sec\": {:.0}, \
+             \"lockfree_tokens_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            row.threads,
+            row.locked,
+            row.lockfree,
+            row.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table.
+#[must_use]
+pub fn render_table(rows: &[ThroughputRow], ops: u64) -> String {
+    let mut table =
+        Table::new(&["threads", "locked (tok/s)", "lock-free (tok/s)", "speedup"]);
+    for row in rows {
+        table.row(&[
+            row.threads.to_string(),
+            format!("{:.0}", row.locked),
+            format!("{:.0}", row.lockfree),
+            format!("{:.2}x", row.speedup()),
+        ]);
+    }
+    section(
+        "E18 — token throughput, locked vs lock-free executor",
+        &format!(
+            "{}\nWorkload: BITONIC[{WIDTH}] split once (multi-component cut), {ops} tokens\n\
+             per thread, round-robin input wires. Locked = global RwLock read +\n\
+             per-component Mutex per hop; lock-free = epoch-validated snapshot pin +\n\
+             one fetch_add per hop (DESIGN.md \u{a7}8). Expected shape: parity-ish at one\n\
+             thread, widening gap as threads contend on the component locks.\n",
+            table.render()
+        ),
+    )
+}
+
+/// Full harness: measures 1/2/4/8 threads and returns
+/// `(human_report, json_artifact)`. `smoke` shrinks the per-thread op
+/// count so CI gates finish fast; headline numbers come from the
+/// release-mode full run (`scripts/bench.sh`).
+#[must_use]
+pub fn run_report(smoke: bool) -> (String, String) {
+    let ops: u64 = if smoke { 20_000 } else { 400_000 };
+    let rows = measure(&[1, 2, 4, 8], ops);
+    (render_table(&rows, ops), render_json(&rows, ops, smoke))
+}
+
+/// Runs the experiment and returns the rendered report (table only; the
+/// JSON artifact is written by the `exp_throughput` binary).
+#[must_use]
+pub fn run() -> String {
+    run_report(true).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_measure_and_json_is_well_formed() {
+        // Tiny run: this is a correctness test of the harness, not a
+        // performance assertion (debug builds invert every ratio).
+        let rows = measure(&[1, 2], 200);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.locked > 0.0 && row.lockfree > 0.0);
+        }
+        let json = render_json(&rows, 200, true);
+        assert!(json.contains("\"experiment\": \"throughput_locked_vs_lockfree\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = render_table(&rows, 200);
+        assert!(table.contains("E18"));
+    }
+}

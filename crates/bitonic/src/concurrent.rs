@@ -1,10 +1,26 @@
 //! Lock-free concurrent execution of balancing networks.
+//!
+//! [`AtomicNetworkCounter`] was always lock-free per token (each
+//! balancer toggle is one `fetch_add`); since the snapshot protocol
+//! landed it also shares the adaptive runtime's **epoch-published
+//! snapshot** discipline (`acn_sync::SyncSnapshot`, `DESIGN.md` §8):
+//! the network description and its toggle bank live in an immutable
+//! snapshot that tokens pin through a read–write gate and validate by
+//! epoch, and [`AtomicNetworkCounter::replace_network`] can swap in a
+//! different (same-width) counting network *live* — the writer drains
+//! pinned tokens, seeds the replacement's toggles from the quiescent
+//! output counts so the value stream stays dense, and publishes the
+//! new snapshot under a bumped epoch.
 
-use acn_sync::{Ordering, RealSync, SyncApi, SyncAtomicU64};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use acn_sync::{Ordering, RealSync, SyncApi, SyncAtomicU64, SyncRwLock, SyncSnapshot};
 use acn_telemetry::{Counter as TelemetryCounter, Histogram, Registry};
 
 use crate::baselines::Counter;
 use crate::network::{BalancingNetwork, Dest};
+use crate::step::is_step_sequence;
 
 /// Telemetry handles for the lock-free counter (no-ops by default).
 #[derive(Debug, Default)]
@@ -15,6 +31,12 @@ struct BitonicMetrics {
     traversal_depth: Histogram,
     /// `acn.bitonic.tokens` — values handed out via [`Counter::next`].
     tokens: TelemetryCounter,
+    /// `acn.bitonic.fastpath_hits` — traversals that completed on a
+    /// validated snapshot pin.
+    fastpath_hits: TelemetryCounter,
+    /// `acn.bitonic.snapshot_retries` — pinned snapshots that failed
+    /// epoch validation (a network replacement won the race).
+    snapshot_retries: TelemetryCounter,
 }
 
 impl BitonicMetrics {
@@ -23,8 +45,96 @@ impl BitonicMetrics {
             balancer_passes: registry.counter("acn.bitonic.balancer_passes"),
             traversal_depth: registry.histogram("acn.bitonic.traversal_depth"),
             tokens: registry.counter("acn.bitonic.tokens"),
+            fastpath_hits: registry.counter("acn.bitonic.fastpath_hits"),
+            snapshot_retries: registry.counter("acn.bitonic.snapshot_retries"),
         }
     }
+}
+
+/// The immutable unit a token traverses: a network description plus its
+/// toggle bank, published via [`SyncSnapshot`] and validated by epoch.
+struct ToggleSnapshot<S: SyncApi> {
+    epoch: u64,
+    net: BalancingNetwork,
+    toggles: Vec<S::AtomicU64>,
+}
+
+impl<S: SyncApi> Hash for ToggleSnapshot<S> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.epoch.hash(state);
+        self.net.hash(state);
+        self.toggles.hash(state);
+    }
+}
+
+impl<S: SyncApi> std::fmt::Debug for ToggleSnapshot<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ToggleSnapshot")
+            .field("epoch", &self.epoch)
+            .field("balancers", &self.net.balancer_count())
+            .finish()
+    }
+}
+
+/// Tokens of `total` round-robin arrivals that land on wire `i` of `w`:
+/// `ceil((total - i) / w)`, clamped at zero — the step profile.
+fn round_robin_profile(total: u64, w: usize, i: usize) -> u64 {
+    (total + w as u64 - 1 - i as u64) / w as u64
+}
+
+/// The quiescent toggle state of `net` after `total` round-robin
+/// arrivals, computed by flowing the arrival profile through the
+/// balancers (Kahn-style, so balancer indices need not be topologically
+/// ordered): `t` tokens through a balancer leave its toggle at `t`,
+/// having sent `ceil(t/2)` up and `floor(t/2)` down regardless of
+/// interleaving. Returns `(toggles, outputs)`.
+fn quiescent_flow(net: &BalancingNetwork, total: u64) -> (Vec<u64>, Vec<u64>) {
+    let w = net.width();
+    let bcount = net.balancer_count();
+    let mut pending = vec![0usize; bcount];
+    for wire in 0..w {
+        if let Dest::Balancer(b) = net.input(wire) {
+            pending[b] += 1;
+        }
+    }
+    for b in 0..bcount {
+        for d in net.balancer_outputs(b) {
+            if let Dest::Balancer(t) = d {
+                pending[t] += 1;
+            }
+        }
+    }
+    let mut incoming = vec![0u64; bcount];
+    let mut outputs = vec![0u64; w];
+    let mut ready: Vec<usize> = Vec::new();
+    let feed = |dest: Dest,
+                    tokens: u64,
+                    incoming: &mut Vec<u64>,
+                    outputs: &mut Vec<u64>,
+                    pending: &mut Vec<usize>,
+                    ready: &mut Vec<usize>| match dest {
+        Dest::Balancer(b) => {
+            incoming[b] += tokens;
+            pending[b] -= 1;
+            if pending[b] == 0 {
+                ready.push(b);
+            }
+        }
+        Dest::Output(o) => outputs[o] += tokens,
+    };
+    for wire in 0..w {
+        let tokens = round_robin_profile(total, w, wire);
+        feed(net.input(wire), tokens, &mut incoming, &mut outputs, &mut pending, &mut ready);
+    }
+    let mut toggles = vec![0u64; bcount];
+    while let Some(b) = ready.pop() {
+        let t = incoming[b];
+        toggles[b] = t;
+        let [top, bottom] = net.balancer_outputs(b);
+        feed(top, t.div_ceil(2), &mut incoming, &mut outputs, &mut pending, &mut ready);
+        feed(bottom, t / 2, &mut incoming, &mut outputs, &mut pending, &mut ready);
+    }
+    (toggles, outputs)
 }
 
 /// A lock-free concurrent counter built from a counting network: each
@@ -50,16 +160,26 @@ impl BitonicMetrics {
 /// seen.sort();
 /// assert_eq!(seen, (0..10).collect::<Vec<u64>>());
 /// ```
-#[derive(Debug)]
-pub struct AtomicNetworkCounter<S: SyncApi = RealSync>
-where
-    S::AtomicU64: std::fmt::Debug,
-{
-    net: BalancingNetwork,
-    toggles: Vec<S::AtomicU64>,
+pub struct AtomicNetworkCounter<S: SyncApi = RealSync> {
+    width: usize,
+    /// The published network + toggle bank.
+    snapshot: S::Snapshot<ToggleSnapshot<S>>,
+    /// Current epoch; bumped by every [`Self::replace_network`].
+    epoch: S::AtomicU64,
+    /// Drain gate: tokens pin (read) for their whole traversal
+    /// *including* the output-wire round claim; a replacement writer
+    /// acquires it exclusively, which is the quiescent point. The
+    /// payload carries no data.
+    gate: S::RwLock<u64>,
     wire_counts: Vec<S::AtomicU64>,
     arrivals: S::AtomicU64,
     metrics: BitonicMetrics,
+}
+
+impl<S: SyncApi> std::fmt::Debug for AtomicNetworkCounter<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicNetworkCounter").field("width", &self.width).finish()
+    }
 }
 
 impl AtomicNetworkCounter<RealSync> {
@@ -70,21 +190,20 @@ impl AtomicNetworkCounter<RealSync> {
     }
 }
 
-impl<S: SyncApi> AtomicNetworkCounter<S>
-where
-    S::AtomicU64: std::fmt::Debug,
-{
+impl<S: SyncApi> AtomicNetworkCounter<S> {
     /// Wraps a balancing network into a concurrent counter under an
     /// explicit [`SyncApi`] (the model checker instantiates this with
     /// `VirtualSync`).
     #[must_use]
     pub fn new_in(net: BalancingNetwork) -> Self {
+        let width = net.width();
         let toggles = (0..net.balancer_count()).map(|_| S::AtomicU64::new(0)).collect();
-        let wire_counts = (0..net.width()).map(|_| S::AtomicU64::new(0)).collect();
         AtomicNetworkCounter {
-            net,
-            toggles,
-            wire_counts,
+            width,
+            snapshot: S::Snapshot::new(Arc::new(ToggleSnapshot { epoch: 0, net, toggles })),
+            epoch: S::AtomicU64::new(0),
+            gate: S::RwLock::new(0),
+            wire_counts: (0..width).map(|_| S::AtomicU64::new(0)).collect(),
             arrivals: S::AtomicU64::new(0),
             metrics: BitonicMetrics::default(),
         }
@@ -99,10 +218,57 @@ where
         self.metrics = BitonicMetrics::attach(registry);
     }
 
-    /// The underlying network.
+    /// The network width.
     #[must_use]
-    pub fn network(&self) -> &BalancingNetwork {
-        &self.net
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// A clone of the currently published network description.
+    #[must_use]
+    pub fn network(&self) -> BalancingNetwork {
+        self.snapshot.load().net.clone()
+    }
+
+    /// Pins the current snapshot (validated by epoch against racing
+    /// [`Self::replace_network`] calls) and runs `f` against it. The
+    /// pin is held until `f` returns, so a replacement's drain waits
+    /// out everything `f` does.
+    fn with_pin<R>(&self, f: impl FnOnce(&ToggleSnapshot<S>) -> R) -> R {
+        loop {
+            let snap = self.snapshot.load();
+            let pin = self.gate.read();
+            if snap.epoch != self.epoch.load(Ordering::Acquire) {
+                self.metrics.snapshot_retries.inc();
+                drop(pin);
+                continue;
+            }
+            self.metrics.fastpath_hits.inc();
+            let result = f(&snap);
+            drop(pin);
+            return result;
+        }
+    }
+
+    /// Walks `snap` from `input_wire` to an output wire.
+    fn walk(&self, snap: &ToggleSnapshot<S>, input_wire: usize) -> usize {
+        let mut dest = snap.net.input(input_wire);
+        let mut depth = 0u64;
+        loop {
+            match dest {
+                Dest::Balancer(b) => {
+                    // lint: relaxed-ok(the toggle's own RMW modification order alternates ports regardless of cross-balancer visibility; the step property is only claimed at quiescence)
+                    let port = (snap.toggles[b].fetch_add(1, Ordering::Relaxed) % 2) as usize;
+                    depth += 1;
+                    dest = snap.net.balancer_outputs(b)[port];
+                }
+                Dest::Output(o) => {
+                    self.metrics.balancer_passes.add(depth);
+                    self.metrics.traversal_depth.record(depth);
+                    return o;
+                }
+            }
+        }
     }
 
     /// Routes one token entering on `input_wire`, returning the output
@@ -112,23 +278,8 @@ where
     ///
     /// Panics if `input_wire >= width`.
     pub fn traverse(&self, input_wire: usize) -> usize {
-        let mut dest = self.net.input(input_wire);
-        let mut depth = 0u64;
-        loop {
-            match dest {
-                Dest::Balancer(b) => {
-                    // lint: relaxed-ok(the toggle's own RMW modification order alternates ports regardless of cross-balancer visibility; the step property is only claimed at quiescence)
-                    let port = (self.toggles[b].fetch_add(1, Ordering::Relaxed) % 2) as usize;
-                    depth += 1;
-                    dest = self.net.balancer_outputs(b)[port];
-                }
-                Dest::Output(o) => {
-                    self.metrics.balancer_passes.add(depth);
-                    self.metrics.traversal_depth.record(depth);
-                    return o;
-                }
-            }
-        }
+        assert!(input_wire < self.width, "input wire out of range");
+        self.with_pin(|snap| self.walk(snap, input_wire))
     }
 
     /// Tokens that have exited on each wire so far (a quiescent snapshot
@@ -143,23 +294,65 @@ where
     /// Exposed inherently so `SyncApi`-generic callers (the model
     /// checker) can use it without importing the [`Counter`] trait.
     pub fn next_value(&self) -> u64 {
-        let w = self.net.width();
+        let w = self.width;
         // Spread arrivals across input wires round-robin, as independent
         // clients would.
         // lint: relaxed-ok(wire assignment is load-balancing only; any interleaving of the arrival RMW is equally correct)
         let wire = (self.arrivals.fetch_add(1, Ordering::Relaxed) % w as u64) as usize;
         self.metrics.tokens.inc();
-        let out = self.traverse(wire);
-        // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
-        let round = self.wire_counts[out].fetch_add(1, Ordering::Relaxed);
-        out as u64 + round * w as u64
+        // The round claim happens under the pin so a replacement's
+        // quiescent point never misses an exited-but-uncounted token.
+        self.with_pin(|snap| {
+            let out = self.walk(snap, wire);
+            // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value; replacement reads under the gate edge)
+            let round = self.wire_counts[out].fetch_add(1, Ordering::Relaxed);
+            out as u64 + round * w as u64
+        })
+    }
+
+    /// Replaces the published network with a different counting network
+    /// of the same width, *live*: drains pinned tokens at the gate,
+    /// seeds the replacement's toggles to the quiescent state implied
+    /// by the values already handed out, and publishes the new snapshot
+    /// under a bumped epoch. The value stream stays dense across the
+    /// swap (no value duplicated or skipped once quiescent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net`'s width differs, or if `net` is not a counting
+    /// network for the already-handed-out total (its quiescent output
+    /// flow must reproduce the current step-property counts — true for
+    /// any counting network, e.g. `bitonic_network` /
+    /// `periodic_network`).
+    pub fn replace_network(&self, net: BalancingNetwork) {
+        assert_eq!(net.width(), self.width, "replacement must preserve the width");
+        let drain = self.gate.write();
+        // Under the drain, every token has completed both its walk and
+        // its round claim (the pin covers both), so the counts are a
+        // quiescent step-property snapshot. The gate write acquisition
+        // happens-after the drained pins, so these loads read exactly.
+        let counts: Vec<u64> =
+            self.wire_counts.iter().map(|c| c.load(Ordering::Acquire)).collect();
+        debug_assert!(is_step_sequence(&counts), "quiescent counts must be a step");
+        let total: u64 = counts.iter().sum();
+        let (toggle_values, outputs) = quiescent_flow(&net, total);
+        for (o, &flow) in outputs.iter().enumerate() {
+            assert_eq!(
+                flow, counts[o],
+                "replacement network's quiescent flow must reproduce the \
+                 handed-out counts (wire {o}: flow {flow} vs counted {})",
+                counts[o]
+            );
+        }
+        let toggles = toggle_values.into_iter().map(S::AtomicU64::new).collect();
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        self.snapshot.store(Arc::new(ToggleSnapshot { epoch, net, toggles }));
+        self.epoch.store(epoch, Ordering::Release);
+        drop(drain);
     }
 }
 
-impl<S: SyncApi> Counter for AtomicNetworkCounter<S>
-where
-    S::AtomicU64: std::fmt::Debug,
-{
+impl<S: SyncApi> Counter for AtomicNetworkCounter<S> {
     fn next(&self) -> u64 {
         self.next_value()
     }
@@ -229,6 +422,9 @@ mod tests {
         assert_eq!(depth.count, 12);
         assert_eq!(depth.sum, 36);
         assert_eq!(snap.counter("acn.bitonic.balancer_passes"), Some(36));
+        // Every token completed on a validated pin; nothing raced.
+        assert_eq!(snap.counter("acn.bitonic.fastpath_hits"), Some(12));
+        assert_eq!(snap.counter("acn.bitonic.snapshot_retries"), Some(0));
     }
 
     #[test]
@@ -242,5 +438,72 @@ mod tests {
         // The first real value is the exit wire with round 0.
         let v = counter.next();
         assert!(v < 4, "first value must be in round 0, got {v}");
+    }
+
+    #[test]
+    fn replace_network_keeps_values_dense() {
+        // Sequentially: bitonic -> periodic swaps at awkward offsets
+        // must never duplicate or skip a value.
+        let counter = AtomicNetworkCounter::new(bitonic_network(8));
+        let mut seen: Vec<u64> = (0..13).map(|_| counter.next()).collect();
+        counter.replace_network(periodic_network(8));
+        seen.extend((0..9).map(|_| counter.next()));
+        counter.replace_network(bitonic_network(8));
+        seen.extend((0..10).map(|_| counter.next()));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32u64).collect::<Vec<u64>>());
+        assert!(is_step_sequence(&counter.output_counts()));
+    }
+
+    #[test]
+    fn replace_network_under_concurrent_traffic() {
+        let counter = Arc::new(AtomicNetworkCounter::new(bitonic_network(8)));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|_| c.next()).collect::<Vec<u64>>()
+            }));
+        }
+        // Swap back and forth while traffic flows.
+        for _ in 0..10 {
+            counter.replace_network(periodic_network(8));
+            counter.replace_network(bitonic_network(8));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..800u64).collect::<Vec<u64>>());
+        assert!(is_step_sequence(&counter.output_counts()));
+    }
+
+    #[test]
+    fn quiescent_flow_matches_simulation() {
+        // Flow-seeding must agree with actually pushing T round-robin
+        // tokens through a fresh counter.
+        for total in [0u64, 1, 5, 8, 13, 24] {
+            let net = bitonic_network(8);
+            let fresh = AtomicNetworkCounter::new(net.clone());
+            for _ in 0..total {
+                let _ = fresh.next();
+            }
+            let (_, outputs) = quiescent_flow(&net, total);
+            assert_eq!(outputs, fresh.output_counts(), "total={total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replacement must preserve the width")]
+    fn replace_network_rejects_width_change() {
+        let counter = AtomicNetworkCounter::new(bitonic_network(8));
+        counter.replace_network(bitonic_network(4));
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtomicNetworkCounter>();
     }
 }

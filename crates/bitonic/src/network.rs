@@ -18,8 +18,10 @@ pub enum Dest {
 /// wires lead to other balancers or to network outputs.
 ///
 /// The mutable toggle state lives separately in [`NetworkState`] so one
-/// network description can drive many executions.
-#[derive(Debug, Clone)]
+/// network description can drive many executions. (`Hash`/`Eq` exist so
+/// the description can live inside checker-fingerprintable snapshot
+/// payloads — see `acn_sync::SyncSnapshot`.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BalancingNetwork {
     width: usize,
     inputs: Vec<Dest>,

@@ -24,6 +24,15 @@
 //! - **`std-sync`** — raw `std::sync::Mutex`/`RwLock`/`Condvar` where
 //!   `parking_lot` (or the `SyncApi` layer) is the workspace standard.
 //!   Guard types (`MutexGuard`, ...) are not flagged.
+//! - **`snapshot`** — a hand-rolled published-snapshot cell
+//!   (`AtomicPtr`, or an `RwLock<Arc<..>>` outside `crates/sync/`).
+//!   The workspace's epoch-published snapshot primitive is
+//!   `acn_sync::SyncSnapshot` (DESIGN.md §8): it is implemented once in
+//!   `RealSync`, and `VirtualSync` models it with genuinely stale pins
+//!   so the model checker explores the retry branches. A private
+//!   re-implementation silently escapes that coverage. (The fast
+//!   path's own `Relaxed` traversal atomics are *not* blanket-waived:
+//!   each one carries a `relaxed-ok` proof line like any other.)
 //! - **`lock-order`** — a `let`-bound guard over a component-map lock
 //!   while another such guard is still live in an enclosing scope.
 //!   Static scanning cannot prove the acquisition order matches the
@@ -40,6 +49,7 @@ const RELAXED: &str = concat!("Ordering::", "Relaxed");
 const STD_SYNC_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
 const STD_SYNC_PREFIX: &str = concat!("std::", "sync::");
 const HASH_TYPES: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
+const SNAPSHOT_TYPES: [&str; 2] = [concat!("Atomic", "Ptr"), concat!("RwLock<", "Arc<")];
 
 /// Files (by workspace-relative path) where hash-ordered collections
 /// are forbidden.
@@ -47,6 +57,12 @@ fn in_deterministic_subsystem(path: &str) -> bool {
     path.starts_with("crates/simnet/")
         || path == "crates/core/src/dist.rs"
         || path == "crates/core/src/stabilize.rs"
+}
+
+/// The one place a snapshot cell may be implemented by hand: the
+/// `SyncApi` layer itself (`RealSnapshot` lives here).
+fn in_sync_layer(path: &str) -> bool {
+    path.starts_with("crates/sync/")
 }
 
 /// One lint finding.
@@ -196,6 +212,26 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                 ),
                 snippet: snippet.clone(),
             });
+        }
+
+        if !in_sync_layer(path) {
+            for ty in SNAPSHOT_TYPES {
+                if line.contains(ty) && !annotated("snapshot", line, above) {
+                    findings.push(Finding {
+                        rule: "snapshot",
+                        path: path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "hand-rolled snapshot cell ({ty}): publish immutable state \
+                             through acn_sync::SyncSnapshot so the model checker explores \
+                             stale pins and retry branches (DESIGN.md \u{a7}8), or annotate \
+                             `// lint: snapshot-ok(reason)`"
+                        ),
+                        snippet: snippet.clone(),
+                    });
+                    break;
+                }
+            }
         }
 
         if uses_std_sync_lock(line) && !annotated("std-sync", line, above) {
@@ -390,6 +426,24 @@ mod tests {
         let annotated =
             format!("// lint: std-sync-ok(zero-dep crate)\nuse {STD_SYNC_PREFIX}Mutex;\n");
         assert!(lint_source("x.rs", &annotated).is_empty());
+    }
+
+    #[test]
+    fn flags_hand_rolled_snapshot_cells_outside_the_sync_layer() {
+        for ty in SNAPSHOT_TYPES {
+            let src = format!("    published: {ty}Node>>,\n");
+            let hits = lint_source("crates/core/src/concurrent.rs", &src);
+            assert_eq!(hits.len(), 1, "{ty}: {hits:?}");
+            assert_eq!(hits[0].rule, "snapshot");
+            assert!(hits[0].message.contains("SyncSnapshot"), "{}", hits[0].message);
+            // The SyncApi layer is where the real implementation lives.
+            assert!(lint_source("crates/sync/src/lib.rs", &src).is_empty());
+            // Annotated use is accepted elsewhere.
+            let annotated = format!(
+                "    // lint: snapshot-ok(interning table, not published state)\n{src}"
+            );
+            assert!(lint_source("crates/core/src/concurrent.rs", &annotated).is_empty());
+        }
     }
 
     /// A component-guard binding line, assembled at runtime so this

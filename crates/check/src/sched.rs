@@ -328,6 +328,12 @@ enum ObjRec {
         writer: Option<Tid>,
         data_hash: u64,
         release_clock: VClock,
+        /// Join of every read-release so far. A write acquisition
+        /// synchronizes with *all* prior unlocks (read and write) —
+        /// that is what makes "write-lock to drain readers, then
+        /// observe their plain/relaxed effects" protocols sound, and
+        /// real rwlocks (parking_lot included) guarantee it.
+        reader_clock: VClock,
     },
 }
 
@@ -490,6 +496,7 @@ impl Kernel {
             writer: None,
             data_hash,
             release_clock: VClock::default(),
+            reader_clock: VClock::default(),
         });
         id
     }
@@ -559,14 +566,19 @@ impl Kernel {
         st.touched.push(obj);
     }
 
-    /// Applies a rwlock read release.
+    /// Applies a rwlock read release. The reader's clock is folded
+    /// into the lock's `reader_clock` so a later *write* acquisition
+    /// happens-after everything the reader did while pinned (readers
+    /// do not synchronize with one another).
     pub(crate) fn rw_read_release(&self, tid: Tid, obj: u64) {
         let mut st = self.lock();
         st.threads[tid].clock.tick(tid);
-        if let ObjRec::Rw { readers, .. } = &mut st.objects[obj as usize] {
+        let clock = st.threads[tid].clock.clone();
+        if let ObjRec::Rw { readers, reader_clock, .. } = &mut st.objects[obj as usize] {
             if let Some(pos) = readers.iter().position(|&r| r == tid) {
                 readers.swap_remove(pos);
             }
+            reader_clock.join(&clock);
         }
         st.touched.push(obj);
     }
@@ -828,19 +840,23 @@ impl Kernel {
                 0
             }
             Op::RwWrite { obj } => {
-                let (data_hash, release_clock) = {
-                    let ObjRec::Rw { data_hash, release_clock, .. } =
+                let (data_hash, release_clock, reader_clock) = {
+                    let ObjRec::Rw { data_hash, release_clock, reader_clock, .. } =
                         &st.objects[*obj as usize]
                     else {
                         unreachable!()
                     };
-                    (*data_hash, release_clock.clone())
+                    (*data_hash, release_clock.clone(), reader_clock.clone())
                 };
                 let ObjRec::Rw { writer, .. } = &mut st.objects[*obj as usize] else {
                     unreachable!()
                 };
                 *writer = Some(tid);
+                // A write acquisition synchronizes with every prior
+                // unlock: the last write release *and* all read
+                // releases (drained readers' effects become visible).
                 st.threads[tid].clock.join(&release_clock);
+                st.threads[tid].clock.join(&reader_clock);
                 st.threads[tid].obs ^= mix64(data_hash);
                 0
             }

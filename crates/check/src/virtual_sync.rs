@@ -16,7 +16,7 @@
 use std::sync::PoisonError;
 use std::sync::Arc;
 
-use acn_sync::{Ordering, SyncApi, SyncAtomicU64, SyncData, SyncMutex, SyncRwLock};
+use acn_sync::{Ordering, SyncApi, SyncAtomicU64, SyncData, SyncMutex, SyncRwLock, SyncSnapshot};
 
 use crate::sched::{hash_of, ord_class, Kernel, Op, Tid};
 use crate::vthread::with_kernel;
@@ -34,12 +34,22 @@ impl SyncApi for VirtualSync {
     type AtomicU64 = VAtomicU64;
     type Mutex<T: SyncData> = VMutex<T>;
     type RwLock<T: SyncData + Sync> = VRwLock<T>;
+    type Snapshot<T: SyncData + Sync> = VSnapshot<T>;
 }
 
 /// A checked atomic: state lives in the kernel's store history.
 #[derive(Debug)]
 pub struct VAtomicU64 {
     obj: u64,
+}
+
+impl std::hash::Hash for VAtomicU64 {
+    /// Hashes the kernel object id (stable across executions because
+    /// registration order is deterministic). The atomic's *value* is
+    /// fingerprinted by the kernel itself.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.obj.hash(state);
+    }
 }
 
 impl SyncAtomicU64 for VAtomicU64 {
@@ -152,6 +162,55 @@ impl<T: std::hash::Hash> std::hash::Hash for VMutex<T> {
         if let Ok(data) = self.data.try_lock() {
             data.hash(state);
         }
+    }
+}
+
+/// A checked snapshot cell.
+///
+/// The published value is modeled as a kernel atomic holding a
+/// *version index* into an append-only list of every `Arc<T>` ever
+/// stored. A `load` is an acquire-class load of the version atomic,
+/// so the kernel explores **stale pins**: unless a happens-before
+/// edge orders the latest `store` before the reader, the load may
+/// resolve to an older index — exactly the behaviour of an atomic
+/// pointer swap, and deliberately *weaker* than `RealSnapshot`'s
+/// lock-backed cell. Fast paths proven here are therefore robust to
+/// a future unsynchronized-pointer implementation, and their
+/// epoch-validation retry branches genuinely get explored.
+#[derive(Debug)]
+pub struct VSnapshot<T> {
+    /// Kernel atomic holding the current version index.
+    obj: u64,
+    /// Every value ever published, indexed by version. Append-only so
+    /// stale pins handed out by the kernel remain resolvable.
+    // lint: std-sync-ok(uncontended data cell behind the checker kernel; see module docs)
+    values: std::sync::Mutex<Vec<Arc<T>>>,
+}
+
+impl<T: SyncData + Sync> SyncSnapshot<T> for VSnapshot<T> {
+    fn new(value: Arc<T>) -> Self {
+        VSnapshot {
+            obj: with_kernel(|kernel, _| kernel.register_atomic(0)),
+            // lint: std-sync-ok(inert data cell; all scheduling goes through the kernel, this mutex is never contended)
+            values: std::sync::Mutex::new(vec![value]),
+        }
+    }
+
+    fn load(&self) -> Arc<T> {
+        let op = Op::Load { obj: self.obj, ord: ord_class(Ordering::Acquire) };
+        let version = with_kernel(|kernel, tid| kernel.decision(tid, op));
+        let values = self.values.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(&values[version as usize])
+    }
+
+    fn store(&self, value: Arc<T>) {
+        let version = {
+            let mut values = self.values.lock().unwrap_or_else(PoisonError::into_inner);
+            values.push(value);
+            (values.len() - 1) as u64
+        };
+        let op = Op::Store { obj: self.obj, value: version, ord: ord_class(Ordering::Release) };
+        with_kernel(|kernel, tid| kernel.decision(tid, op));
     }
 }
 

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::sync::atomic::Ordering;
 
-use acn_bitonic::{bitonic_network, AtomicNetworkCounter};
+use acn_bitonic::{bitonic_network, periodic_network, AtomicNetworkCounter};
 use acn_check::{check, oracles, replay_schedule, vthread, CheckConfig, FailureKind, VirtualSync};
 use acn_core::SharedAdaptiveNetwork;
 use acn_sync::{SyncApi, SyncAtomicU64, SyncMutex};
@@ -253,6 +253,105 @@ fn random_bitonic_width8_three_tokens() {
     let report = check(CheckConfig::random(48, 7), || bitonic_scenario(8, 3));
     report.assert_ok();
     assert_eq!(report.schedules, 48);
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path snapshot protocol: the stale-pin retry branch must actually
+// be explored, the locked mode must still verify, and the bitonic
+// executor's live network replacement must preserve density.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stale_snapshot_retry_branch_is_explored() {
+    use std::sync::atomic::AtomicBool;
+    let retried = Arc::new(AtomicBool::new(false));
+    let retried_probe = Arc::clone(&retried);
+    let report = check(CheckConfig::exhaustive(), move || {
+        let registry = Registry::new();
+        let mut net = SharedAdaptiveNetwork::<VirtualSync>::new_in(4);
+        net.attach_telemetry(&registry);
+        let net = Arc::new(net);
+        let token = {
+            let net = Arc::clone(&net);
+            vthread::spawn(move || net.next_value(0))
+        };
+        let splitter = {
+            let net = Arc::clone(&net);
+            vthread::spawn(move || net.split(&ComponentId::root()).expect("root is splittable"))
+        };
+        let value = token.join();
+        splitter.join();
+        assert_eq!(value, 0, "a lone token always takes value 0, split or not");
+        oracles::assert_network_quiescent(&net.output_counts(), 1);
+        let snap = registry.snapshot();
+        let retries = snap.counter("acn.conc.snapshot_retries").unwrap_or(0);
+        // HB through the gate bounds the loop: one raced reconfiguration
+        // admits at most one stale pin.
+        assert!(retries <= 1, "one raced split admits at most one retry, saw {retries}");
+        if retries > 0 {
+            // lint: relaxed-ok(cross-schedule accumulator on a real atomic; read after check() returns)
+            retried_probe.store(true, Ordering::Relaxed);
+        }
+        let hits = snap.counter("acn.conc.fastpath_hits").expect("fast path instrumented");
+        assert_eq!(hits, 1, "exactly one validated pin completes the traversal");
+    });
+    report.assert_ok();
+    assert!(report.completed, "the schedule space must be exhausted");
+    assert!(
+        // lint: relaxed-ok(single-threaded read after exploration finished)
+        retried.load(Ordering::Relaxed),
+        "some schedule must pin a stale snapshot and take the retry branch"
+    );
+}
+
+#[test]
+fn exhaustive_locked_mode_width4_two_tokens_with_concurrent_split() {
+    // The per-component-lock path stays model-checked alongside the
+    // fast path: same acceptance scenario, ExecMode::Locked.
+    let report = check(CheckConfig::exhaustive(), || {
+        let net = Arc::new(SharedAdaptiveNetwork::<VirtualSync>::new_locked_in(4));
+        let tokens: Vec<_> = (0..2)
+            .map(|wire| {
+                let net = Arc::clone(&net);
+                vthread::spawn(move || net.next_value(wire))
+            })
+            .collect();
+        let splitter = {
+            let net = Arc::clone(&net);
+            vthread::spawn(move || net.split(&ComponentId::root()).expect("root is splittable"))
+        };
+        let values: Vec<u64> = tokens.into_iter().map(|h| h.join()).collect();
+        splitter.join();
+        oracles::assert_values_dense(&values);
+        oracles::assert_network_quiescent(&net.output_counts(), 2);
+        assert!(net.structure_consistent());
+    });
+    report.assert_ok();
+    assert!(report.completed);
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn exhaustive_bitonic_replace_network_races_a_token() {
+    let report = check(CheckConfig::exhaustive(), || {
+        let counter =
+            Arc::new(AtomicNetworkCounter::<VirtualSync>::new_in(bitonic_network(4)));
+        let token = {
+            let counter = Arc::clone(&counter);
+            vthread::spawn(move || counter.next_value())
+        };
+        let swapper = {
+            let counter = Arc::clone(&counter);
+            vthread::spawn(move || counter.replace_network(periodic_network(4)))
+        };
+        let value = token.join();
+        swapper.join();
+        assert_eq!(value, 0, "a lone token always takes value 0 across the swap");
+        oracles::assert_network_quiescent(&counter.output_counts(), 1);
+    });
+    report.assert_ok();
+    assert!(report.completed);
+    assert!(report.schedules > 1, "the swap must race the traversal in multiple ways");
 }
 
 // ---------------------------------------------------------------------------

@@ -273,6 +273,39 @@ impl Component {
         out
     }
 
+    /// Absorbs a batch of tokens processed *outside* the component by
+    /// a lock-free fast path: `arrival_deltas[p]` tokens arrived on
+    /// input wire `p` and were emitted round-robin continuing from the
+    /// component's current position. Equivalent to the corresponding
+    /// sequence of [`process_token`](Self::process_token)`(Some(p))`
+    /// calls (the emission ledger is advanced by the round-robin
+    /// delta, which is what those calls would have produced — output
+    /// behaviour is oblivious to arrival order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_deltas.len()` is not the width, or if the
+    /// component has merge-owed tokens in flight (the fast path only
+    /// runs between quiescent reconfigurations, where `floating == 0`).
+    pub fn absorb_batch(&mut self, arrival_deltas: &[u64]) {
+        assert_eq!(arrival_deltas.len(), self.width, "profile length mismatch");
+        assert_eq!(
+            self.floating(),
+            0,
+            "fast-path batches require a quiescent component (no owed tokens)"
+        );
+        let n: u64 = arrival_deltas.iter().sum();
+        let t0 = self.tokens;
+        for (a, d) in self.arrivals.iter_mut().zip(arrival_deltas) {
+            *a += d;
+        }
+        for (q, e) in self.emitted.iter_mut().enumerate() {
+            *e += port_emissions(t0 + n, self.width, q) - port_emissions(t0, self.width, q);
+        }
+        self.tokens = t0 + n;
+        debug_assert!(self.is_consistent());
+    }
+
     /// Overwrites the token counter (fault injection / stabilization
     /// tests). The arrival profile is reset to the canonical
     /// round-robin profile for the new count.
@@ -523,6 +556,25 @@ mod tests {
         assert_eq!(c.tokens(), 10);
         assert_eq!(c.position(), 2);
         assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn absorb_batch_matches_sequential_processing() {
+        let tree = Tree::new(8);
+        let root = ComponentId::root();
+        for start in 0..9u64 {
+            let mut sequential = Component::with_tokens(&tree, &root, start);
+            let mut batched = sequential.clone();
+            // A skewed batch: 5 tokens on wire 1, 2 on wire 6, 1 on wire 0.
+            let deltas = [1u64, 5, 0, 0, 0, 0, 2, 0];
+            for (port, &count) in deltas.iter().enumerate() {
+                for _ in 0..count {
+                    let _ = sequential.process_token(Some(port));
+                }
+            }
+            batched.absorb_batch(&deltas);
+            assert_eq!(batched, sequential, "start={start}");
+        }
     }
 
     #[test]

@@ -3,13 +3,28 @@
 //! Counting networks were born as shared-memory structures (the paper's
 //! lineage runs through Aspnes–Herlihy–Shavit and diffracting trees);
 //! [`SharedAdaptiveNetwork`] brings the *adaptive* construction into that
-//! setting. Tokens from many threads traverse the component graph with
-//! **per-component locks** — concurrent tokens in different components
-//! proceed in parallel, exactly like tokens on different nodes of the
-//! distributed deployment — while reconfiguration (split/merge) takes
-//! the structure lock exclusively, which also makes every
-//! reconfiguration point quiescent (so state transfer is always exact
-//! and never deferred).
+//! setting, in one of two execution modes fixed at construction
+//! ([`ExecMode`]):
+//!
+//! - **Lock-free** (the default): a component *is* one mod-k
+//!   round-robin counter (paper §3), so the token hot path is reduced
+//!   to exactly that — one `fetch_add` per component crossed, against
+//!   an **epoch-published immutable snapshot** of the cut
+//!   ([`acn_sync::SyncSnapshot`]). Tokens never touch the structure
+//!   RwLock or any per-component mutex. Split/merge stays on a slow
+//!   writer path that *drains* in-flight tokens (a read–write gate),
+//!   *harvests* the snapshot's atomic counter residues back into the
+//!   authoritative [`Component`] states (an exact batch transfer —
+//!   round-robin output is oblivious to arrival order), applies the
+//!   reconfiguration, and publishes a fresh snapshot under a bumped
+//!   epoch. Stale snapshot pins are detected by epoch validation and
+//!   retried (`acn.conc.snapshot_retries`). See `DESIGN.md` §8 for the
+//!   protocol and why residue transfer preserves the step property.
+//! - **Locked** ([`SharedAdaptiveNetwork::new_locked`]): the PR-2 era
+//!   path — tokens traverse under a structure read lock with
+//!   **per-component mutexes**. Kept as the benchmark baseline
+//!   (`exp_throughput`) and as a second model-checked implementation
+//!   of the same specification.
 //!
 //! # Synchronization abstraction
 //!
@@ -41,8 +56,11 @@
 
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use acn_sync::{Ordering, RealSync, SyncApi, SyncAtomicU64, SyncMutex, SyncRwLock};
+use acn_sync::{
+    Ordering, RealSync, SyncApi, SyncAtomicU64, SyncMutex, SyncRwLock, SyncSnapshot,
+};
 use acn_telemetry::{Counter, Histogram, Registry};
 
 use acn_topology::{
@@ -90,6 +108,81 @@ fn lock_rank(id: &ComponentId) -> u64 {
     rank
 }
 
+/// How tokens traverse the network; fixed at construction.
+///
+/// The two modes may not be mixed on one instance: the lock-free path
+/// accumulates per-epoch residues in snapshot atomics that the locked
+/// path would not see, and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Per-token structure read lock + per-component mutexes.
+    Locked,
+    /// Epoch-published snapshot; one `fetch_add` per component crossed.
+    LockFree,
+}
+
+/// Where a leaf's output port sends a token, precomputed at snapshot
+/// build time so the hot path does no topology resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FastRoute {
+    /// An internal wire into another leaf of the same snapshot.
+    Leaf { leaf: usize, port: usize },
+    /// A network output wire.
+    Exit(usize),
+}
+
+/// One live leaf component, reduced to its fast-path essentials: an
+/// atomic round-robin counter plus an atomic arrival profile.
+///
+/// `base_tokens` is the component's authoritative counter at snapshot
+/// build time; the j-th fast-path token through this leaf (j =
+/// `hops.fetch_add(1)`) leaves on output port
+/// `(base_tokens + j) mod width` — exactly what
+/// [`Component::process_token`] would have computed, because a
+/// component's output behaviour depends only on its counter, never on
+/// arrival order. The arrival profile is tallied so the writer's
+/// harvest can replay the batch into the [`Component`] exactly.
+struct FastLeaf<S: SyncApi> {
+    id: ComponentId,
+    width: usize,
+    base_tokens: u64,
+    hops: S::AtomicU64,
+    arrivals: Vec<S::AtomicU64>,
+    routes: Vec<FastRoute>,
+}
+
+/// An immutable routing snapshot of the cut, published via
+/// [`SyncSnapshot`] and validated against the network epoch.
+struct FastSnapshot<S: SyncApi> {
+    /// The epoch this snapshot was published under. A pinned token
+    /// whose snapshot epoch differs from the network's current epoch
+    /// loaded a stale snapshot and must retry.
+    epoch: u64,
+    /// Network input wire -> (leaf index, input port).
+    entries: Vec<(usize, usize)>,
+    /// The cut's leaves in `ComponentId` order.
+    leaves: Vec<FastLeaf<S>>,
+}
+
+impl<S: SyncApi> Hash for FastLeaf<S> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.width.hash(state);
+        self.base_tokens.hash(state);
+        self.hops.hash(state);
+        self.arrivals.hash(state);
+        self.routes.hash(state);
+    }
+}
+
+impl<S: SyncApi> Hash for FastSnapshot<S> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.epoch.hash(state);
+        self.entries.hash(state);
+        self.leaves.hash(state);
+    }
+}
+
 /// Telemetry handles for the shared runtime (all no-ops by default).
 #[derive(Debug, Default)]
 struct ConcMetrics {
@@ -103,6 +196,12 @@ struct ConcMetrics {
     /// `acn.conc.splits` / `acn.conc.merges` — reconfigurations applied.
     splits: Counter,
     merges: Counter,
+    /// `acn.conc.fastpath_hits` — tokens that completed a traversal on
+    /// the lock-free snapshot path (validated pin, no locks taken).
+    fastpath_hits: Counter,
+    /// `acn.conc.snapshot_retries` — pinned snapshots that failed
+    /// epoch validation (a reconfiguration won the race) and retried.
+    snapshot_retries: Counter,
 }
 
 impl ConcMetrics {
@@ -113,28 +212,38 @@ impl ConcMetrics {
             tokens: registry.counter("acn.conc.tokens"),
             splits: registry.counter("acn.conc.splits"),
             merges: registry.counter("acn.conc.merges"),
+            fastpath_hits: registry.counter("acn.conc.fastpath_hits"),
+            snapshot_retries: registry.counter("acn.conc.snapshot_retries"),
         }
     }
 
-    /// Locks `mutex`, counting the acquisition as contended when another
-    /// holder forced a wait. Purely observational: the token takes the
-    /// same lock either way. Under the model checker
+    /// Locks `mutex` on behalf of a **token** (locked mode only),
+    /// counting the acquisition as contended when another token held
+    /// the lock. The probe is folded into a single acquisition path:
+    /// an uncontended `try_lock` *is* the acquisition (one touch of
+    /// the mutex), and only a contended acquisition falls back to the
+    /// blocking `lock` after bumping the counter.
+    ///
+    /// Writer-side (slow path) acquisitions — harvest, snapshot build,
+    /// split/merge transfer — deliberately do **not** go through this
+    /// probe: they are serialized under the structure write lock, so
+    /// probing them would double-touch mutexes that cannot contend and
+    /// pollute `acn.conc.lock_contention` with writer noise, which
+    /// must stay an accurate token-vs-token signal now that the fast
+    /// path takes no component locks at all. Under the model checker
     /// (`CONTENTION_PROBES == false`) the probe is skipped so the
     /// observation does not double the explored operations.
     fn lock<'a, S: SyncApi>(
         &self,
         mutex: &'a S::Mutex<Component>,
     ) -> <S::Mutex<Component> as SyncMutex<Component>>::Guard<'a> {
-        if !S::CONTENTION_PROBES {
-            return mutex.lock();
-        }
-        match mutex.try_lock() {
-            Some(guard) => guard,
-            None => {
-                self.lock_contention.inc();
-                mutex.lock()
+        if S::CONTENTION_PROBES {
+            if let Some(guard) = mutex.try_lock() {
+                return guard;
             }
+            self.lock_contention.inc();
         }
+        mutex.lock()
     }
 }
 
@@ -146,14 +255,27 @@ impl ConcMetrics {
 pub struct SharedAdaptiveNetwork<S: SyncApi = RealSync> {
     tree: Tree,
     style: WiringStyle,
+    mode: ExecMode,
     structure: S::RwLock<Structure<S>>,
+    /// The drain gate (lock-free mode): every fast-path token holds a
+    /// read pin for the duration of its traversal; a reconfiguring
+    /// writer takes it exclusively, which blocks until in-flight
+    /// tokens finish and stalls new ones — the quiescent point at
+    /// which snapshot residues are harvested and a new snapshot is
+    /// published. The payload carries no data.
+    gate: S::RwLock<u64>,
+    /// The published routing snapshot (lock-free mode).
+    snapshot: S::Snapshot<FastSnapshot<S>>,
+    /// The current epoch; bumped with every published snapshot.
+    epoch: S::AtomicU64,
     input_counts: Vec<S::AtomicU64>,
     output_counts: Vec<S::AtomicU64>,
     metrics: ConcMetrics,
 }
 
 impl SharedAdaptiveNetwork<RealSync> {
-    /// A new shared network of width `w`, starting as one component.
+    /// A new lock-free shared network of width `w`, starting as one
+    /// component.
     ///
     /// # Panics
     ///
@@ -162,34 +284,73 @@ impl SharedAdaptiveNetwork<RealSync> {
     pub fn new(w: usize) -> Self {
         Self::new_in(w)
     }
+
+    /// A new shared network of width `w` on the locked (per-component
+    /// mutex) path — the benchmark baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two or `w < 2`.
+    #[must_use]
+    pub fn new_locked(w: usize) -> Self {
+        Self::new_locked_in(w)
+    }
 }
 
 impl<S: SyncApi> SharedAdaptiveNetwork<S> {
-    /// A new shared network of width `w` under an explicit [`SyncApi`]
-    /// (the model checker instantiates this with `VirtualSync`).
+    /// A new lock-free shared network of width `w` under an explicit
+    /// [`SyncApi`] (the model checker instantiates this with
+    /// `VirtualSync`).
     ///
     /// # Panics
     ///
     /// Panics if `w` is not a power of two or `w < 2`.
     #[must_use]
     pub fn new_in(w: usize) -> Self {
+        Self::with_mode_in(w, ExecMode::LockFree)
+    }
+
+    /// A new locked-mode shared network of width `w` under an explicit
+    /// [`SyncApi`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a power of two or `w < 2`.
+    #[must_use]
+    pub fn new_locked_in(w: usize) -> Self {
+        Self::with_mode_in(w, ExecMode::Locked)
+    }
+
+    fn with_mode_in(w: usize, mode: ExecMode) -> Self {
         let tree = Tree::new(w);
         let cut = Cut::root();
-        let components = cut
+        let components: BTreeMap<ComponentId, S::Mutex<Component>> = cut
             .leaves()
             .iter()
             .map(|id| {
                 (id.clone(), S::Mutex::with_rank(Component::new(&tree, id), lock_rank(id)))
             })
             .collect();
+        let structure = Structure { cut, components };
+        let snapshot = Self::build_snapshot(&tree, WiringStyle::Ahs, &structure, 0);
         SharedAdaptiveNetwork {
             tree,
             style: WiringStyle::Ahs,
-            structure: S::RwLock::new(Structure { cut, components }),
+            mode,
+            structure: S::RwLock::new(structure),
+            gate: S::RwLock::new(0),
+            snapshot: S::Snapshot::new(Arc::new(snapshot)),
+            epoch: S::AtomicU64::new(0),
             input_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
             output_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
             metrics: ConcMetrics::default(),
         }
+    }
+
+    /// The execution mode this network was constructed in.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Registers this network's metrics (`acn.conc.*`) with `registry`.
@@ -235,27 +396,13 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
         // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
         self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
-        let structure = self.structure.read();
-        let mut addr = network_input_address(&self.tree, wire, self.style);
-        let mut depth = 0u64;
-        loop {
-            let owner = addr.owner_under(&structure.cut).expect("valid cut");
-            let in_port = input_port_of(&self.tree, &owner, &addr, self.style);
-            let out_port = {
-                let mut comp = self.metrics.lock::<S>(&structure.components[&owner]);
-                comp.process_token(in_port)
-            };
-            depth += 1;
-            match resolve_output(&self.tree, &owner, out_port, self.style) {
-                OutputDestination::Wire(next) => addr = next,
-                OutputDestination::NetworkOutput(out) => {
-                    // lint: relaxed-ok(RMWs on one location totally order in the modification order; cross-wire step claims hold only at quiescence)
-                    self.output_counts[out].fetch_add(1, Ordering::Relaxed);
-                    self.metrics.traversal_depth.record(depth);
-                    return out;
-                }
-            }
-        }
+        let out = match self.mode {
+            ExecMode::Locked => self.traverse_locked(wire),
+            ExecMode::LockFree => self.traverse_fast(wire),
+        };
+        // lint: relaxed-ok(RMWs on one location totally order in the modification order; cross-wire step claims hold only at quiescence)
+        self.output_counts[out].fetch_add(1, Ordering::Relaxed);
+        out
     }
 
     /// Distributed-counter semantics: routes a token and returns
@@ -269,6 +416,18 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
         // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
         self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
+        let out = match self.mode {
+            ExecMode::Locked => self.traverse_locked(wire),
+            ExecMode::LockFree => self.traverse_fast(wire),
+        };
+        // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
+        let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
+        out as u64 + round * self.width() as u64
+    }
+
+    /// The locked traversal: a structure read lock for the duration,
+    /// per-component mutexes per hop. Returns the exit wire.
+    fn traverse_locked(&self, wire: usize) -> usize {
         let structure = self.structure.read();
         let mut addr = network_input_address(&self.tree, wire, self.style);
         let mut depth = 0u64;
@@ -283,10 +442,60 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
             match resolve_output(&self.tree, &owner, out_port, self.style) {
                 OutputDestination::Wire(next) => addr = next,
                 OutputDestination::NetworkOutput(out) => {
-                    // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
-                    let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
                     self.metrics.traversal_depth.record(depth);
-                    return out as u64 + round * self.width() as u64;
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// The lock-free traversal: pin the published snapshot, validate
+    /// its epoch, then cross the cut with one `fetch_add` per leaf.
+    /// Returns the exit wire.
+    ///
+    /// Protocol notes (`DESIGN.md` §8):
+    /// - The snapshot is loaded *before* the gate pin, so the load
+    ///   races reconfiguration and may be stale; the epoch check under
+    ///   the pin detects that (the pin synchronizes with the last
+    ///   writer's gate release, so the epoch load reads the installed
+    ///   epoch, and no writer can bump it while any pin is held).
+    ///   A failed validation retries; the pin acquired during the
+    ///   retry happens-after the interfering writer, so the reloaded
+    ///   snapshot is current and the loop takes at most one retry per
+    ///   reconfiguration raced.
+    /// - Per-leaf, the arrival tally precedes the hop claim; at the
+    ///   harvest quiescent point both sums agree (every token either
+    ///   did both or neither — the gate guarantees it).
+    fn traverse_fast(&self, wire: usize) -> usize {
+        loop {
+            let snap = self.snapshot.load();
+            let pin = self.gate.read();
+            if snap.epoch != self.epoch.load(Ordering::Acquire) {
+                self.metrics.snapshot_retries.inc();
+                drop(pin);
+                continue;
+            }
+            self.metrics.fastpath_hits.inc();
+            let (mut leaf_idx, mut port) = snap.entries[wire];
+            let mut depth = 0u64;
+            loop {
+                let leaf = &snap.leaves[leaf_idx];
+                // lint: relaxed-ok(per-epoch arrival tally; read only at the harvest quiescent point, where the gate write acquisition supplies the edge)
+                leaf.arrivals[port].fetch_add(1, Ordering::Relaxed);
+                // lint: relaxed-ok(the output port comes from this leaf's own RMW modification order, which alone determines it; harvest reads under the gate edge)
+                let hop = leaf.hops.fetch_add(1, Ordering::Relaxed);
+                let out_port = ((leaf.base_tokens + hop) % leaf.width as u64) as usize;
+                depth += 1;
+                match leaf.routes[out_port] {
+                    FastRoute::Leaf { leaf: next, port: next_port } => {
+                        leaf_idx = next;
+                        port = next_port;
+                    }
+                    FastRoute::Exit(out) => {
+                        self.metrics.traversal_depth.record(depth);
+                        drop(pin);
+                        return out;
+                    }
                 }
             }
         }
@@ -300,15 +509,44 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
     /// Returns [`AdaptError::Cut`] if `id` is not a splittable leaf.
     pub fn split(&self, id: &ComponentId) -> Result<(), AdaptError> {
         let mut structure = self.structure.write();
+        match self.mode {
+            ExecMode::Locked => {
+                Self::split_locked(&self.tree, self.style, &mut structure, id)?;
+            }
+            ExecMode::LockFree => {
+                // Drain: block until every pinned token completes its
+                // traversal; new tokens stall at the gate (or fail
+                // epoch validation and retry after we release it).
+                let drain = self.gate.write();
+                self.harvest_into(&mut structure);
+                let result = Self::split_locked(&self.tree, self.style, &mut structure, id);
+                // Republish even on error: the harvest rebased the
+                // authoritative components, so the outstanding
+                // snapshot's `base_tokens` are stale either way.
+                self.publish(&structure);
+                drop(drain);
+                result?;
+            }
+        }
+        self.metrics.splits.inc();
+        Ok(())
+    }
+
+    fn split_locked(
+        tree: &Tree,
+        style: WiringStyle,
+        structure: &mut Structure<S>,
+        id: &ComponentId,
+    ) -> Result<(), AdaptError> {
         let mut cut = structure.cut.clone();
-        cut.split(&self.tree, id).map_err(AdaptError::Cut)?;
+        cut.split(tree, id).map_err(AdaptError::Cut)?;
         // Compute the transfer before touching the map so a deferred
         // transfer leaves the structure untouched. (Under the write lock
         // the network is quiescent, so deferral cannot actually happen —
         // this is belt and braces.)
         let children = {
             let parent = structure.components[id].lock();
-            split_component(&self.tree, &parent, self.style)
+            split_component(tree, &parent, style)
                 .map_err(|why| AdaptError::Deferred(id.clone(), why))?
         };
         structure.components.remove(id);
@@ -319,7 +557,6 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
                 .insert(child.id().clone(), S::Mutex::with_rank(child, rank));
         }
         structure.cut = cut;
-        self.metrics.splits.inc();
         Ok(())
     }
 
@@ -334,9 +571,132 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
     /// [`LocalAdaptiveNetwork::merge`]: crate::LocalAdaptiveNetwork::merge
     pub fn merge(&self, id: &ComponentId) -> Result<(), AdaptError> {
         let mut structure = self.structure.write();
-        Self::merge_locked(&self.tree, self.style, &mut structure, id)?;
+        match self.mode {
+            ExecMode::Locked => {
+                Self::merge_locked(&self.tree, self.style, &mut structure, id)?;
+            }
+            ExecMode::LockFree => {
+                let drain = self.gate.write();
+                self.harvest_into(&mut structure);
+                let result = Self::merge_locked(&self.tree, self.style, &mut structure, id);
+                self.publish(&structure);
+                drop(drain);
+                result?;
+            }
+        }
         self.metrics.merges.inc();
         Ok(())
+    }
+
+    /// Folds the outstanding snapshot's per-epoch counter residues back
+    /// into the authoritative components. Called at the drain quiescent
+    /// point (gate held exclusively): the gate write acquisition
+    /// happens-after every drained token's release, so the relaxed
+    /// per-leaf tallies read exactly.
+    ///
+    /// The batch transfer is exact because a component's output
+    /// behaviour depends only on its counter: `n` fast-path tokens
+    /// through a leaf with arrival profile `deltas` leave the
+    /// [`Component`] in precisely the state `n` sequential
+    /// `process_token` calls would have ([`Component::absorb_batch`]).
+    fn harvest_into(&self, structure: &mut Structure<S>) {
+        let snap = self.snapshot.load();
+        debug_assert_eq!(
+            snap.epoch,
+            self.epoch.load(Ordering::Acquire),
+            "harvest must run against the installed snapshot"
+        );
+        for leaf in &snap.leaves {
+            let deltas: Vec<u64> =
+                leaf.arrivals.iter().map(|a| a.load(Ordering::Acquire)).collect();
+            let n: u64 = deltas.iter().sum();
+            if n == 0 {
+                continue;
+            }
+            debug_assert_eq!(
+                n,
+                leaf.hops.load(Ordering::Acquire),
+                "drained tokens tally arrivals and hops equally"
+            );
+            let mut comp = structure
+                .components
+                .get(&leaf.id)
+                .expect("snapshot mirrors the structure")
+                .lock();
+            debug_assert_eq!(comp.tokens(), leaf.base_tokens, "snapshot base out of date");
+            comp.absorb_batch(&deltas);
+        }
+    }
+
+    /// Builds and installs a fresh snapshot for the (post-harvest,
+    /// post-reconfiguration) structure under the next epoch. Runs with
+    /// the gate held exclusively, so no token is pinned.
+    fn publish(&self, structure: &Structure<S>) {
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let snap = Self::build_snapshot(&self.tree, self.style, structure, epoch);
+        self.snapshot.store(Arc::new(snap));
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Reduces the cut to its immutable fast-path form: per-leaf atomic
+    /// round-robin counters with fully precomputed routing.
+    fn build_snapshot(
+        tree: &Tree,
+        style: WiringStyle,
+        structure: &Structure<S>,
+        epoch: u64,
+    ) -> FastSnapshot<S> {
+        let index: BTreeMap<ComponentId, usize> = structure
+            .cut
+            .leaves()
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i))
+            .collect();
+        let leaves: Vec<FastLeaf<S>> = structure
+            .cut
+            .leaves()
+            .iter()
+            .map(|id| {
+                let comp = structure.components[id].lock();
+                assert_eq!(
+                    comp.floating(),
+                    0,
+                    "shared-memory reconfigurations are quiescent, so components \
+                     never owe in-flight tokens"
+                );
+                let width = comp.width();
+                let routes = (0..width)
+                    .map(|out_port| match resolve_output(tree, id, out_port, style) {
+                        OutputDestination::Wire(next) => {
+                            let owner = next.owner_under(&structure.cut).expect("valid cut");
+                            let port = input_port_of(tree, &owner, &next, style)
+                                .expect("cut-boundary wire maps to an input port");
+                            FastRoute::Leaf { leaf: index[&owner], port }
+                        }
+                        OutputDestination::NetworkOutput(out) => FastRoute::Exit(out),
+                    })
+                    .collect();
+                FastLeaf {
+                    id: id.clone(),
+                    width,
+                    base_tokens: comp.tokens(),
+                    hops: S::AtomicU64::new(0),
+                    arrivals: (0..width).map(|_| S::AtomicU64::new(0)).collect(),
+                    routes,
+                }
+            })
+            .collect();
+        let entries = (0..tree.width())
+            .map(|wire| {
+                let addr = network_input_address(tree, wire, style);
+                let owner = addr.owner_under(&structure.cut).expect("valid cut");
+                let port = input_port_of(tree, &owner, &addr, style)
+                    .expect("network input maps to an input port");
+                (index[&owner], port)
+            })
+            .collect();
+        FastSnapshot { epoch, entries, leaves }
     }
 
     fn merge_locked(
@@ -512,6 +872,88 @@ mod tests {
         assert!(depth.sum >= 50 + 40, "sum {} too small", depth.sum);
         // No contention in a single-threaded run.
         assert_eq!(snap.counter("acn.conc.lock_contention"), Some(0));
+    }
+
+    #[test]
+    fn locked_and_lockfree_modes_agree() {
+        // Both executors are implementations of the same specification;
+        // a deterministic single-threaded run must agree exactly,
+        // across reconfigurations.
+        let fast = SharedAdaptiveNetwork::new(16);
+        let locked = SharedAdaptiveNetwork::new_locked(16);
+        assert_eq!(fast.mode(), ExecMode::LockFree);
+        assert_eq!(locked.mode(), ExecMode::Locked);
+        let root = ComponentId::root();
+        for t in 0..20usize {
+            assert_eq!(fast.push((t * 7) % 16), locked.push((t * 7) % 16));
+        }
+        fast.split(&root).unwrap();
+        locked.split(&root).unwrap();
+        for t in 0..20usize {
+            assert_eq!(fast.next_value(t % 16), locked.next_value(t % 16));
+        }
+        fast.split(&root.child(0)).unwrap();
+        locked.split(&root.child(0)).unwrap();
+        for t in 0..20usize {
+            assert_eq!(fast.push((t * 3) % 16), locked.push((t * 3) % 16));
+        }
+        fast.merge(&root).unwrap();
+        locked.merge(&root).unwrap();
+        for t in 0..20usize {
+            assert_eq!(fast.next_value(t % 16), locked.next_value(t % 16));
+        }
+        assert_eq!(fast.output_counts(), locked.output_counts());
+    }
+
+    #[test]
+    fn fastpath_telemetry_counts_hits_and_retries() {
+        let registry = Registry::new();
+        let mut net = SharedAdaptiveNetwork::new(8);
+        net.attach_telemetry(&registry);
+        let root = ComponentId::root();
+        net.split(&root).unwrap();
+        for t in 0..24usize {
+            net.push(t % 8);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("acn.conc.fastpath_hits"), Some(24));
+        // Single-threaded: no reconfiguration ever races a pin.
+        assert_eq!(snap.counter("acn.conc.snapshot_retries"), Some(0));
+        // And no token touched a component lock.
+        assert_eq!(snap.counter("acn.conc.lock_contention"), Some(0));
+    }
+
+    #[test]
+    fn contention_probe_counts_exactly_one_wait() {
+        // Regression (ISSUE 3 satellite): the probe must be folded into
+        // a single acquisition path — an uncontended lock is one touch
+        // and zero contention; a contended lock counts exactly once.
+        let registry = Registry::new();
+        let metrics = ConcMetrics::attach(&registry);
+        let tree = Tree::new(4);
+        let mutex: Arc<<RealSync as SyncApi>::Mutex<Component>> =
+            Arc::new(SyncMutex::new(Component::new(&tree, &ComponentId::root())));
+
+        // Uncontended: no contention counted.
+        drop(metrics.lock::<RealSync>(&mutex));
+        assert_eq!(registry.snapshot().counter("acn.conc.lock_contention"), Some(0));
+
+        // Contended: hold the lock elsewhere while a probe acquires.
+        let guard = mutex.lock();
+        let waiter = {
+            let mutex = Arc::clone(&mutex);
+            let metrics = ConcMetrics::attach(&registry);
+            std::thread::spawn(move || {
+                drop(metrics.lock::<RealSync>(&mutex));
+            })
+        };
+        // Let the waiter reach the blocking acquisition, then release.
+        while registry.snapshot().counter("acn.conc.lock_contention") != Some(1) {
+            std::thread::yield_now();
+        }
+        drop(guard);
+        waiter.join().unwrap();
+        assert_eq!(registry.snapshot().counter("acn.conc.lock_contention"), Some(1));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod service;
 pub mod stabilize;
 
 pub use component::Component;
-pub use concurrent::SharedAdaptiveNetwork;
+pub use concurrent::{ExecMode, SharedAdaptiveNetwork};
 pub use local::{AdaptError, LocalAdaptiveNetwork, TokenPos};
 pub use manager::{ConvergedNetwork, NetworkSnapshot};
 pub use matching::{MatchMaker, MatchOutcome};

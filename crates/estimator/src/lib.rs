@@ -38,7 +38,16 @@
 #![warn(missing_docs)]
 
 use acn_overlay::{NodeId, Ring};
-use acn_topology::level_for_size;
+use acn_topology::{level_for_size, PHI_MAX_LEVEL};
+
+/// The smallest meaningful ring distance: one identifier step on the
+/// `2^64`-point ring. Distances returned by [`Ring::walk_distance`] are
+/// clamped here before any division so that degenerate rings (adjacent
+/// or duplicate identifiers, float underflow in long walks) can never
+/// drive `log_size` or `size` to infinity — which would otherwise
+/// saturate the step-2 walk length at `usize::MAX` and send
+/// [`level_estimate`] into an unbounded search.
+const MIN_STEP: f64 = 1.0 / 18_446_744_073_709_551_616.0; // 2^-64
 
 /// The outcome of a node's local size estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,18 +73,31 @@ pub struct SizeEstimate {
 #[must_use]
 pub fn estimate_size(ring: &Ring, node: NodeId) -> SizeEstimate {
     assert!(ring.contains(node), "estimate_size at unknown node {node}");
-    // Step 1: e_v = log2(1 / d(v, succ_1(v))).
-    let d1 = ring.walk_distance(node, 1);
+    // Step 1: e_v = log2(1 / d(v, succ_1(v))). The distance is clamped
+    // into [2^-64, 1] — a full wrap of a singleton ring on the high end,
+    // one identifier step on the low end — so log_size lies in [0, 64]
+    // and the derived walk length is bounded even when successors sit on
+    // adjacent identifiers.
+    let d1 = ring.walk_distance(node, 1).clamp(MIN_STEP, 1.0);
     let log_size = (1.0 / d1).log2().max(0.0);
-    // Step 2: k = 4 * ceil(e_v), clamped to at least 1.
+    // Step 2: k = 4 * ceil(e_v), clamped to at least 1 (singleton and
+    // well-spread two-node rings take this branch: e_v rounds to 0 or 1).
     let walk_length = ((4.0 * log_size.ceil()) as usize).max(1);
-    let dk = ring.walk_distance(node, walk_length);
-    let size = walk_length as f64 / dk;
+    let dk = ring.walk_distance(node, walk_length).max(MIN_STEP);
+    let size = (walk_length as f64 / dk).max(1.0);
     SizeEstimate { log_size, walk_length, size }
 }
 
 /// The level estimate `l_v` derived from a size estimate: the largest
 /// level `k` with `phi(k) < n_v` (paper, "Local Level Estimates").
+///
+/// Capped at [`PHI_MAX_LEVEL`]: `phi` saturates there (`phi(45)` already
+/// exceeds `10^38`, far beyond any representable system), so searching
+/// higher levels is meaningless — and without the cap a non-finite or
+/// astronomically large `size` (as a buggy or adversarial estimator
+/// might produce) would spin this loop forever against the saturated
+/// `phi`. Non-finite sizes map to the extremes: `+inf` to the cap,
+/// `NaN` (no information) to level 0.
 ///
 /// # Example
 ///
@@ -85,17 +107,20 @@ pub fn estimate_size(ring: &Ring, node: NodeId) -> SizeEstimate {
 /// assert_eq!(level_estimate(1.0), 0);
 /// assert_eq!(level_estimate(6.5), 1);  // phi(1) = 6 < 6.5
 /// assert_eq!(level_estimate(30.0), 2); // phi(2) = 24 < 30
+/// assert_eq!(level_estimate(f64::INFINITY), acn_topology::PHI_MAX_LEVEL);
 /// ```
 #[must_use]
 pub fn level_estimate(size: f64) -> usize {
-    if size <= 1.0 {
+    // The NaN check comes first so an estimate carrying no information
+    // acts like the smallest system rather than the largest.
+    if size.is_nan() || size <= 1.0 {
         return 0;
     }
     // phi is integral; phi(k) < size  <=>  phi(k) < ceil(size) unless
     // size is integral — use the strict comparison on the ceiling minus
     // epsilon handling via direct f64 comparison against phi.
     let mut level = 0;
-    while (acn_topology::phi(level + 1) as f64) < size {
+    while level < PHI_MAX_LEVEL && (acn_topology::phi(level + 1) as f64) < size {
         level += 1;
     }
     level
@@ -251,7 +276,46 @@ mod tests {
         for node in ring.nodes().collect::<Vec<_>>() {
             let est = estimate_size(&ring, node);
             assert!(est.size.is_finite() && est.size >= 1.0);
+            // A well-spread two-node ring should estimate near 2, and
+            // certainly derive a sane level.
+            assert!(est.size <= 4.0, "two-node estimate {} way off", est.size);
+            assert!(node_level(&ring, node) <= 1);
         }
+    }
+
+    #[test]
+    fn adjacent_identifier_ring_stays_finite_and_terminates() {
+        // Degenerate ring: two nodes one identifier step apart. Walking
+        // from NodeId(0) to NodeId(1) covers 2^-64 of the ring — the
+        // smallest possible distance. Before the clamps, this shape blew
+        // log_size up toward infinity (and a hypothetical zero distance
+        // saturated the step-2 walk at usize::MAX, an effective hang).
+        let mut ring = Ring::new();
+        ring.add_node(NodeId(0));
+        ring.add_node(NodeId(1));
+        for node in ring.nodes().collect::<Vec<_>>() {
+            let est = estimate_size(&ring, node);
+            assert!(est.log_size.is_finite() && est.log_size <= 64.0);
+            assert!(est.walk_length <= 4 * 64, "walk {} unbounded", est.walk_length);
+            assert!(est.size.is_finite() && est.size >= 1.0, "size {}", est.size);
+            // The level must terminate and respect the phi cap.
+            assert!(node_level(&ring, node) <= acn_topology::PHI_MAX_LEVEL);
+        }
+    }
+
+    #[test]
+    fn level_estimate_caps_at_phi_max_level() {
+        use acn_topology::PHI_MAX_LEVEL;
+        // Beyond phi's saturation point the search must stop at the cap
+        // rather than spin on `phi(k) < size` forever.
+        assert_eq!(level_estimate(f64::INFINITY), PHI_MAX_LEVEL);
+        assert_eq!(level_estimate(f64::MAX), PHI_MAX_LEVEL);
+        assert_eq!(level_estimate(1e300), PHI_MAX_LEVEL);
+        // NaN carries no information: act like the smallest system.
+        assert_eq!(level_estimate(f64::NAN), 0);
+        assert_eq!(level_estimate(f64::NEG_INFINITY), 0);
+        // Ordinary sizes are unaffected by the cap.
+        assert_eq!(level_estimate(30.0), 2);
     }
 
     /// Lemma 3.2: with high probability every node's estimate lies in

@@ -339,7 +339,15 @@ impl<M, P: Process<M>> Simulator<M, P> {
 
     /// Removes a process (leave/crash). In-flight messages to it will be
     /// dropped at delivery time.
+    ///
+    /// Also prunes every FIFO link clock touching `id`: the clocks exist
+    /// only to order deliveries within one incarnation of a link, and
+    /// keeping them alive after the endpoint left made `link_clock` grow
+    /// monotonically under churn (entries for departed processes were
+    /// never reclaimed). A later process reusing the same id is a *new*
+    /// incarnation and starts its links fresh.
     pub fn remove_process(&mut self, id: ProcessId) -> Option<P> {
+        self.link_clock.retain(|&(from, to), _| from != id && to != id);
         self.processes.remove(&id)
     }
 
@@ -389,6 +397,9 @@ impl<M, P: Process<M>> Simulator<M, P> {
     }
 
     fn enqueue_message(&mut self, from: ProcessId, to: ProcessId, msg: M, lossy: bool) {
+        // Send-time drops happen *before* the FIFO clock is touched: a
+        // dropped message never occupies a delivery slot, so it must not
+        // advance (and thereby delay) later messages on the same link.
         if lossy
             && self.config.loss_per_mille > 0
             && splitmix(&mut self.rng) % 1000 < u64::from(self.config.loss_per_mille)
@@ -786,6 +797,75 @@ mod tests {
         assert_eq!(drops.len() as u64, stats.messages_dropped + stats.messages_lost);
         assert!(drops.iter().any(|e| e.field("cause") == Some(&Value::Str("absent".into()))));
         assert!(drops.iter().any(|e| e.field("cause") == Some(&Value::Str("loss".into()))));
+    }
+
+    #[test]
+    fn remove_process_prunes_link_clocks_under_churn() {
+        // Regression: link clocks used to be retained forever, so a
+        // churning system leaked one entry per (from, to) pair ever
+        // used. After every leave, no clock may mention the departed id.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulator<u32, Recorder> = Simulator::new(SimConfig::default());
+        for i in 1..=64u64 {
+            sim.add_process(ProcessId(i), Recorder { log: Rc::clone(&log) });
+            sim.send_external(ProcessId(i), i as u32);
+            assert!(sim.run_until_idle(100));
+            assert!(sim.remove_process(ProcessId(i)).is_some());
+            assert!(
+                sim.link_clock.is_empty(),
+                "stale link clocks survived churn: {:?}",
+                sim.link_clock.keys().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn remove_process_prunes_both_link_directions() {
+        let count = Rc::new(RefCell::new(0));
+        let mut sim: Simulator<u32, PingPong> = Simulator::new(SimConfig::default());
+        sim.add_process(ProcessId(1), PingPong { count: Rc::clone(&count) });
+        sim.add_process(ProcessId(2), PingPong { count: Rc::clone(&count) });
+        sim.send_external(ProcessId(1), 8);
+        assert!(sim.run_until_idle(100));
+        assert!(
+            sim.link_clock.keys().any(|&(f, _)| f == ProcessId(1)),
+            "the rally must have populated 1->2"
+        );
+        sim.remove_process(ProcessId(1));
+        assert!(
+            sim.link_clock.keys().all(|&(f, t)| f != ProcessId(1) && t != ProcessId(1)),
+            "clocks naming the departed process must be pruned"
+        );
+        // The peer's clocks not involving process 1 are untouched.
+        sim.remove_process(ProcessId(2));
+        assert!(sim.link_clock.is_empty());
+    }
+
+    #[test]
+    fn send_time_losses_leave_fifo_clocks_untouched() {
+        // A loss-model drop happens at send time, before the message
+        // claims a FIFO slot: the link clock must not advance, and a
+        // later reliable message must arrive at plain base latency
+        // instead of being pushed out behind phantom deliveries.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulator<u32, Recorder> = Simulator::new(SimConfig {
+            base_latency: 4,
+            jitter: 0,
+            loss_per_mille: 1000, // every lossy send drops
+            seed: 9,
+        });
+        sim.add_process(ProcessId(2), Recorder { log: Rc::clone(&log) });
+        for i in 0..50 {
+            sim.enqueue_message(ProcessId(1), ProcessId(2), i, true);
+        }
+        assert_eq!(sim.stats().messages_lost, 50);
+        assert!(
+            !sim.link_clock.contains_key(&(ProcessId(1), ProcessId(2))),
+            "dropped sends must not reserve delivery slots"
+        );
+        sim.enqueue_message(ProcessId(1), ProcessId(2), 99, false);
+        assert!(sim.run_until_idle(10));
+        assert_eq!(log.borrow().as_slice(), &[(4, ProcessId(1), 99)]);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! The concurrent executors ([`SharedAdaptiveNetwork`] in `acn-core`,
 //! [`AtomicNetworkCounter`] in `acn-bitonic`) are generic over a
 //! [`SyncApi`]: the small set of primitives they actually use — a
-//! mutex, a reader–writer lock, and a 64-bit atomic with explicit
-//! memory orderings.
+//! mutex, a reader–writer lock, a 64-bit atomic with explicit
+//! memory orderings, and an epoch-published immutable snapshot
+//! ([`SyncSnapshot`], the safe-Rust equivalent of an atomic pointer
+//! swap) that powers the executors' lock-free fast paths.
 //!
 //! Two implementations exist:
 //!
@@ -38,6 +40,7 @@
 use std::hash::Hash;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 pub use std::sync::atomic::Ordering;
 
@@ -93,6 +96,33 @@ pub trait SyncMutex<T: SyncData>: Send + Sync + Sized + 'static {
     fn try_lock(&self) -> Option<Self::Guard<'_>>;
 }
 
+/// An epoch-published immutable snapshot: the safe-Rust equivalent
+/// of an atomic pointer swap.
+///
+/// A snapshot cell holds an `Arc<T>`. Readers [`load`](Self::load) a
+/// clone of the current `Arc` — a wait-free operation in spirit (the
+/// real implementation is a short uncontended read-lock around a
+/// refcount bump; no `T` is ever cloned) — and then work against the
+/// immutable value with no further synchronization. Writers
+/// [`store`](Self::store) a replacement `Arc`, after which new
+/// readers observe the new value while in-flight readers keep their
+/// (now stale) pin alive until they drop it.
+///
+/// The checker's implementation *interprets* publication: a `load`
+/// may observe any value not yet ordered before the reader by a
+/// happens-before edge, so fast paths that validate snapshots with a
+/// separate epoch atomic get their stale-read retry logic explored
+/// rather than assumed.
+pub trait SyncSnapshot<T: SyncData + Sync>: Send + Sync + Sized + 'static {
+    /// A new cell publishing `value`.
+    fn new(value: Arc<T>) -> Self;
+    /// Pins and returns the currently published value.
+    fn load(&self) -> Arc<T>;
+    /// Publishes `value`, replacing the current one. In-flight pins
+    /// obtained from earlier [`load`](Self::load)s stay valid.
+    fn store(&self, value: Arc<T>);
+}
+
 /// A reader–writer lock.
 pub trait SyncRwLock<T: SyncData>: Send + Sync + Sized + 'static {
     /// Shared-read guard.
@@ -122,14 +152,21 @@ pub trait SyncApi: Send + Sync + 'static {
     /// the explored behaviours are identical).
     const CONTENTION_PROBES: bool = true;
 
-    /// The atomic 64-bit integer.
-    type AtomicU64: SyncAtomicU64;
+    /// The atomic 64-bit integer. `Hash` exists so atomics may live
+    /// inside lock payloads and snapshot values (which must be
+    /// fingerprintable by the checker); the real implementation
+    /// hashes nothing — an atomic's momentary value is not part of
+    /// any structure's logical identity.
+    type AtomicU64: SyncAtomicU64 + Hash;
     /// The mutex. `Hash` feeds the checker's state fingerprints; the
     /// real implementation hashes nothing.
     type Mutex<T: SyncData>: SyncMutex<T> + Hash;
     /// The reader–writer lock (payloads are additionally `Sync`,
     /// since readers share them).
     type RwLock<T: SyncData + Sync>: SyncRwLock<T>;
+    /// The epoch-published immutable snapshot cell (payloads are
+    /// additionally `Sync`, since pinned readers share them).
+    type Snapshot<T: SyncData + Sync>: SyncSnapshot<T>;
 }
 
 /// Production synchronization: `parking_lot` locks, `std` atomics.
@@ -160,6 +197,13 @@ impl SyncAtomicU64 for RealAtomicU64 {
     fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
         self.0.fetch_add(value, order)
     }
+}
+
+impl Hash for RealAtomicU64 {
+    /// Production atomics contribute nothing to state fingerprints
+    /// (fingerprinting is a checker concern); hashing is a no-op.
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
 }
 
 /// [`RealSync`]'s mutex: a transparent `parking_lot::Mutex`.
@@ -226,10 +270,38 @@ impl<T: SyncData + Sync> SyncRwLock<T> for RealRwLock<T> {
     }
 }
 
+/// [`RealSync`]'s snapshot cell: a `parking_lot::RwLock<Arc<T>>`.
+///
+/// `load` takes the read lock only long enough to clone the `Arc`
+/// (a refcount bump — `T` itself is never copied); `store` takes the
+/// write lock only long enough to swap the pointer. Neither side
+/// holds the lock while the snapshot is *used*, so the cell behaves
+/// like an atomic pointer swap without any `unsafe`.
+#[derive(Debug)]
+pub struct RealSnapshot<T>(parking_lot::RwLock<Arc<T>>);
+
+impl<T: SyncData + Sync> SyncSnapshot<T> for RealSnapshot<T> {
+    #[inline]
+    fn new(value: Arc<T>) -> Self {
+        RealSnapshot(parking_lot::RwLock::new(value))
+    }
+
+    #[inline]
+    fn load(&self) -> Arc<T> {
+        Arc::clone(&self.0.read())
+    }
+
+    #[inline]
+    fn store(&self, value: Arc<T>) {
+        *self.0.write() = value;
+    }
+}
+
 impl SyncApi for RealSync {
     type AtomicU64 = RealAtomicU64;
     type Mutex<T: SyncData> = RealMutex<T>;
     type RwLock<T: SyncData + Sync> = RealRwLock<T>;
+    type Snapshot<T: SyncData + Sync> = RealSnapshot<T>;
 }
 
 #[cfg(test)]
@@ -296,6 +368,36 @@ mod tests {
     fn ranked_mutex_defaults_to_plain() {
         let m: RealMutex<u8> = SyncMutex::with_rank(9, 42);
         assert_eq!(*m.lock(), 9);
+    }
+
+    #[test]
+    fn snapshot_load_pins_while_store_publishes() {
+        let cell: RealSnapshot<Vec<u64>> = SyncSnapshot::new(Arc::new(vec![1, 2, 3]));
+        let pinned = cell.load();
+        cell.store(Arc::new(vec![9]));
+        // The old pin stays valid and immutable...
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        // ...while new loads observe the published replacement.
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn snapshot_is_shared_across_threads() {
+        let cell: Arc<RealSnapshot<u64>> = Arc::new(SyncSnapshot::new(Arc::new(0)));
+        let handles: Vec<_> = (1..=4u64)
+            .map(|i| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    cell.store(Arc::new(i));
+                    *cell.load()
+                })
+            })
+            .collect();
+        for h in handles {
+            let seen = h.join().unwrap();
+            assert!((1..=4).contains(&seen), "loads only ever see published values");
+        }
+        assert!((1..=4).contains(&*cell.load()));
     }
 
     #[test]

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Perf trajectory: locked vs lock-free executor throughput at
+# 1/2/4/8 threads (experiment E18). Always runs in release mode —
+# debug numbers are meaningless.
+#
+# Usage:
+#   scripts/bench.sh           # full run, writes BENCH_throughput.json
+#   scripts/bench.sh --smoke   # CI gate: tiny op count, artifact under
+#                              # target/ so the committed JSON survives
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p acn-bench --bin exp_throughput -- "$@"

@@ -21,6 +21,12 @@ echo "==> model checker (bounded exhaustive + seeded random suite)"
 # (Report::emit) and the suite is budgeted to stay well under a minute.
 cargo test -q -p acn-check
 
+echo "==> bench smoke (E18 throughput harness, artifact under target/)"
+# Exercises the multi-threaded harness end to end with a tiny op count;
+# headline numbers come from a full `scripts/bench.sh` run, which owns
+# the committed BENCH_throughput.json.
+scripts/bench.sh --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
