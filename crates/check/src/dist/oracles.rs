@@ -1,0 +1,208 @@
+//! Terminal-state protocol oracles for the distributed explorer.
+//!
+//! Every explored schedule ends in a quiescent state (or fails as
+//! [`super::DistFailureKind::Stuck`] first — leaked retransmit
+//! obligations and frozen-forever components surface there, not
+//! here). At quiescence these oracles assert the properties the
+//! protocol promises regardless of delivery order:
+//!
+//! - **Exactly-once counting**: the collector's total equals the
+//!   number of injected tokens. Scenarios that crash a node may lose
+//!   tokens that were resident on it, so there the oracle weakens to
+//!   "never *more* than injected" — duplication is a protocol bug
+//!   under any fault model, loss is not (under crashes).
+//! - **Step property**: the per-wire exit counts form a step sequence
+//!   ([`acn_topology::oracle::step_violation`]), i.e. the network
+//!   still *counts* after every explored reconfiguration.
+//! - **Cut coverage and well-formedness**: the live components form a
+//!   valid antichain cover of the decomposition tree, no component is
+//!   hosted twice, nothing is frozen, and no split/merge is still in
+//!   flight.
+//! - **Audit-clean import**: the distributed terminal state, imported
+//!   into a [`LocalAdaptiveNetwork`] against the *client-side* ledgers
+//!   (injections per wire, collector exits per wire), passes the
+//!   stabilization audit — the strongest end-to-end ledger check the
+//!   repo has.
+//! - **Stabilization restores legality**: after injecting a counter
+//!   corruption into the imported snapshot, the audit flags it and
+//!   [`stabilize`](acn_core::stabilize::stabilize) repairs it back to
+//!   audit-clean. For crash scenarios (where the pristine snapshot is
+//!   legitimately lossy and the audit oracle is skipped) this runs
+//!   directly on the imported snapshot.
+
+use std::collections::BTreeSet;
+
+use acn_core::dist::Proc;
+use acn_core::{stabilize, Component, LocalAdaptiveNetwork};
+use acn_topology::oracle::step_violation;
+use acn_topology::ComponentId;
+
+use super::{DistAction, DistRun};
+
+/// Which terminal oracles a [`super::DistScenario`] asserts. All on by
+/// default; tests disable individual oracles only to demonstrate that
+/// a specific mutation is caught by a specific oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Token conservation: collector total == injected (<= under
+    /// crashes).
+    pub exact_count: bool,
+    /// Per-wire exit counts satisfy the step property (skipped
+    /// automatically under crashes: lost tokens legitimately break
+    /// it).
+    pub step: bool,
+    /// The live cut is a valid, uniquely-hosted, unfrozen antichain
+    /// cover with no reconfiguration in flight.
+    pub cut: bool,
+    /// The imported terminal snapshot passes the stabilization audit
+    /// against the client-side ledgers (skipped automatically under
+    /// crashes).
+    pub audit: bool,
+    /// Stabilization detects an injected corruption and restores the
+    /// snapshot to audit-clean.
+    pub stabilize: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            exact_count: true,
+            step: true,
+            cut: true,
+            audit: true,
+            stabilize: true,
+        }
+    }
+}
+
+/// Checks every configured oracle against a terminal (quiescent)
+/// state. Returns the first violation as a human-readable message.
+pub(crate) fn check_terminal(run: &DistRun, cfg: &OracleConfig) -> Result<(), String> {
+    let crashed = run
+        .scenario
+        .actions
+        .iter()
+        .any(|a| matches!(a, DistAction::Crash(_)));
+
+    // --- Exactly-once token counting -------------------------------
+    let total = run.collector_total();
+    if cfg.exact_count {
+        if total > run.injected {
+            return Err(format!(
+                "token conservation violated: collector counted {total} but only {} \
+                 were injected (tokens were duplicated)",
+                run.injected
+            ));
+        }
+        if !crashed && total != run.injected {
+            return Err(format!(
+                "exactly-once counting violated: injected {} tokens but the \
+                 collector counted {total}",
+                run.injected
+            ));
+        }
+    }
+
+    // --- Step property (gap-freedom) -------------------------------
+    let exits = run.exit_counts();
+    if cfg.step && !crashed {
+        if let Some(violation) = step_violation(&exits) {
+            return Err(format!("step property violated at quiescence: {violation}"));
+        }
+    }
+
+    // --- Cut coverage and well-formedness --------------------------
+    // Collect every hosted component while checking uniqueness and
+    // thaw; the snapshot doubles as the audit input below.
+    let mut components: Vec<Component> = Vec::new();
+    let mut seen: BTreeSet<ComponentId> = BTreeSet::new();
+    for pid in run.d.sim.process_ids().collect::<Vec<_>>() {
+        if let Some(Proc::Node(np)) = run.d.sim.process(pid) {
+            for (id, comp, frozen, buffered) in np.hosted_components() {
+                if frozen {
+                    return Err(format!(
+                        "component {id} on {pid} is still frozen at quiescence"
+                    ));
+                }
+                if buffered > 0 {
+                    return Err(format!(
+                        "component {id} on {pid} still buffers {buffered} tokens \
+                         at quiescence"
+                    ));
+                }
+                if !seen.insert(id.clone()) {
+                    return Err(format!(
+                        "component {id} is hosted by more than one node"
+                    ));
+                }
+                components.push(comp.clone());
+            }
+        }
+    }
+    if cfg.cut {
+        let (cut, busy) = run.d.live_cut();
+        if busy {
+            return Err(
+                "terminal state still reports a busy cut (split/merge in flight)"
+                    .to_string(),
+            );
+        }
+        let world = run.d.world.borrow();
+        if !cut.is_valid(&world.tree) {
+            return Err(format!(
+                "live cut is not a valid antichain cover at quiescence: {cut}"
+            ));
+        }
+    }
+
+    // --- Audit-clean import & stabilization ------------------------
+    if cfg.audit || cfg.stabilize {
+        let (width, style) = {
+            let world = run.d.world.borrow();
+            (world.tree.width(), world.style)
+        };
+        let mut net = LocalAdaptiveNetwork::from_snapshot(
+            width,
+            style,
+            components,
+            run.injected_per_wire.clone(),
+            exits,
+        );
+        if cfg.audit && !crashed {
+            let faults = stabilize::audit(&net);
+            if let Some(fault) = faults.first() {
+                return Err(format!(
+                    "imported terminal snapshot fails the audit with {} fault(s); \
+                     first: {fault:?}",
+                    faults.len()
+                ));
+            }
+        }
+        if cfg.stabilize {
+            // Corrupt one live counter, prove the audit notices, then
+            // prove stabilization restores a legal state.
+            let victim = net.components().next().map(|c| c.id().clone());
+            if let Some(victim) = victim {
+                let comp = net.component_mut(&victim).expect("victim is live");
+                let corrupted = comp.tokens().wrapping_add(97);
+                comp.set_tokens(corrupted);
+                if stabilize::audit(&net).is_empty() {
+                    return Err(format!(
+                        "audit missed an injected counter corruption on {victim}"
+                    ));
+                }
+            }
+            stabilize::stabilize(&mut net);
+            let faults = stabilize::audit(&net);
+            if let Some(fault) = faults.first() {
+                return Err(format!(
+                    "stabilization did not restore legality: {} fault(s) remain; \
+                     first: {fault:?}",
+                    faults.len()
+                ));
+            }
+        }
+    }
+
+    Ok(())
+}

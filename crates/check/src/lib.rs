@@ -1,6 +1,6 @@
 //! `acn-check`: the workspace's verification toolbox.
 //!
-//! Two pillars, both dependency-free (the workspace is vendored and
+//! Three pillars, all dependency-free (the workspace is vendored and
 //! offline):
 //!
 //! 1. **A schedule-exploring model checker** for the `SyncApi`-generic
@@ -14,7 +14,21 @@
 //!    schedule, replayable by choice list ([`replay_schedule`]) or by
 //!    seed.
 //!
-//! 2. **Workspace determinism lints** ([`lint`], shipped as the
+//! 2. **A schedule-exploring protocol checker** for the distributed
+//!    runtime ([`dist`], shipped as the `acn-dist-explore` binary):
+//!    the real `acn_core::dist` node/collector processes run under
+//!    `acn_simnet`'s external delivery policy while the explorer
+//!    ([`dist::explore`]) enumerates message schedules — exhaustive
+//!    DFS with sleep-set (DPOR) reduction, or seeded PCT-style random
+//!    search whose choice points include fault actions (drops,
+//!    crashes, leaves, joins, forced splits/merges, timer
+//!    preemptions). Every terminal state is checked against protocol
+//!    oracles ([`dist::oracles`]): exactly-once counting, the step
+//!    property, cut well-formedness, audit-clean snapshot import, and
+//!    stabilization recovery. Failures print numbered seed-replayable
+//!    schedules ([`replay_dist_schedule`]).
+//!
+//! 3. **Workspace determinism lints** ([`lint`], shipped as the
 //!    `acn-lint` binary): line-level checks that hash-ordered
 //!    collections stay out of the deterministic subsystems, that every
 //!    `Ordering::Relaxed` carries a justification, that raw
@@ -47,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod explore;
 pub mod lint;
 pub mod oracles;
@@ -55,6 +70,10 @@ pub mod sched;
 pub mod virtual_sync;
 pub mod vthread;
 
+pub use dist::{
+    check_dist, replay_dist_schedule, DistAction, DistCheckConfig, DistChoice, DistFailure,
+    DistFailureKind, DistMode, DistReport, DistScenario, OracleConfig,
+};
 pub use explore::{check, replay_schedule, CheckConfig, Mode, Report};
 pub use sched::{Choice, Failure, FailureKind, ScheduleStep};
 pub use virtual_sync::VirtualSync;

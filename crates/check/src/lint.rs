@@ -33,6 +33,18 @@
 //!   re-implementation silently escapes that coverage. (The fast
 //!   path's own `Relaxed` traversal atomics are *not* blanket-waived:
 //!   each one carries a `relaxed-ok` proof line like any other.)
+//! - **`determinism-seam`** — an ambient nondeterminism source
+//!   (`SystemTime`, `Instant::now`, `thread_rng`/`rand::`,
+//!   `RandomState`, entropy-seeded RNG constructors) inside an
+//!   `impl Process for ...` block outside `crates/simnet/`. Protocol
+//!   handlers (`on_message`/`on_timer`) must be deterministic
+//!   functions of `(state, event, ctx)`: the simulator owns the clock
+//!   and the seeded RNG, and the distributed schedule explorer's
+//!   soundness argument (one interleaving per DPOR equivalence class)
+//!   collapses if a handler draws from an ambient source whose value
+//!   depends on wall time or on global draw order. Seeded state
+//!   carried *in* the process struct is fine — the rule flags the
+//!   ambient sources, not arithmetic on stored seeds.
 //! - **`lock-order`** — a `let`-bound guard over a component-map lock
 //!   while another such guard is still live in an enclosing scope.
 //!   Static scanning cannot prove the acquisition order matches the
@@ -50,6 +62,16 @@ const STD_SYNC_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
 const STD_SYNC_PREFIX: &str = concat!("std::", "sync::");
 const HASH_TYPES: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
 const SNAPSHOT_TYPES: [&str; 2] = [concat!("Atomic", "Ptr"), concat!("RwLock<", "Arc<")];
+/// Ambient nondeterminism sources forbidden inside `Process` impls
+/// (assembled so this file's own scan stays clean).
+const NONDET_SOURCES: [&str; 6] = [
+    concat!("System", "Time"),
+    concat!("Instant::", "now"),
+    concat!("thread_", "rng"),
+    concat!("rand", "::"),
+    concat!("Random", "State"),
+    concat!("from_", "entropy"),
+];
 
 /// Files (by workspace-relative path) where hash-ordered collections
 /// are forbidden.
@@ -68,7 +90,8 @@ fn in_sync_layer(path: &str) -> bool {
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`hash`, `relaxed`, `std-sync`, `lock-order`).
+    /// Rule id (`hash`, `relaxed`, `std-sync`, `snapshot`,
+    /// `determinism-seam`, `lock-order`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -106,6 +129,30 @@ fn annotated(rule: &str, line: &str, above: Option<&str>) -> bool {
 fn is_comment_line(line: &str) -> bool {
     let t = line.trim_start();
     t.starts_with("//") || t.starts_with("//!") || t.starts_with("///")
+}
+
+/// Whether `haystack` contains `needle` bounded by non-identifier
+/// characters on *both* sides (so `MyProcess` does not match
+/// `Process`).
+fn token_bounded(haystack: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let pre = haystack[..start]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        let post = haystack[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if pre && post {
+            return true;
+        }
+        from = end;
+    }
+    false
 }
 
 /// Whether `haystack` contains `needle` NOT immediately followed by an
@@ -172,6 +219,10 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     let mut live_guards: Vec<(i64, usize)> = Vec::new();
     let mut depth: i64 = 0;
     let restricted = in_deterministic_subsystem(path);
+    // Brace depth at which the current `impl Process for ...` block
+    // opened (the determinism-seam region), if any.
+    let mut proc_impl: Option<i64> = None;
+    let sim_layer = path.starts_with("crates/simnet/");
 
     for (idx, &line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -179,6 +230,34 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
         let snippet = line.trim().to_string();
         if is_comment_line(line) {
             continue;
+        }
+
+        if proc_impl.is_none()
+            && line.trim_start().starts_with("impl")
+            && token_bounded(line, "Process")
+            && line.contains(" for ")
+        {
+            proc_impl = Some(depth);
+        }
+
+        if proc_impl.is_some() && !sim_layer {
+            for src in NONDET_SOURCES {
+                if line.contains(src) && !annotated("determinism-seam", line, above) {
+                    findings.push(Finding {
+                        rule: "determinism-seam",
+                        path: path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "ambient nondeterminism ({src}) inside a Process impl: handlers \
+                             must be deterministic functions of (state, event, ctx) — take \
+                             time and randomness from the simulator seam (ctx/now, stored \
+                             seeds) or annotate `// lint: determinism-seam-ok(reason)`"
+                        ),
+                        snippet: snippet.clone(),
+                    });
+                    break;
+                }
+            }
         }
 
         if restricted {
@@ -278,6 +357,10 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                     // A guard bound at depth d dies when its scope
                     // closes (depth falls below d).
                     live_guards.retain(|&(d, _)| d <= depth);
+                    // Same for the Process-impl region.
+                    if proc_impl.is_some_and(|d| depth <= d) {
+                        proc_impl = None;
+                    }
                 }
                 _ => {}
             }
@@ -477,6 +560,61 @@ mod tests {
             guard_line("b", "second"),
         );
         assert!(lint_source("x.rs", &src).is_empty());
+    }
+
+    /// A `Process` impl wrapping `body`, assembled at runtime.
+    fn process_impl(body: &str) -> String {
+        format!(
+            "impl Process for NodeProc {{\n    fn on_message(&mut self, ctx: &mut Context) {{\n{body}    }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn flags_ambient_nondeterminism_inside_process_impls() {
+        for src in NONDET_SOURCES {
+            let body = format!("        let t = {src}::anything();\n");
+            let hits = lint_source("crates/core/src/dist.rs", &process_impl(&body));
+            assert_eq!(hits.len(), 1, "{src}: {hits:?}");
+            assert_eq!(hits[0].rule, "determinism-seam");
+            // The simulator layer owns the seam and is exempt.
+            assert!(
+                lint_source("crates/simnet/src/lib.rs", &process_impl(&body)).is_empty(),
+                "{src}: simnet is the seam"
+            );
+            // Annotated use is accepted.
+            let annotated = format!(
+                "        // lint: determinism-seam-ok(test-only fault clock)\n{body}"
+            );
+            assert!(
+                lint_source("crates/core/src/dist.rs", &process_impl(&annotated)).is_empty(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn nondeterminism_outside_process_impls_is_not_flagged() {
+        // Ambient sources are fine in harness/bench code outside the
+        // handler seam (e.g. wall-clock measurement in a bench main).
+        let src = format!("fn main() {{\n    let t = {}::anything();\n}}\n", NONDET_SOURCES[0]);
+        assert!(lint_source("crates/bench/src/lib.rs", &src).is_empty());
+        // And an impl of some *other* trait for a Process-named type
+        // does not open the region.
+        let other = format!(
+            "impl Display for MyProcess {{\n    fn fmt(&self) {{ let t = {}::anything(); }}\n}}\n",
+            NONDET_SOURCES[0]
+        );
+        assert!(lint_source("crates/core/src/dist.rs", &other).is_empty());
+    }
+
+    #[test]
+    fn process_impl_region_closes_at_its_brace() {
+        let src = format!(
+            "{}fn later() {{\n    let t = {}::anything();\n}}\n",
+            process_impl("        let x = 1;\n"),
+            NONDET_SOURCES[0]
+        );
+        assert!(lint_source("crates/core/src/dist.rs", &src).is_empty());
     }
 
     #[test]

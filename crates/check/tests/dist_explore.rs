@@ -1,0 +1,254 @@
+//! Tier-1 acceptance tests for the distributed schedule explorer:
+//! bounded scenarios whose (sleep-set-reduced) schedule spaces are
+//! exhausted by the DFS, with every protocol oracle holding in every
+//! terminal state — plus the mutation test proving the checker has
+//! teeth (disabling the receiver-side ack dedup is caught with a
+//! seed-replayable minimal counterexample).
+
+use acn_check::{
+    check_dist, replay_dist_schedule, DistAction, DistCheckConfig, DistChoice, DistFailureKind,
+    DistScenario,
+};
+use acn_topology::ComponentId;
+
+/// Two nodes, two tokens, one timer preemption allowed: the smallest
+/// interesting space. Exhausted, all oracles hold.
+#[test]
+fn exhausts_two_nodes_two_tokens() {
+    let mut scenario = DistScenario::new(2, 2, 0xD15C0, vec![0, 1]);
+    scenario.timer_preemptions = 1;
+    let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    report.assert_ok();
+    assert!(report.schedules > 1, "more than one inequivalent schedule: {report:?}");
+    assert!(report.timer_preemptions > 0, "retry preemptions were explored");
+}
+
+/// The acceptance config: 2 nodes x 2 tokens with one split forced
+/// *concurrently with* the token traffic, then merged back. Exhausted
+/// by the DFS; exactly-once counting, the step property, cut
+/// well-formedness, the audit, and stabilization recovery all hold in
+/// every terminal state.
+#[test]
+fn exhausts_two_nodes_two_tokens_with_concurrent_split() {
+    let root = ComponentId::root();
+    let mut scenario = DistScenario::new(4, 2, 0xD15C1, vec![0, 3]);
+    scenario.actions = vec![DistAction::Split(root.clone()), DistAction::Merge(root)];
+    let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    report.assert_ok();
+    assert!(
+        report.fault_actions > 0,
+        "the split/merge actions were actually explored: {report:?}"
+    );
+    assert!(
+        report.sleep_prunes > 0,
+        "the DPOR reduction actually pruned something: {report:?}"
+    );
+}
+
+/// The second acceptance config: 3 nodes, one crash mid-traffic, then
+/// a repair sweep. Tokens resident on the crashed node may be lost
+/// (conservation weakens to <=) but never duplicated, the repaired
+/// cut is valid, and stabilization restores a legal snapshot.
+#[test]
+fn exhausts_three_nodes_with_crash_and_stabilization() {
+    let mut scenario = DistScenario::new(2, 3, 0xD15C2, vec![0, 1]);
+    scenario.actions = vec![DistAction::Crash(1), DistAction::Repair];
+    let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    report.assert_ok();
+    assert!(report.fault_actions > 0, "the crash was actually explored: {report:?}");
+}
+
+/// In-flight drops on the lossy token channel: the retransmit path
+/// must restore exactly-once counting on every schedule.
+#[test]
+fn exhausts_token_drop_with_retransmit() {
+    let mut scenario = DistScenario::new(2, 2, 0xD15C3, vec![0]);
+    scenario.max_drops = 1;
+    scenario.timer_preemptions = 1;
+    let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    report.assert_ok();
+    assert!(report.drops > 0, "a drop was actually explored: {report:?}");
+}
+
+/// Mutation test: disabling the receiver-side GUID dedup must be
+/// caught by the exactly-once oracle, with a minimal counterexample
+/// schedule that replays to the same violation.
+#[test]
+fn mutation_missing_ack_dedup_is_caught_with_replayable_counterexample() {
+    // The duplicate only arises when the injected token crosses nodes
+    // (the retransmit race lives on the inter-node token channel), and
+    // whether the injector targets the root's host is seed-dependent —
+    // so scan a small seed window; the checker must catch the mutation
+    // on at least one of them, and the per-seed spaces are tiny.
+    let mut caught = None;
+    for seed in 0..16u64 {
+        let mut scenario = DistScenario::new(2, 2, seed, vec![0]);
+        scenario.timer_preemptions = 1; // retry-before-ack is the race
+        scenario.disable_ack_dedup = true;
+        let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+        if !report.failures.is_empty() {
+            caught = Some((scenario, report));
+            break;
+        }
+        report.assert_ok(); // no failure => the tiny space must still exhaust
+    }
+    let (scenario, report) =
+        caught.expect("the dedup mutation must be caught within the seed window");
+    let failure = &report.failures[0];
+    assert_eq!(failure.kind, DistFailureKind::OracleViolation, "{failure}");
+    assert!(
+        failure.message.contains("duplicated") || failure.message.contains("exactly-once"),
+        "the conservation oracle names the violation: {failure}"
+    );
+    assert!(!failure.choices.is_empty(), "counterexample has branching choices");
+
+    // The printed schedule replays to the same violation.
+    let replayed = replay_dist_schedule(&scenario, &failure.choices)
+        .expect("the recorded schedule reproduces the failure");
+    assert_eq!(replayed.kind, DistFailureKind::OracleViolation, "{replayed}");
+    assert_eq!(replayed.message, failure.message, "same violation on replay");
+
+    // And the *unmutated* protocol survives the exact same schedule.
+    let mut fixed = scenario.clone();
+    fixed.disable_ack_dedup = false;
+    assert!(
+        replay_dist_schedule(&fixed, &failure.choices).is_none(),
+        "with dedup enabled the same schedule is clean"
+    );
+}
+
+/// The fault-heavy scenario the deep random sweep (`scripts/explore.sh`)
+/// runs: 4-wide network on 3 nodes, a concurrent split + mid-run
+/// injection + join + merge, with retry preemptions and one in-flight
+/// drop allowed. Both deep-explore findings live in this space.
+fn deep_sweep_scenario() -> DistScenario {
+    let root = ComponentId::root();
+    let mut scenario = DistScenario::new(4, 3, 0xACE5, vec![0, 1, 2, 3]);
+    scenario.actions = vec![
+        DistAction::Split(root.clone()),
+        DistAction::Inject(2),
+        DistAction::Join,
+        DistAction::Merge(root),
+    ];
+    scenario.timer_preemptions = 2;
+    scenario.max_drops = 1;
+    scenario
+}
+
+/// Regression for a real protocol bug the deep random explorer found
+/// (`scripts/explore.sh`, iteration seed 0x8e9d1fe3b419ad1): a retry
+/// timer preempted a pending inter-node delivery, the timed-out
+/// obligation was re-routed locally after a reconfiguration, and the
+/// merely *delayed* (not lost) original copy was later accepted at a
+/// different node — per-receiver GUID dedup structurally cannot see
+/// both copies, so the collector double-counted a token ("collector
+/// counted 6 but only 5 were injected"). Fixing only the collector's
+/// count converted the violation into a *step-property* failure on
+/// the same schedule, because the duplicate traversal still flipped
+/// balancer state. The root fix is the travelling per-component
+/// `(token, wire)` idempotency ledger in `acn_core::dist` (inherited
+/// on split, unioned on merge, carried on migration) plus
+/// collector-side end-to-end token dedup.
+///
+/// The base seed below is derived so that the seed schedule (the
+/// explorer's iteration 0) is *exactly* the failing iteration:
+/// `iter_seed = (base * 0x9E3779B97F4A7C15 + 0).rotate_left(17)
+///  = 0x8e9d1fe3b419ad1`. Before the ledger fix this single-iteration
+/// run reproduced the double count byte-for-byte; it must now pass
+/// every terminal oracle.
+#[test]
+fn found_duplication_iteration_is_clean_after_ledger_fix() {
+    let scenario = deep_sweep_scenario();
+    let report = check_dist(&DistCheckConfig::random(1, 0xDEE8_85AA_1C78_EF20), &scenario);
+    report.assert_ok();
+    assert!(report.fault_actions > 0, "the faulty region was exercised: {report:?}");
+
+    // The 49-choice counterexample the buggy run printed no longer
+    // executes past decision 17: the ledger drops the duplicate
+    // traversal mid-prefix, which changes the in-flight message set —
+    // the recorded schedule may only diverge, never re-trip an oracle.
+    let choices = [
+        DistChoice::Deliver(1),
+        DistChoice::Deliver(0),
+        DistChoice::Action,
+        DistChoice::Action,
+        DistChoice::Deliver(1),
+        DistChoice::Deliver(1),
+        DistChoice::Deliver(1),
+        DistChoice::Deliver(1),
+        DistChoice::Deliver(5),
+        DistChoice::Deliver(6),
+        DistChoice::Deliver(1),
+        DistChoice::Deliver(3),
+        DistChoice::Deliver(2),
+        DistChoice::Deliver(2),
+        DistChoice::Deliver(2),
+        DistChoice::Deliver(2),
+        DistChoice::Deliver(2),
+        DistChoice::Deliver(2),
+        DistChoice::Deliver(1),
+        DistChoice::Deliver(2),
+        DistChoice::Deliver(0),
+    ];
+    match replay_dist_schedule(&scenario, &choices) {
+        None => {}
+        Some(failure) => assert_eq!(
+            failure.kind,
+            DistFailureKind::ReplayDivergence,
+            "the buggy trace may diverge but not reproduce a violation: {failure}"
+        ),
+    }
+}
+
+/// Regression for the other deep-explore finding (iteration seed
+/// 0x8e9d1fe37a19ad1): the adaptive level estimator auto-merged the
+/// scripted split's children during a drain, and under the old
+/// enabledness rule the scripted `Merge` could then never fire — a
+/// spurious `Stuck` report. Fixed by "ensure" semantics (a scripted
+/// reconfiguration whose goal state the protocol already reached on
+/// its own is an enabled no-op); see also
+/// `scripted_reconfig_survives_estimator_automerge` in the harness's
+/// unit tests. As above, the base seed puts the failing iteration at
+/// index 0.
+#[test]
+fn found_estimator_automerge_iteration_is_clean_after_ensure_fix() {
+    let scenario = deep_sweep_scenario();
+    let report = check_dist(&DistCheckConfig::random(1, 0x7B99_7CC4_67F8_1090), &scenario);
+    report.assert_ok();
+    assert!(report.fault_actions > 0, "the faulty region was exercised: {report:?}");
+}
+
+/// Randomized mode is a deterministic function of its seed, and its
+/// choice points include the fault actions.
+#[test]
+fn random_mode_is_seed_deterministic() {
+    let root = ComponentId::root();
+    let mut scenario = DistScenario::new(4, 3, 0xD15C5, vec![0, 1, 2]);
+    scenario.actions = vec![DistAction::Split(root.clone()), DistAction::Merge(root)];
+    scenario.timer_preemptions = 1;
+    scenario.max_drops = 1;
+    let a = check_dist(&DistCheckConfig::random(10, 77), &scenario);
+    let b = check_dist(&DistCheckConfig::random(10, 77), &scenario);
+    a.assert_ok();
+    b.assert_ok();
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.max_depth, b.max_depth);
+    assert_eq!(a.fault_actions, b.fault_actions);
+    assert_eq!(a.timer_preemptions, b.timer_preemptions);
+    assert_eq!(a.drops, b.drops);
+    assert!(a.fault_actions > 0, "faults were exercised: {a:?}");
+}
+
+/// The explorer's statistics land under `acn.check.dist.*`.
+#[test]
+fn report_emits_dist_metrics() {
+    let scenario = DistScenario::new(2, 2, 0xD15C6, vec![0]);
+    let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    report.assert_ok();
+    let registry = acn_telemetry::Registry::new();
+    report.emit(&registry);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("acn.check.dist.schedules"), Some(report.schedules));
+    assert_eq!(snap.counter("acn.check.dist.failures"), Some(0));
+    assert!(snap.gauge("acn.check.dist.max_depth").is_some());
+}

@@ -8,11 +8,19 @@
 //!   wire address of their destination; senders guess the live owner
 //!   from a per-node cache and walk the ancestor name chain on a miss
 //!   (each guess is one DHT lookup in a real deployment). Tokens ride a
-//!   *lossy* datagram channel: each carries a GUID, receivers
-//!   acknowledge accepted tokens and suppress duplicates, and senders
-//!   retransmit obligations that stay silent — exactly-once delivery
-//!   end to end, even at double-digit loss rates (the control plane is
-//!   reliable, like TCP next to a fast datagram path);
+//!   *lossy* datagram channel: each send carries a GUID, receivers
+//!   acknowledge accepted sends, and senders retransmit obligations
+//!   that stay silent (the control plane is reliable, like TCP next to
+//!   a fast datagram path). Exactly-once *traversal and counting* is
+//!   then enforced by three dedup layers, each catching a duplicate
+//!   class the previous one structurally cannot: per-receiver GUID
+//!   suppression (same-node retransmit races), a travelling
+//!   per-component `(token, wire)` idempotency ledger ([`SeenTokens`] —
+//!   a retried obligation re-routed to a *different* node after a
+//!   reconfiguration, while the delayed original is still in flight;
+//!   found by the schedule explorer in `acn-check`), and collector-side
+//!   end-to-end token-id dedup as the last line for the counting
+//!   oracle;
 //! - **splitting** (Section 2.2): the host freezes the component,
 //!   installs initialized children at their hash owners, then removes
 //!   the component and re-routes anything buffered meanwhile;
@@ -38,7 +46,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use acn_overlay::{NodeId, Ring};
-use acn_simnet::{Context, Process, ProcessId, SimConfig, Simulator};
+use acn_simnet::{Context, DeliveryPolicy, Process, ProcessId, SimConfig, Simulator};
 use acn_telemetry::{Counter, Event as TelemetryEvent, Histogram, Registry};
 use acn_topology::{
     input_port_of, network_input_address, resolve_output, ComponentId, Cut, OutputDestination,
@@ -50,6 +58,34 @@ use crate::component::{merge_components, split_component, Component};
 /// Timer tags used by [`NodeProc`].
 const TIMER_LEVEL: u64 = 0;
 const TIMER_RETRY: u64 = 1;
+
+/// Base of the harness-injected "force a split now" timer tags: the
+/// low bits carry the packed [`ComponentId`] (see
+/// [`force_split_tag`]). The distributed model checker schedules these
+/// so reconfiguration happens at *explored* points instead of waiting
+/// for the estimator-driven level tick.
+const TIMER_FORCE_SPLIT_BASE: u64 = 1 << 48;
+/// Base of the "force a merge now" timer tags (see [`force_merge_tag`]).
+const TIMER_FORCE_MERGE_BASE: u64 = 2 << 48;
+/// Mask extracting the packed component id from a force tag.
+const FORCE_TAG_ID_MASK: u64 = (1 << 48) - 1;
+
+/// The timer tag that makes the receiving [`NodeProc`] start splitting
+/// hosted component `id` (no-op if it does not host `id` live and
+/// unfrozen). Harness/checker use; deterministic and explorable, unlike
+/// the estimator-driven level tick.
+#[must_use]
+pub fn force_split_tag(id: &ComponentId) -> u64 {
+    TIMER_FORCE_SPLIT_BASE | id.to_u64()
+}
+
+/// The timer tag that makes the receiving [`NodeProc`] start merging
+/// split component `id` (no-op unless `id` is on its split list with no
+/// merge already in flight). Harness/checker use.
+#[must_use]
+pub fn force_merge_tag(id: &ComponentId) -> u64 {
+    TIMER_FORCE_MERGE_BASE | id.to_u64()
+}
 
 /// Sentinel for "first try, use the cache" probing attempts.
 const ATTEMPT_CACHED: u8 = u8::MAX;
@@ -69,10 +105,23 @@ pub enum Msg {
     /// A token travelling towards the component owning `addr`. Tokens
     /// ride the **lossy** channel (an unreliable datagram fast path);
     /// delivery is guaranteed end to end by acknowledgement,
-    /// retransmission, and GUID-based duplicate suppression.
+    /// retransmission, and two dedup layers: a per-receiver GUID check
+    /// (suppresses a retransmission racing its own ack at the *same*
+    /// node) and a collector-side `token` check (suppresses the copy
+    /// that escapes to a *different* path when a timed-out obligation
+    /// is re-routed after reconfiguration while the original send is
+    /// still in flight — a race the schedule explorer found; see
+    /// `Collector`).
     Token {
-        /// Globally unique token identifier (duplicate suppression).
+        /// Per-send obligation identifier (receiver-side duplicate
+        /// suppression and ack/nack correlation). Fresh per forward,
+        /// stable across retransmissions of the same obligation.
         guid: u64,
+        /// Stable end-to-end identity of the injected token: assigned
+        /// once at injection, preserved across forwards, buffering,
+        /// migration, and retransmission. The collector counts each
+        /// `token` at most once.
+        token: u64,
         /// The cut-independent destination wire.
         addr: WireAddress,
         /// Simulated time at which the token entered the network.
@@ -95,6 +144,8 @@ pub enum Msg {
     TokenNack {
         /// The rejected token.
         guid: u64,
+        /// Echo of the token's end-to-end identity.
+        token: u64,
         /// Echo of the token's destination.
         addr: WireAddress,
         /// Echo of the injection time.
@@ -106,6 +157,9 @@ pub enum Msg {
     Exit {
         /// The network output wire.
         wire: usize,
+        /// End-to-end token identity (collector-side exactly-once
+        /// dedup).
+        token: u64,
         /// When the token was injected (for latency accounting).
         injected_at: u64,
         /// Inter-node forwards the token took end to end.
@@ -116,6 +170,10 @@ pub enum Msg {
     Install {
         /// The full component state to install.
         comp: Component,
+        /// The travelling `(token, addr)` idempotency ledger: the
+        /// parent's ledger for split children, the union of the
+        /// children's for a merge result.
+        seen: SeenTokens,
     },
     /// Acknowledges an [`Msg::Install`].
     InstallAck {
@@ -134,6 +192,9 @@ pub enum Msg {
     CollectReply {
         /// The frozen child's full state.
         comp: Component,
+        /// The frozen child's travelling idempotency ledger (unioned
+        /// into the merge result's).
+        seen: SeenTokens,
         /// The component being reconstructed.
         parent: ComponentId,
     },
@@ -180,6 +241,8 @@ pub(crate) struct DistMetrics {
     nacks: Counter,
     /// Mirrors `World::token_retransmits`.
     retransmits: Counter,
+    /// Mirrors `World::duplicate_traversal_drops`.
+    dup_traversals: Counter,
     /// Mirrors `World::dht_lookups`.
     dht_lookups: Counter,
     /// Tokens drained from frozen buffers when a merge discards its
@@ -213,6 +276,7 @@ impl DistMetrics {
             merge_aborts: registry.counter("acn.dist.merge_aborts"),
             nacks: registry.counter("acn.dist.token_nacks"),
             retransmits: registry.counter("acn.dist.token_retransmits"),
+            dup_traversals: registry.counter("acn.dist.duplicate_traversal_drops"),
             dht_lookups: registry.counter("acn.dist.dht_lookups"),
             merge_drained: registry.counter("acn.dist.merge_drained_tokens"),
             split_drained: registry.counter("acn.dist.split_drained_tokens"),
@@ -248,8 +312,22 @@ pub struct World {
     pub token_nacks: u64,
     /// Token retransmissions after loss or silence.
     pub token_retransmits: u64,
-    /// Next globally unique token id.
+    /// Duplicate token copies dropped by a component's travelling
+    /// `(token, addr)` ledger (a re-routed retransmission raced its
+    /// merely-delayed original).
+    pub duplicate_traversal_drops: u64,
+    /// Next globally unique per-send obligation id.
     next_guid: u64,
+    /// Next globally unique end-to-end token id.
+    next_token_id: u64,
+    /// Test-only mutation switch: when set, receivers skip the
+    /// GUID-dedup branch of the token handler, so a retransmission that
+    /// races its ack is processed twice. Exists solely so the
+    /// distributed model checker can prove it would catch the bug
+    /// (mutation testing); never set in production paths. Disabling
+    /// this layer alone is masked by the collector's end-to-end dedup —
+    /// [`Deployment::test_disable_token_dedup`] removes both.
+    mutation_no_ack_dedup: bool,
     /// Pre-resolved `acn.dist.*` telemetry handles (no-ops by default).
     pub(crate) metrics: DistMetrics,
 }
@@ -267,15 +345,36 @@ impl World {
             merges_done: 0,
             token_nacks: 0,
             token_retransmits: 0,
+            duplicate_traversal_drops: 0,
             next_guid: 0,
+            next_token_id: 0,
+            mutation_no_ack_dedup: false,
             metrics: DistMetrics::default(),
         }))
     }
 
-    /// Allocates a globally unique token id.
+    /// Disables the receiver-side GUID dedup of the token channel.
+    ///
+    /// This is a **deliberately planted bug** for mutation-testing the
+    /// distributed model checker (`acn-check`): with dedup off, a
+    /// retransmission racing its own ack is processed twice and the
+    /// exactly-once oracle must catch it with a replayable schedule.
+    #[doc(hidden)]
+    pub fn test_disable_ack_dedup(&mut self) {
+        self.mutation_no_ack_dedup = true;
+    }
+
+    /// Allocates a globally unique per-send obligation id.
     pub fn fresh_guid(&mut self) -> u64 {
         self.next_guid += 1;
         self.next_guid
+    }
+
+    /// Allocates a stable end-to-end token identity (assigned once at
+    /// injection; the collector counts each at most once).
+    pub fn fresh_token_id(&mut self) -> u64 {
+        self.next_token_id += 1;
+        self.next_token_id
     }
 
     /// The current hash owner of component `id`.
@@ -291,14 +390,47 @@ impl World {
 /// not stored: a timed-out obligation restarts probing from the cache.)
 #[derive(Debug, Clone)]
 struct UnackedToken {
+    token: u64,
     addr: WireAddress,
     injected_at: u64,
     sent_at: u64,
     hops: u64,
 }
 
-/// A token buffered at a frozen component: `(addr, injected_at, hops)`.
-pub type BufferedToken = (WireAddress, u64, u64);
+/// A token buffered at a frozen component:
+/// `(token, addr, injected_at, hops)`.
+pub type BufferedToken = (u64, WireAddress, u64, u64);
+
+/// A token in flight: its stable end-to-end identity plus destination
+/// and provenance, threaded through routing, sending, and
+/// retransmission (an [`UnackedToken`] is a `TokenFlight` plus the
+/// send time backing the retry timer).
+struct TokenFlight {
+    /// Stable end-to-end token id (see [`Msg::Token`]).
+    token: u64,
+    /// Cut-independent destination wire.
+    addr: WireAddress,
+    /// Injection time (for latency accounting).
+    injected_at: u64,
+    /// Inter-node forwards taken so far.
+    hops: u64,
+}
+
+/// Per-component idempotency ledger: `(token, addr)` pairs this
+/// component (or its decomposition-lineage ancestors) has already
+/// consumed. A feed-forward network processes each token at each wire
+/// address at most once, so a repeat is always a duplicate copy — the
+/// re-route of a timed-out retransmission racing its merely-delayed
+/// original. The ledger **travels with the component**: split children
+/// inherit the parent's ledger, a merge takes the union of the
+/// children's, and migration carries it — so whichever node ends up
+/// hosting the covering component can recognize the second copy, which
+/// per-node receiver state cannot (the copies may land on different
+/// nodes). Keying on `(token, addr)` rather than `token` alone keeps a
+/// merge from swallowing a token that legitimately passed one child's
+/// region and is still in flight towards a sibling's. (A real
+/// deployment would expire entries; the simulation keeps them all.)
+pub type SeenTokens = BTreeSet<(u64, WireAddress)>;
 
 /// A hosted component plus its runtime bookkeeping.
 #[derive(Debug, Clone)]
@@ -307,6 +439,8 @@ struct Hosted {
     frozen: bool,
     /// Tokens buffered while frozen.
     buffer: Vec<BufferedToken>,
+    /// The travelling `(token, addr)` idempotency ledger.
+    seen: SeenTokens,
 }
 
 /// An in-progress split at its coordinator.
@@ -323,8 +457,9 @@ struct SplitOp {
 struct MergeOp {
     /// When the merge was started (telemetry: merge duration).
     started_at: u64,
-    /// Collected child states, by child index.
-    collected: Vec<Option<Component>>,
+    /// Collected child states (with their idempotency ledgers), by
+    /// child index.
+    collected: Vec<Option<(Component, SeenTokens)>>,
     /// The process that reported each child (for `RemoveFrozen`).
     reporters: Vec<Option<ProcessId>>,
     /// Collection rounds that made no progress (stall detector).
@@ -401,10 +536,20 @@ impl NodeProc {
         self.departed
     }
 
-    /// Installs a component directly (bootstrap and harness use).
+    /// Installs a component directly with an empty idempotency ledger
+    /// (bootstrap and crash repair — where token history is gone by
+    /// definition).
     pub fn install_component(&mut self, comp: Component) {
-        self.components
-            .insert(comp.id().clone(), Hosted { comp, frozen: false, buffer: Vec::new() });
+        self.install_component_with_seen(comp, SeenTokens::new());
+    }
+
+    /// Installs a component carrying its travelling `(token, addr)`
+    /// ledger (split inheritance, merge union, migration).
+    pub fn install_component_with_seen(&mut self, comp: Component, seen: SeenTokens) {
+        self.components.insert(
+            comp.id().clone(),
+            Hosted { comp, frozen: false, buffer: Vec::new(), seen },
+        );
     }
 
     /// The live components on this node with their frozen flags.
@@ -412,16 +557,33 @@ impl NodeProc {
         self.components.iter().map(|(id, h)| (id, h.frozen))
     }
 
+    /// The hosted components with their full state, frozen flag, and
+    /// buffered-token count (the distributed checker's oracles import
+    /// these to audit conservation and ledger legality).
+    pub fn hosted_components(
+        &self,
+    ) -> impl Iterator<Item = (&ComponentId, &Component, bool, usize)> {
+        self.components.iter().map(|(id, h)| (id, &h.comp, h.frozen, h.buffer.len()))
+    }
+
+    /// Number of token obligations still awaiting end-to-end acks (the
+    /// checker's leaked-retransmit oracle).
+    #[must_use]
+    pub fn unacked_count(&self) -> usize {
+        self.unacked.len()
+    }
+
     /// Removes and returns an unfrozen hosted component with its
-    /// buffered tokens (harness-side migration on churn).
+    /// buffered tokens and idempotency ledger (harness-side migration
+    /// on churn).
     pub fn take_component(
         &mut self,
         id: &ComponentId,
-    ) -> Option<(Component, Vec<BufferedToken>)> {
+    ) -> Option<(Component, Vec<BufferedToken>, SeenTokens)> {
         if self.components.get(id).map(|h| h.frozen).unwrap_or(true) {
             return None;
         }
-        self.components.remove(id).map(|h| (h.comp, h.buffer))
+        self.components.remove(id).map(|h| (h.comp, h.buffer, h.seen))
     }
 
     /// The split list (components this node is responsible for merging).
@@ -520,14 +682,21 @@ impl NodeProc {
         &mut self,
         ctx: &mut Context<'_, Msg>,
         guid: u64,
+        token: u64,
         addr: WireAddress,
         injected_at: u64,
         hops: u64,
     ) {
         if self.hosted_candidate(&addr).is_some() && !self.departed {
-            self.route_token(ctx, addr, injected_at, hops);
+            // The original send may still be in flight (silence is not
+            // proof of loss): this local copy and the in-flight one now
+            // race on *different* paths, where no receiver-side GUID
+            // check can see both. The collector's end-to-end `token`
+            // dedup is what keeps the count exactly-once.
+            self.route_token(ctx, token, addr, injected_at, hops);
         } else {
-            self.send_token(ctx, Some(guid), addr, injected_at, ATTEMPT_CACHED, hops);
+            let flight = TokenFlight { token, addr, injected_at, hops };
+            self.send_token(ctx, Some(guid), flight, ATTEMPT_CACHED);
         }
     }
 
@@ -537,6 +706,7 @@ impl NodeProc {
     fn route_token(
         &mut self,
         ctx: &mut Context<'_, Msg>,
+        token: u64,
         mut addr: WireAddress,
         injected_at: u64,
         hops: u64,
@@ -544,13 +714,25 @@ impl NodeProc {
         loop {
             match self.hosted_candidate(&addr) {
                 Some(id) => {
-                    let (tree, style) = {
+                    let (tree, style, dedup) = {
                         let w = self.world.borrow();
-                        (w.tree, w.style)
+                        (w.tree, w.style, !w.mutation_no_ack_dedup)
                     };
                     let hosted = self.components.get_mut(&id).expect("candidate is hosted");
                     if hosted.frozen {
-                        hosted.buffer.push((addr, injected_at, hops));
+                        hosted.buffer.push((token, addr, injected_at, hops));
+                        return;
+                    }
+                    if dedup && !hosted.seen.insert((token, addr.clone())) {
+                        // This component (or its lineage) already
+                        // consumed this token at this wire: the copy is
+                        // a re-routed retransmission whose original was
+                        // delayed, not lost. Dropping it here keeps the
+                        // balancer states — and hence the step property
+                        // — exactly as if the token traversed once.
+                        let mut w = self.world.borrow_mut();
+                        w.duplicate_traversal_drops += 1;
+                        w.metrics.dup_traversals.inc();
                         return;
                     }
                     let in_port = input_port_of(&tree, &id, &addr, style);
@@ -558,33 +740,34 @@ impl NodeProc {
                     match resolve_output(&tree, &id, port, style) {
                         OutputDestination::NetworkOutput(wire) => {
                             self.world.borrow().metrics.routing_hops.record(hops);
-                            ctx.send(COLLECTOR, Msg::Exit { wire, injected_at, hops });
+                            ctx.send(COLLECTOR, Msg::Exit { wire, token, injected_at, hops });
                             return;
                         }
                         OutputDestination::Wire(next) => addr = next,
                     }
                 }
                 None => {
-                    self.send_token(ctx, None, addr, injected_at, ATTEMPT_CACHED, hops);
+                    let flight = TokenFlight { token, addr, injected_at, hops };
+                    self.send_token(ctx, None, flight, ATTEMPT_CACHED);
                     return;
                 }
             }
         }
     }
 
-    /// Sends a token towards a guessed owner of `addr`, registering the
-    /// retransmission obligation under `guid` (a fresh one if `None`).
-    /// `attempt` is `ATTEMPT_CACHED` for the cache-directed first try,
-    /// otherwise an index into the canonical (deepest-first) chain.
+    /// Sends a token towards a guessed owner of its wire address,
+    /// registering the retransmission obligation under `guid` (a fresh
+    /// one if `None`). `attempt` is `ATTEMPT_CACHED` for the
+    /// cache-directed first try, otherwise an index into the canonical
+    /// (deepest-first) chain.
     fn send_token(
         &mut self,
         ctx: &mut Context<'_, Msg>,
         guid: Option<u64>,
-        addr: WireAddress,
-        injected_at: u64,
+        flight: TokenFlight,
         attempt: u8,
-        hops: u64,
     ) {
+        let TokenFlight { token, addr, injected_at, hops } = flight;
         let guid = guid.unwrap_or_else(|| self.world.borrow_mut().fresh_guid());
         let candidates: Vec<ComponentId> = addr.candidates().collect();
         let mut attempt = attempt;
@@ -603,8 +786,10 @@ impl NodeProc {
             } else {
                 // Chain exhausted (reconfiguration window): keep the
                 // obligation and let the retry timer start over.
-                self.unacked
-                    .insert(guid, UnackedToken { addr, injected_at, sent_at: ctx.now(), hops });
+                self.unacked.insert(
+                    guid,
+                    UnackedToken { token, addr, injected_at, sent_at: ctx.now(), hops },
+                );
                 self.arm_retry(ctx);
                 return;
             };
@@ -617,12 +802,12 @@ impl NodeProc {
             self.cache.insert(addr.clone(), guess.level());
             self.unacked.insert(
                 guid,
-                UnackedToken { addr: addr.clone(), injected_at, sent_at: ctx.now(), hops },
+                UnackedToken { token, addr: addr.clone(), injected_at, sent_at: ctx.now(), hops },
             );
             self.arm_retry(ctx);
             ctx.send_lossy(
                 ProcessId(host.0),
-                Msg::Token { guid, addr, injected_at, attempt, hops },
+                Msg::Token { guid, token, addr, injected_at, attempt, hops },
             );
             return;
         }
@@ -645,6 +830,10 @@ impl NodeProc {
         };
         let hosted = self.components.get_mut(id).expect("split target is hosted");
         hosted.frozen = true;
+        // Children inherit the parent's idempotency ledger: the parent
+        // covered their regions, so any token it consumed must not be
+        // consumed again by a child processing a delayed duplicate.
+        let parent_seen = hosted.seen.clone();
         self.world.borrow().metrics.registry.emit(
             TelemetryEvent::new("split.begin")
                 .at(ctx.now())
@@ -660,11 +849,14 @@ impl NodeProc {
                 local_installs.push(child);
             } else {
                 op.pending.insert(child.id().clone());
-                ctx.send(ProcessId(host.0), Msg::Install { comp: child });
+                ctx.send(
+                    ProcessId(host.0),
+                    Msg::Install { comp: child, seen: parent_seen.clone() },
+                );
             }
         }
         for child in local_installs {
-            self.install_component(child);
+            self.install_component_with_seen(child, parent_seen.clone());
         }
         if op.pending.is_empty() {
             self.finish_split(ctx, id.clone(), op.started_at);
@@ -694,8 +886,8 @@ impl NodeProc {
             );
         }
         self.split_list.insert(id);
-        for (addr, injected_at, hops) in hosted.buffer {
-            self.route_token(ctx, addr, injected_at, hops);
+        for (token, addr, injected_at, hops) in hosted.buffer {
+            self.route_token(ctx, token, addr, injected_at, hops);
         }
     }
 
@@ -745,8 +937,9 @@ impl NodeProc {
             }
             hosted.frozen = true;
             let comp = hosted.comp.clone();
+            let seen = hosted.seen.clone();
             let me = ctx.self_id();
-            self.record_collect(ctx, comp, parent, me);
+            self.record_collect(ctx, comp, seen, parent, me);
         } else if self.split_list.contains(child) {
             let me = ctx.self_id();
             if let Some(op) = self.merges.get_mut(child) {
@@ -776,6 +969,7 @@ impl NodeProc {
         &mut self,
         ctx: &mut Context<'_, Msg>,
         comp: Component,
+        seen: SeenTokens,
         parent: &ComponentId,
         reporter: ProcessId,
     ) {
@@ -784,7 +978,7 @@ impl NodeProc {
             return;
         }
         let index = comp.id().child_index().expect("child has an index") as usize;
-        op.collected[index] = Some(comp);
+        op.collected[index] = Some((comp, seen));
         op.reporters[index] = Some(reporter);
         op.stalled_rounds = 0;
         if op.collected.iter().all(Option::is_some) {
@@ -798,15 +992,21 @@ impl NodeProc {
             let w = self.world.borrow();
             (w.tree, w.style)
         };
-        let (merged, nested_requester) = {
+        let (merged, merged_seen, nested_requester) = {
             let op = self.merges.get(&parent).expect("merge in progress");
             let children: Vec<Component> = op
                 .collected
                 .iter()
-                .map(|c| c.clone().expect("all collected"))
+                .map(|c| c.clone().expect("all collected").0)
                 .collect();
+            // The merge result inherits the union of the children's
+            // idempotency ledgers: it covers all their regions.
+            let mut merged_seen = SeenTokens::new();
+            for c in op.collected.iter() {
+                merged_seen.extend(c.as_ref().expect("all collected").1.iter().cloned());
+            }
             match merge_components(&tree, &parent, &children, style) {
-                Ok(m) => (m, op.requester.clone()),
+                Ok(m) => (m, merged_seen, op.requester.clone()),
                 Err(_) => {
                     // Unsettled traffic: release the children and retry
                     // at a later tick.
@@ -820,23 +1020,31 @@ impl NodeProc {
             // requester will `RemoveFrozen` us like any other child.
             self.components.insert(
                 parent.clone(),
-                Hosted { comp: merged.clone(), frozen: true, buffer: Vec::new() },
+                Hosted {
+                    comp: merged.clone(),
+                    frozen: true,
+                    buffer: Vec::new(),
+                    seen: merged_seen.clone(),
+                },
             );
             let started_at = self.cleanup_merge(ctx, &parent);
             self.split_list.remove(&parent);
             self.note_merge_done(ctx, &parent, started_at);
             if req_pid == ctx.self_id() {
                 let me = ctx.self_id();
-                self.record_collect(ctx, merged, &grandparent, me);
+                self.record_collect(ctx, merged, merged_seen, &grandparent, me);
             } else {
-                ctx.send(req_pid, Msg::CollectReply { comp: merged, parent: grandparent });
+                ctx.send(
+                    req_pid,
+                    Msg::CollectReply { comp: merged, seen: merged_seen, parent: grandparent },
+                );
             }
             return;
         }
         // Top-level merge: install the parent at its current hash owner.
         let host = self.world.borrow_mut().host_of(&parent);
         if ProcessId(host.0) == ctx.self_id() {
-            self.install_component(merged);
+            self.install_component_with_seen(merged, merged_seen);
             let started_at = self.cleanup_merge(ctx, &parent);
             self.split_list.remove(&parent);
             self.note_merge_done(ctx, &parent, started_at);
@@ -845,7 +1053,7 @@ impl NodeProc {
                 .get_mut(&parent)
                 .expect("merge in progress")
                 .awaiting_install = true;
-            ctx.send(ProcessId(host.0), Msg::Install { comp: merged });
+            ctx.send(ProcessId(host.0), Msg::Install { comp: merged, seen: merged_seen });
         }
     }
 
@@ -929,8 +1137,8 @@ impl NodeProc {
         if let Some(hosted) = self.components.get_mut(id) {
             hosted.frozen = false;
             let buffered = std::mem::take(&mut hosted.buffer);
-            for (addr, injected_at, hops) in buffered {
-                self.route_token(ctx, addr, injected_at, hops);
+            for (token, addr, injected_at, hops) in buffered {
+                self.route_token(ctx, token, addr, injected_at, hops);
             }
         }
     }
@@ -940,8 +1148,8 @@ impl NodeProc {
     fn remove_frozen(&mut self, ctx: &mut Context<'_, Msg>, id: &ComponentId) {
         if let Some(hosted) = self.components.remove(id) {
             self.world.borrow().metrics.merge_drained.add(hosted.buffer.len() as u64);
-            for (addr, injected_at, hops) in hosted.buffer {
-                self.route_token(ctx, addr, injected_at, hops);
+            for (token, addr, injected_at, hops) in hosted.buffer {
+                self.route_token(ctx, token, addr, injected_at, hops);
             }
         }
     }
@@ -1070,14 +1278,17 @@ impl Process<Msg> for NodeProc {
                 };
                 let addr = network_input_address(&tree, wire, style);
                 let now = ctx.now();
+                let token = self.world.borrow_mut().fresh_token_id();
                 if self.departed {
-                    self.send_token(ctx, None, addr, now, ATTEMPT_CACHED, 0);
+                    let flight = TokenFlight { token, addr, injected_at: now, hops: 0 };
+                    self.send_token(ctx, None, flight, ATTEMPT_CACHED);
                 } else {
-                    self.route_token(ctx, addr, now, 0);
+                    self.route_token(ctx, token, addr, now, 0);
                 }
             }
-            Msg::Token { guid, addr, injected_at, attempt, hops } => {
-                if self.seen.contains(&guid) {
+            Msg::Token { guid, token, addr, injected_at, attempt, hops } => {
+                let dedup = !self.world.borrow().mutation_no_ack_dedup;
+                if dedup && self.seen.contains(&guid) {
                     // Duplicate (retransmission raced the ack): already
                     // accepted; just re-acknowledge.
                     ctx.send(from, Msg::TokenAck { guid });
@@ -1090,32 +1301,34 @@ impl Process<Msg> for NodeProc {
                     if from == ProcessId::EXTERNAL {
                         // Re-injected buffer token with no live sender:
                         // adopt the obligation ourselves.
-                        self.send_token(ctx, Some(guid), addr, injected_at, attempt, hops);
+                        let flight = TokenFlight { token, addr, injected_at, hops };
+                        self.send_token(ctx, Some(guid), flight, attempt);
                     } else {
-                        ctx.send(from, Msg::TokenNack { guid, addr, injected_at, attempt });
+                        ctx.send(from, Msg::TokenNack { guid, token, addr, injected_at, attempt });
                     }
                 } else {
                     self.seen.insert(guid);
                     ctx.send(from, Msg::TokenAck { guid });
                     // Accepting the forward counts as one routing hop.
-                    self.route_token(ctx, addr, injected_at, hops + 1);
+                    self.route_token(ctx, token, addr, injected_at, hops + 1);
                 }
             }
             Msg::TokenAck { guid } => {
                 self.unacked.remove(&guid);
             }
-            Msg::TokenNack { guid, addr, injected_at, attempt } => {
+            Msg::TokenNack { guid, token, addr, injected_at, attempt } => {
                 let Some(t) = self.unacked.remove(&guid) else {
                     // Stale NACK for an obligation already satisfied
                     // through a different path.
                     return;
                 };
                 let next = if attempt == ATTEMPT_CACHED { 0 } else { attempt + 1 };
-                self.send_token(ctx, Some(guid), addr, injected_at, next, t.hops);
+                let flight = TokenFlight { token, addr, injected_at, hops: t.hops };
+                self.send_token(ctx, Some(guid), flight, next);
             }
-            Msg::Install { comp } => {
+            Msg::Install { comp, seen } => {
                 let id = comp.id().clone();
-                self.install_component(comp);
+                self.install_component_with_seen(comp, seen);
                 ctx.send(from, Msg::InstallAck { id });
             }
             Msg::InstallAck { id } => {
@@ -1142,7 +1355,8 @@ impl Process<Msg> for NodeProc {
                     let hosted = self.components.get_mut(&id).expect("hosted");
                     hosted.frozen = true;
                     let comp = hosted.comp.clone();
-                    ctx.send(from, Msg::CollectReply { comp, parent });
+                    let seen = hosted.seen.clone();
+                    ctx.send(from, Msg::CollectReply { comp, seen, parent });
                 } else if self.split_list.contains(&id) {
                     if let Some(op) = self.merges.get_mut(&id) {
                         op.requester = Some((from, parent));
@@ -1153,8 +1367,8 @@ impl Process<Msg> for NodeProc {
                     ctx.send(from, Msg::CollectMissing { id, parent });
                 }
             }
-            Msg::CollectReply { comp, parent } => {
-                self.record_collect(ctx, comp, &parent, from);
+            Msg::CollectReply { comp, seen, parent } => {
+                self.record_collect(ctx, comp, seen, &parent, from);
             }
             Msg::CollectMissing { id, parent } => {
                 // Transient window (split in progress / migration):
@@ -1200,17 +1414,27 @@ impl Process<Msg> for NodeProc {
                         w.metrics.retransmits.inc();
                     }
                     if self.departed {
-                        self.send_token(
+                        let flight = TokenFlight {
+                            token: t.token,
+                            addr: t.addr,
+                            injected_at: t.injected_at,
+                            hops: t.hops,
+                        };
+                        self.send_token(ctx, Some(guid), flight, ATTEMPT_CACHED);
+                    } else {
+                        // Re-route: we may host the owner by now. The
+                        // timed-out send may *still* arrive (silence is
+                        // not loss), so the stable `t.token` identity
+                        // travels with both copies and the collector
+                        // counts it once.
+                        self.route_token_with_guid(
                             ctx,
-                            Some(guid),
+                            guid,
+                            t.token,
                             t.addr,
                             t.injected_at,
-                            ATTEMPT_CACHED,
                             t.hops,
                         );
-                    } else {
-                        // Re-route: we may host the owner by now.
-                        self.route_token_with_guid(ctx, guid, t.addr, t.injected_at, t.hops);
                     }
                 }
                 let collects = std::mem::take(&mut self.stuck_collects);
@@ -1223,12 +1447,43 @@ impl Process<Msg> for NodeProc {
                     self.arm_retry(ctx);
                 }
             }
+            tag if tag & TIMER_FORCE_SPLIT_BASE != 0 => {
+                let id = ComponentId::from_u64(tag & FORCE_TAG_ID_MASK);
+                let splittable = self
+                    .components
+                    .get(&id)
+                    .map(|h| !h.frozen && h.comp.width() >= 4)
+                    .unwrap_or(false);
+                if splittable && !self.splits.contains_key(&id) && !self.departed {
+                    self.start_split(ctx, &id);
+                }
+            }
+            tag if tag & TIMER_FORCE_MERGE_BASE != 0 => {
+                let id = ComponentId::from_u64(tag & FORCE_TAG_ID_MASK);
+                if self.split_list.contains(&id)
+                    && !self.merges.contains_key(&id)
+                    && !self.departed
+                {
+                    self.start_merge(ctx, &id, None);
+                }
+            }
             _ => {}
         }
     }
 }
 
-/// The measurement endpoint: records every exited token.
+/// The measurement endpoint: records every exited token — **at most
+/// once per end-to-end token identity**.
+///
+/// The per-receiver GUID dedup in the token handler only suppresses a
+/// retransmission that lands on the *same* node as the original send.
+/// After a reconfiguration, a timed-out obligation may be re-routed
+/// along a different path while the original (merely delayed, not
+/// lost) copy is still in flight to the old destination; the two
+/// copies then reach *different* receivers and both are accepted. The
+/// schedule explorer found exactly this interleaving (a retry timer
+/// preempting a pending delivery), so exactly-once counting is
+/// enforced end to end here, where every copy of a token converges.
 #[derive(Debug, Default)]
 pub struct Collector {
     /// Exits per output wire.
@@ -1237,10 +1492,21 @@ pub struct Collector {
     pub total_latency: u64,
     /// Maximum single-token latency.
     pub max_latency: u64,
+    /// Duplicate exits suppressed (same token identity seen twice: a
+    /// re-routed retransmission raced the delayed original).
+    pub duplicate_drops: u64,
+    /// End-to-end token identities already counted.
+    seen: BTreeSet<u64>,
+    /// Test-only mutation switch mirroring
+    /// [`World::test_disable_ack_dedup`]: skip the end-to-end dedup so
+    /// the model checker can prove it would catch its removal.
+    mutation_no_dedup: bool,
     /// Telemetry: end-to-end token latency distribution.
     latency_hist: Histogram,
     /// Telemetry: tokens collected.
     exits: Counter,
+    /// Telemetry: mirrors `duplicate_drops`.
+    dup_drops: Counter,
 }
 
 impl Collector {
@@ -1251,16 +1517,22 @@ impl Collector {
             counts: vec![0; w],
             total_latency: 0,
             max_latency: 0,
+            duplicate_drops: 0,
+            seen: BTreeSet::new(),
+            mutation_no_dedup: false,
             latency_hist: Histogram::default(),
             exits: Counter::default(),
+            dup_drops: Counter::default(),
         }
     }
 
     /// Routes the collector's measurements into `registry`
-    /// (`acn.dist.token_latency` histogram, `acn.dist.exits` counter).
+    /// (`acn.dist.token_latency` histogram, `acn.dist.exits` and
+    /// `acn.dist.duplicate_exit_drops` counters).
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.latency_hist = registry.histogram("acn.dist.token_latency");
         self.exits = registry.counter("acn.dist.exits");
+        self.dup_drops = registry.counter("acn.dist.duplicate_exit_drops");
     }
 
     /// Total tokens collected.
@@ -1272,7 +1544,14 @@ impl Collector {
 
 impl Process<Msg> for Collector {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
-        if let Msg::Exit { wire, injected_at, hops: _ } = msg {
+        if let Msg::Exit { wire, token, injected_at, hops: _ } = msg {
+            if !self.mutation_no_dedup && !self.seen.insert(token) {
+                // Second exit of the same injected token: a re-routed
+                // retransmission raced the delayed original. Count once.
+                self.duplicate_drops += 1;
+                self.dup_drops.inc();
+                return;
+            }
             self.counts[wire] += 1;
             let latency = ctx.now().saturating_sub(injected_at);
             self.total_latency += latency;
@@ -1343,14 +1622,36 @@ impl Deployment {
     /// regardless.
     #[must_use]
     pub fn with_loss(w: usize, n: usize, seed: u64, loss_per_mille: u32) -> Self {
+        Self::with_sim(
+            w,
+            n,
+            seed,
+            SimConfig { base_latency: 5, jitter: 10, loss_per_mille, seed },
+            DeliveryPolicy::Seeded,
+        )
+    }
+
+    /// Boots a deployment with an explicit simulator configuration and
+    /// [`DeliveryPolicy`]. The distributed model checker uses this with
+    /// `jitter == 0`, `loss_per_mille == 0`, and
+    /// [`DeliveryPolicy::External`] so every timestamp is a
+    /// deterministic function of the delivery sequence alone (losses
+    /// are then modelled as explicit in-flight drop choices).
+    #[must_use]
+    pub fn with_sim(
+        w: usize,
+        n: usize,
+        seed: u64,
+        config: SimConfig,
+        policy: DeliveryPolicy,
+    ) -> Self {
         let mut ring = Ring::new();
         let mut s = seed;
         for _ in 0..n {
             ring.add_random_node(&mut s);
         }
         let world = World::new(w, ring);
-        let mut sim =
-            Simulator::new(SimConfig { base_latency: 5, jitter: 10, loss_per_mille, seed });
+        let mut sim = Simulator::with_policy(config, policy);
         let level_period = 2_000;
         let nodes: Vec<NodeId> = world.borrow().ring.nodes().collect();
         for (i, node) in nodes.iter().enumerate() {
@@ -1388,6 +1689,23 @@ impl Deployment {
         self.world.borrow_mut().metrics = DistMetrics::attach(registry);
         if let Some(Proc::Collector(c)) = self.sim.process_mut(COLLECTOR) {
             c.attach_telemetry(registry);
+        }
+    }
+
+    /// Disables **both** token-dedup layers — the receiver-side GUID
+    /// check and the collector's end-to-end identity check.
+    ///
+    /// This is a **deliberately planted bug** for mutation-testing the
+    /// distributed model checker (`acn-check`): with the defenses off,
+    /// a retransmission racing its own ack is counted twice and the
+    /// exactly-once oracle must catch it with a replayable schedule.
+    /// (Disabling only one layer is masked by the other — that is the
+    /// point of defense in depth.)
+    #[doc(hidden)]
+    pub fn test_disable_token_dedup(&mut self) {
+        self.world.borrow_mut().test_disable_ack_dedup();
+        if let Some(Proc::Collector(c)) = self.sim.process_mut(COLLECTOR) {
+            c.mutation_no_dedup = true;
         }
     }
 
@@ -1558,9 +1876,11 @@ impl Deployment {
                     Some(Proc::Node(np)) => np.take_component(&id),
                     _ => None,
                 };
-                if let Some((comp, buffer)) = taken {
+                if let Some((comp, buffer, seen)) = taken {
                     if let Some(Proc::Node(np)) = self.sim.process_mut(owner_pid) {
-                        np.install_component(comp);
+                        // The idempotency ledger migrates with the
+                        // component.
+                        np.install_component_with_seen(comp, seen);
                     }
                     {
                         let w = self.world.borrow();
@@ -1575,12 +1895,15 @@ impl Deployment {
                     }
                     // Re-inject buffered tokens via the new owner (it
                     // hosts the component, so it will process them).
-                    for (addr, injected_at, hops) in buffer {
+                    // The end-to-end `token` identity is preserved; only
+                    // the per-send guid is fresh.
+                    for (token, addr, injected_at, hops) in buffer {
                         let guid = self.world.borrow_mut().fresh_guid();
                         self.sim.send_external(
                             owner_pid,
                             Msg::Token {
                                 guid,
+                                token,
                                 addr,
                                 injected_at,
                                 attempt: ATTEMPT_CACHED,

@@ -132,6 +132,37 @@ impl LocalAdaptiveNetwork {
         }
     }
 
+    /// Builds a local view of an externally captured network state: the
+    /// components of one cut (their ids define the cut), the client-side
+    /// input ledger, and the output ledger. The distributed model
+    /// checker imports a quiescent deployment through this to run
+    /// [`crate::stabilize::audit`] / [`crate::stabilize::stabilize`]
+    /// against the real protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component ids do not form a valid cut of `T_w`, or
+    /// if a ledger's length is not `w`.
+    #[must_use]
+    pub fn from_snapshot(
+        w: usize,
+        style: WiringStyle,
+        components: Vec<Component>,
+        input_counts: Vec<u64>,
+        output_counts: Vec<u64>,
+    ) -> Self {
+        assert_eq!(input_counts.len(), w, "input ledger must have width {w}");
+        assert_eq!(output_counts.len(), w, "output ledger must have width {w}");
+        let cut = Cut::from_leaves(components.iter().map(|c| c.id().clone()));
+        let mut net = Self::with_cut(w, cut, style);
+        for comp in components {
+            net.replace_component(comp);
+        }
+        net.input_counts = input_counts;
+        net.output_counts = output_counts;
+        net
+    }
+
     /// The network width `w`.
     #[must_use]
     pub fn width(&self) -> usize {

@@ -13,6 +13,29 @@
 //! simulation runs (node joins, leaves, and crashes); messages addressed
 //! to absent processes are counted and dropped.
 //!
+//! # Delivery order and the `DeliveryPolicy` seam
+//!
+//! *Which pending event fires next* is decided by the simulator's
+//! [`DeliveryPolicy`]:
+//!
+//! - [`DeliveryPolicy::Seeded`] (the default, and the zero-overhead
+//!   fast path): events fire in the explicit total order documented on
+//!   the internal heap key — `(time, destination, kind, sender/tag,
+//!   sequence)`, with messages before timers at the same instant. The
+//!   timestamps come from the seeded latency model, so runs are
+//!   reproducible from the [`SimConfig::seed`].
+//! - [`DeliveryPolicy::External`]: the environment — in this workspace,
+//!   the `acn-check` distributed-protocol explorer — picks each
+//!   delivery via [`Simulator::fire`] from the set returned by
+//!   [`Simulator::enabled_events`]. The latency model still stamps
+//!   every event (so [`Context::now`] stays meaningful), but the
+//!   *order* is unconstrained except for per-link FIFO: only the
+//!   oldest in-flight message of each `(from, to)` link is enabled.
+//!   Time is taken from the fired event and may therefore run
+//!   backwards across links; handlers only ever observe their own
+//!   event's timestamp, which is what makes deliveries to different
+//!   processes commute for the explorer's partial-order reduction.
+//!
 //! # Example
 //!
 //! ```
@@ -230,6 +253,43 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How the simulator decides which pending event fires next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryPolicy {
+    /// Timestamp order from the seeded latency model — the default and
+    /// the zero-overhead fast path (a `BinaryHeap` pop per event).
+    #[default]
+    Seeded,
+    /// The environment picks each delivery via [`Simulator::fire`]
+    /// from [`Simulator::enabled_events`] (per-link FIFO heads plus
+    /// every pending timer). [`Simulator::step`] falls back to the
+    /// enabled event with the smallest sequence number, so a run that
+    /// never calls `fire` is still deterministic.
+    External,
+}
+
+/// One pending event, as exposed to an external scheduler
+/// ([`DeliveryPolicy::External`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingEvent {
+    /// Stable handle for [`Simulator::fire`] / [`Simulator::drop_pending`]
+    /// (the internal sequence number; unique per event and deterministic
+    /// given the same prefix of deliveries).
+    pub key: u64,
+    /// The destination process.
+    pub to: ProcessId,
+    /// The sender (`None` for timers).
+    pub from: Option<ProcessId>,
+    /// The latency-model timestamp of the event.
+    pub time: u64,
+    /// The timer tag (`None` for messages).
+    pub timer_tag: Option<u64>,
+    /// Whether the message rode the lossy datagram channel
+    /// ([`Context::send_lossy`]); only such events may be removed by
+    /// [`Simulator::drop_pending`]. Always `false` for timers.
+    pub lossy: bool,
+}
+
 enum Payload<M> {
     Message { from: ProcessId, msg: M },
     Timer { tag: u64 },
@@ -241,12 +301,70 @@ struct Event<M> {
     /// Simulated time the event was scheduled (for latency telemetry).
     sent_at: u64,
     to: ProcessId,
+    /// Whether the message was sent on the lossy datagram channel
+    /// (External-policy fault injection may drop it in flight).
+    lossy: bool,
     payload: Payload<M>,
+}
+
+impl<M> Event<M> {
+    fn pending(&self) -> PendingEvent {
+        let (from, timer_tag) = match &self.payload {
+            Payload::Message { from, .. } => (Some(*from), None),
+            Payload::Timer { tag } => (None, Some(*tag)),
+        };
+        PendingEvent {
+            key: self.seq,
+            to: self.to,
+            from,
+            time: self.time,
+            timer_tag,
+            lossy: self.lossy,
+        }
+    }
+}
+
+impl<M> Event<M> {
+    /// The documented total delivery order of the simulator
+    /// (earliest-first under the seeded policy):
+    ///
+    /// 1. **time** — the latency-model timestamp;
+    /// 2. **destination process id** — same-instant events are grouped
+    ///    by receiver, ascending;
+    /// 3. **kind** — at the same instant and receiver, *messages
+    ///    deliver before timers* (in-flight data beats timeouts, so a
+    ///    retransmission timer never races a same-tick ack spuriously);
+    /// 4. **sender id** (messages) / **tag** (timers) — same-instant
+    ///    arrivals from different links, and same-instant timers with
+    ///    different tags, order by these explicit protocol-visible
+    ///    values;
+    /// 5. **sequence number** — the final disambiguator, reachable only
+    ///    by genuinely identical events (two timers with the same
+    ///    receiver, deadline, and tag), where either order is
+    ///    indistinguishable to the process.
+    ///
+    /// Components 2–4 are what makes the order *insertion-order
+    /// independent*: before this key existed, ties at the same
+    /// timestamp fell through to the global sequence number, so the
+    /// delivery order of same-tick events silently depended on the
+    /// order in which a harness happened to iterate processes
+    /// (`ProcessId`-incidental ordering). The regression test
+    /// `tie_break_is_insertion_order_independent` pins the fix.
+    fn key(&self) -> (u64, u64, u8, u64, u64) {
+        let (kind, sub) = match &self.payload {
+            Payload::Message { from, .. } => (0u8, from.0),
+            Payload::Timer { tag } => (1u8, *tag),
+        };
+        (self.time, self.to.0, kind, sub, self.seq)
+    }
 }
 
 impl<M> PartialEq for Event<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // `seq` is unique per event, so equality (and `Ord::cmp ==
+        // Equal`, which compares `key()` ending in `seq`) holds only
+        // for the same event.
+        self.seq == other.seq
     }
 }
 impl<M> Eq for Event<M> {}
@@ -257,9 +375,9 @@ impl<M> PartialOrd for Event<M> {
 }
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap: reverse for earliest-first, with the
-        // sequence number as a deterministic tiebreak.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap: reverse for earliest-first under
+        // the explicit total order documented on [`Event::key`].
+        other.key().cmp(&self.key())
     }
 }
 
@@ -270,7 +388,14 @@ pub struct Simulator<M, P> {
     /// like component migration, and a randomized order would leak
     /// nondeterminism into otherwise seeded runs.
     processes: BTreeMap<ProcessId, P>,
+    /// Pending events under [`DeliveryPolicy::Seeded`]: a max-heap
+    /// popped in the documented `(time, to, kind, sub, seq)` order.
     queue: BinaryHeap<Event<M>>,
+    /// Pending events under [`DeliveryPolicy::External`], keyed by
+    /// sequence number so an external scheduler can fire or drop any
+    /// enabled event by stable handle.
+    open: BTreeMap<u64, Event<M>>,
+    policy: DeliveryPolicy,
     /// Last scheduled delivery time per (from, to) link, to enforce
     /// FIFO. A `BTreeMap` for the same determinism discipline as
     /// `processes`: simnet state must never depend on hash iteration
@@ -287,12 +412,21 @@ pub struct Simulator<M, P> {
 }
 
 impl<M, P: Process<M>> Simulator<M, P> {
-    /// A fresh simulator with the given configuration.
+    /// A fresh simulator with the given configuration and the default
+    /// [`DeliveryPolicy::Seeded`].
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
+        Self::with_policy(config, DeliveryPolicy::Seeded)
+    }
+
+    /// A fresh simulator with an explicit [`DeliveryPolicy`].
+    #[must_use]
+    pub fn with_policy(config: SimConfig, policy: DeliveryPolicy) -> Self {
         Simulator {
             processes: BTreeMap::new(),
             queue: BinaryHeap::new(),
+            open: BTreeMap::new(),
+            policy,
             link_clock: BTreeMap::new(),
             time: 0,
             seq: 0,
@@ -303,6 +437,12 @@ impl<M, P: Process<M>> Simulator<M, P> {
             outbox: Vec::new(),
             timer_requests: Vec::new(),
         }
+    }
+
+    /// The delivery policy this simulator was created with.
+    #[must_use]
+    pub fn delivery_policy(&self) -> DeliveryPolicy {
+        self.policy
     }
 
     /// Routes the simulator's telemetry into `registry`: the
@@ -385,15 +525,41 @@ impl<M, P: Process<M>> Simulator<M, P> {
 
     /// Schedules a timer on a process from the environment.
     pub fn set_timer_external(&mut self, on: ProcessId, delay: u64, tag: u64) {
+        let _ = self.schedule_timer(on, delay, tag);
+    }
+
+    /// Like [`set_timer_external`](Self::set_timer_external), but
+    /// returns the event's stable key so an external scheduler
+    /// ([`DeliveryPolicy::External`]) can [`fire`](Self::fire) it at a
+    /// chosen point.
+    pub fn schedule_timer(&mut self, on: ProcessId, delay: u64, tag: u64) -> u64 {
         let time = self.time + delay;
         let seq = self.next_seq();
         let sent_at = self.time;
-        self.queue.push(Event { time, seq, sent_at, to: on, payload: Payload::Timer { tag } });
+        self.push_event(Event {
+            time,
+            seq,
+            sent_at,
+            to: on,
+            lossy: false,
+            payload: Payload::Timer { tag },
+        });
+        seq
     }
 
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
+    }
+
+    /// Stores a pending event in whichever structure the policy uses.
+    fn push_event(&mut self, event: Event<M>) {
+        match self.policy {
+            DeliveryPolicy::Seeded => self.queue.push(event),
+            DeliveryPolicy::External => {
+                self.open.insert(event.seq, event);
+            }
+        }
     }
 
     fn enqueue_message(&mut self, from: ProcessId, to: ProcessId, msg: M, lossy: bool) {
@@ -425,15 +591,145 @@ impl<M, P: Process<M>> Simulator<M, P> {
         *clock = time;
         let seq = self.next_seq();
         let sent_at = self.time;
-        self.queue.push(Event { time, seq, sent_at, to, payload: Payload::Message { from, msg } });
+        self.push_event(Event {
+            time,
+            seq,
+            sent_at,
+            to,
+            lossy,
+            payload: Payload::Message { from, msg },
+        });
+    }
+
+    /// The pending events an external scheduler may fire next: the
+    /// oldest in-flight message of every `(from, to)` link (per-link
+    /// FIFO is the one ordering constraint the protocol layer relies
+    /// on) plus every pending timer, in ascending key order.
+    ///
+    /// Under [`DeliveryPolicy::Seeded`] this returns at most the single
+    /// event the next [`step`](Self::step) would deliver.
+    #[must_use]
+    pub fn enabled_events(&self) -> Vec<PendingEvent> {
+        match self.policy {
+            DeliveryPolicy::Seeded => self.queue.peek().map(Event::pending).into_iter().collect(),
+            DeliveryPolicy::External => {
+                // Oldest pending seq per link; timers are always enabled.
+                let mut heads: BTreeMap<(ProcessId, ProcessId), u64> = BTreeMap::new();
+                let mut timers: Vec<u64> = Vec::new();
+                for (seq, event) in &self.open {
+                    match &event.payload {
+                        Payload::Message { from, .. } => {
+                            heads.entry((*from, event.to)).or_insert(*seq);
+                        }
+                        Payload::Timer { .. } => timers.push(*seq),
+                    }
+                }
+                let mut keys: Vec<u64> = heads.into_values().chain(timers).collect();
+                keys.sort_unstable();
+                keys.iter().map(|k| self.open[k].pending()).collect()
+            }
+        }
+    }
+
+    /// Fires one pending event by key ([`DeliveryPolicy::External`]
+    /// only). Returns `false` — without delivering anything — if the
+    /// key is unknown or names a message that is not its link's FIFO
+    /// head.
+    pub fn fire(&mut self, key: u64) -> bool {
+        debug_assert!(
+            self.policy == DeliveryPolicy::External,
+            "fire() requires DeliveryPolicy::External"
+        );
+        if !self.open.contains_key(&key) {
+            return false;
+        }
+        // FIFO guard: a message may fire only if no older message is
+        // pending on the same link.
+        if let Payload::Message { from, .. } = &self.open[&key].payload {
+            let (from, to) = (*from, self.open[&key].to);
+            let is_head = !self.open.iter().any(|(&seq, e)| {
+                seq < key
+                    && e.to == to
+                    && matches!(&e.payload, Payload::Message { from: f, .. } if *f == from)
+            });
+            if !is_head {
+                return false;
+            }
+        }
+        let event = self.open.remove(&key).expect("checked above");
+        self.deliver(event);
+        true
+    }
+
+    /// Removes a pending *lossy-channel message* without delivering it
+    /// (explored fault injection: the datagram was lost in flight).
+    /// Counts as [`SimStats::messages_lost`]. Returns `false` for
+    /// unknown keys, timers, and reliable messages.
+    pub fn drop_pending(&mut self, key: u64) -> bool {
+        debug_assert!(
+            self.policy == DeliveryPolicy::External,
+            "drop_pending() requires DeliveryPolicy::External"
+        );
+        let droppable = self
+            .open
+            .get(&key)
+            .is_some_and(|e| e.lossy && matches!(e.payload, Payload::Message { .. }));
+        if !droppable {
+            return false;
+        }
+        let event = self.open.remove(&key).expect("checked above");
+        let Payload::Message { from, .. } = &event.payload else { unreachable!() };
+        self.stats.messages_lost += 1;
+        self.metrics.drops_loss.inc();
+        self.metrics.registry.emit(
+            TelemetryEvent::new("sim.drop")
+                .at(self.time)
+                .node(event.to.0)
+                .with("cause", "loss")
+                .with("from", from.0),
+        );
+        true
+    }
+
+    /// Read access to a pending message's payload (for an external
+    /// scheduler that wants to classify choices). `None` for timers
+    /// and unknown keys.
+    #[must_use]
+    pub fn pending_payload(&self, key: u64) -> Option<&M> {
+        match &self.open.get(&key)?.payload {
+            Payload::Message { msg, .. } => Some(msg),
+            Payload::Timer { .. } => None,
+        }
     }
 
     /// Processes a single event. Returns `false` if the queue is empty.
+    ///
+    /// Under [`DeliveryPolicy::External`] the enabled event with the
+    /// smallest key fires, so stepping without an external scheduler is
+    /// still deterministic (but *not* timestamp-ordered).
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
-            return false;
+        let event = match self.policy {
+            DeliveryPolicy::Seeded => {
+                let Some(event) = self.queue.pop() else {
+                    return false;
+                };
+                debug_assert!(event.time >= self.time, "time went backwards");
+                event
+            }
+            DeliveryPolicy::External => {
+                let Some(head) = self.enabled_events().first().copied() else {
+                    return false;
+                };
+                self.open.remove(&head.key).expect("enabled event is pending")
+            }
         };
-        debug_assert!(event.time >= self.time, "time went backwards");
+        self.deliver(event);
+        true
+    }
+
+    /// Delivers one event: advances time to the event's own timestamp,
+    /// runs the handler, and applies its buffered sends and timers.
+    fn deliver(&mut self, event: Event<M>) {
         self.time = event.time;
         self.stats.events_processed += 1;
         // Take the process out to sidestep aliasing with the context.
@@ -449,8 +745,8 @@ impl<M, P: Process<M>> Simulator<M, P> {
                         .with("from", from.0),
                 );
             }
-            self.metrics.queue_depth.set(self.queue.len() as f64);
-            return true;
+            self.metrics.queue_depth.set(self.pending_events() as f64);
+            return;
         };
         {
             let mut ctx = Context {
@@ -485,10 +781,16 @@ impl<M, P: Process<M>> Simulator<M, P> {
             let time = self.time + delay.max(1);
             let seq = self.next_seq();
             let sent_at = self.time;
-            self.queue.push(Event { time, seq, sent_at, to: on, payload: Payload::Timer { tag } });
+            self.push_event(Event {
+                time,
+                seq,
+                sent_at,
+                to: on,
+                lossy: false,
+                payload: Payload::Timer { tag },
+            });
         }
-        self.metrics.queue_depth.set(self.queue.len() as f64);
-        true
+        self.metrics.queue_depth.set(self.pending_events() as f64);
     }
 
     /// Runs until the event queue is empty or `max_events` events have
@@ -500,13 +802,24 @@ impl<M, P: Process<M>> Simulator<M, P> {
                 return true;
             }
         }
-        self.queue.is_empty()
+        self.pending_events() == 0
+    }
+
+    /// The timestamp of the next event [`step`](Self::step) would fire,
+    /// if any. Under [`DeliveryPolicy::External`] this is the smallest
+    /// *enabled* key's timestamp, which need not be the globally
+    /// earliest one.
+    fn next_event_time(&self) -> Option<u64> {
+        match self.policy {
+            DeliveryPolicy::Seeded => self.queue.peek().map(|e| e.time),
+            DeliveryPolicy::External => self.enabled_events().first().map(|e| e.time),
+        }
     }
 
     /// Runs until simulated time reaches `deadline` or the queue drains.
     pub fn run_until(&mut self, deadline: u64) {
-        while let Some(event) = self.queue.peek() {
-            if event.time > deadline {
+        while let Some(next) = self.next_event_time() {
+            if next > deadline {
                 break;
             }
             let _ = self.step();
@@ -514,10 +827,10 @@ impl<M, P: Process<M>> Simulator<M, P> {
         self.time = self.time.max(deadline);
     }
 
-    /// Number of events currently pending.
+    /// Number of events currently pending (either policy).
     #[must_use]
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.open.len()
     }
 }
 
@@ -866,6 +1179,53 @@ mod tests {
         sim.enqueue_message(ProcessId(1), ProcessId(2), 99, false);
         assert!(sim.run_until_idle(10));
         assert_eq!(log.borrow().as_slice(), &[(4, ProcessId(1), 99)]);
+    }
+
+    #[test]
+    fn tie_break_is_insertion_order_independent() {
+        // Same-timestamp deliveries must order by the explicit key
+        // (time, to, kind, from/tag, seq), not by insertion order.
+        // With jitter 0 every send at t=0 lands at t=base_latency, so
+        // permuting the insertion order exercises the tie-break; the
+        // two runs must produce identical delivery sequences.
+        let run = |order: &[u32]| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim: Simulator<u32, Recorder> = Simulator::new(SimConfig {
+                base_latency: 7,
+                jitter: 0,
+                loss_per_mille: 0,
+                seed: 1,
+            });
+            for p in 1..=3u64 {
+                sim.add_process(ProcessId(p), Recorder { log: Rc::clone(&log) });
+            }
+            // Each op id encodes one environment action; apply them in
+            // the permuted order.
+            for &op in order {
+                match op {
+                    0 => sim.send_external(ProcessId(1), 10),
+                    1 => sim.send_external(ProcessId(2), 20),
+                    2 => sim.send_external(ProcessId(3), 30),
+                    3 => sim.set_timer_external(ProcessId(1), 7, 5),
+                    4 => sim.set_timer_external(ProcessId(2), 7, 6),
+                    5 => sim.set_timer_external(ProcessId(3), 7, 4),
+                    _ => unreachable!(),
+                }
+            }
+            assert!(sim.run_until_idle(100));
+            let result = log.borrow().clone();
+            result
+        };
+        let forward = run(&[0, 1, 2, 3, 4, 5]);
+        let permuted = run(&[5, 2, 4, 1, 3, 0]);
+        assert_eq!(
+            forward, permuted,
+            "same-tick delivery order leaked the insertion order"
+        );
+        // And the documented order itself: ascending destination, with
+        // the message delivered before the same-tick timer per process.
+        let msgs: Vec<u32> = forward.iter().map(|&(_, _, m)| m).collect();
+        assert_eq!(msgs, vec![10, 1005, 20, 1006, 30, 1004]);
     }
 
     #[test]

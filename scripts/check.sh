@@ -19,7 +19,16 @@ echo "==> model checker (bounded exhaustive + seeded random suite)"
 # Re-runs the acn-check suite on its own so a red gate names the checker
 # directly; exploration statistics land in acn.check.* metrics
 # (Report::emit) and the suite is budgeted to stay well under a minute.
+# This includes the distributed protocol explorer's tier-1 scenarios
+# (tests/dist_explore.rs): bounded DFS exhaustion under the protocol
+# oracles plus the ack-dedup mutation catch.
 cargo test -q -p acn-check
+
+echo "==> dist schedule explorer (bounded suite, small random budget)"
+# The standalone explorer binary over the same oracles; deeper random
+# exploration is scripts/explore.sh's job (ACN_EXPLORE_BUDGET knob).
+ACN_EXPLORE_BUDGET="${ACN_EXPLORE_BUDGET:-50}" \
+    cargo run -q --release -p acn-check --bin acn-dist-explore
 
 echo "==> bench smoke (E18 throughput harness, artifact under target/)"
 # Exercises the multi-threaded harness end to end with a tiny op count;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Deep schedule exploration of the distributed runtime.
+#
+# Runs the acn-dist-explore binary: the bounded scenario suite is
+# exhausted by the DPOR DFS, then the larger fault-injection scenario
+# is sampled by the seeded PCT-style random explorer. Every terminal
+# state is checked against the protocol oracles (exactly-once
+# counting, step property, cut well-formedness, audit-clean import,
+# stabilization recovery); any violation prints a numbered,
+# seed-replayable schedule and fails the script.
+#
+# Knobs:
+#   ACN_EXPLORE_BUDGET  randomized schedules to sample (default 2000)
+#   ACN_EXPLORE_SEED    base seed (default: explorer's built-in)
+#
+# Usage: scripts/explore.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUDGET="${ACN_EXPLORE_BUDGET:-2000}"
+
+echo "==> acn-dist-explore (random budget: ${BUDGET} schedules)"
+ACN_EXPLORE_BUDGET="${BUDGET}" \
+    cargo run -q --release -p acn-check --bin acn-dist-explore -- ${ACN_EXPLORE_SEED:-}
+
+echo "==> exploration finished, all oracles held"

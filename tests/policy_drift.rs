@@ -1,0 +1,100 @@
+//! The `DeliveryPolicy` seam must not drift the default behaviour.
+//!
+//! PR 5 refactored `acn_simnet::Simulator` so the "which pending event
+//! fires next" decision goes through a pluggable [`DeliveryPolicy`];
+//! the seeded-latency timestamp order stays the zero-overhead default.
+//! These tests pin the default to golden fingerprints captured from the
+//! pre-refactor simulator (same commit, before the seam landed) on the
+//! E10/E16 harness seeds: `SimStats`, the world's protocol counters,
+//! the collector's per-wire counts, and the `acn.sim.*` / `acn.dist.*`
+//! telemetry counters must be byte-identical. Any divergence means the
+//! seam changed scheduling semantics, not just structure.
+
+use adaptive_counting_networks::core::dist::Deployment;
+use adaptive_counting_networks::overlay::NodeId;
+use adaptive_counting_networks::telemetry::Registry;
+
+/// Deterministic mixed workload in the shape of the E10 adaptivity
+/// harness: growth, traffic, shrink, all seeded.
+fn fingerprint(seed: u64, width: usize, start_nodes: usize) -> Vec<u64> {
+    let registry = Registry::new();
+    let mut d = Deployment::new(width, start_nodes, seed);
+    d.attach_telemetry(&registry);
+    let mut injected = 0u64;
+    for i in 0..60usize {
+        d.inject(i % width);
+        injected += 1;
+        d.run_for(50);
+    }
+    for _ in 0..6 {
+        d.join_node();
+        for i in 0..4usize {
+            d.inject((i * 7) % width);
+            injected += 1;
+        }
+        d.run_for(500);
+    }
+    assert!(d.settle(300), "seed {seed}: deployment failed to settle");
+    let victims: Vec<NodeId> = d.world.borrow().ring.nodes().take(3).collect();
+    for v in victims {
+        d.leave_node(v);
+        d.migrate_components();
+        d.run_for(500);
+    }
+    assert!(d.settle(300), "seed {seed}: post-shrink settle failed");
+    d.run_for(100_000);
+
+    let stats = d.sim.stats();
+    let collector_counts = d.collector().counts.clone();
+    let snap = registry.snapshot();
+    let tele = |name: &str| snap.counter(name).unwrap_or(0);
+    let world = d.world.borrow();
+    let mut fp = vec![
+        injected,
+        stats.messages_delivered,
+        stats.messages_dropped,
+        stats.messages_lost,
+        stats.timers_fired,
+        stats.events_processed,
+        world.splits_done,
+        world.merges_done,
+        world.token_nacks,
+        world.token_retransmits,
+        world.dht_lookups,
+        d.collector().total(),
+        d.collector().total_latency,
+        d.collector().max_latency,
+        tele("acn.sim.delivered"),
+        tele("acn.sim.timers_fired"),
+        tele("acn.dist.splits"),
+        tele("acn.dist.merges"),
+        tele("acn.dist.token_nacks"),
+        tele("acn.dist.exits"),
+    ];
+    fp.extend(collector_counts);
+    fp
+}
+
+/// Golden fingerprint for the E10 adaptivity seed (`0xAB5`), captured
+/// from the pre-seam simulator.
+#[test]
+fn seeded_policy_matches_pre_refactor_e10_seed() {
+    let fp = fingerprint(0xAB5, 16, 4);
+    let golden: Vec<u64> = vec![
+        84, 394, 0, 0, 432, 826, 1, 0, 27, 0, 178, 84, 2281, 181, 394, 432, 1, 0, 27, 84,
+        6, 6, 6, 6, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5,
+    ];
+    assert_eq!(fp, golden, "E10-seed fingerprint drifted across the DeliveryPolicy seam");
+}
+
+/// Golden fingerprint for the E16 overlay-harness seed family
+/// (`n * 7 + 1` with `n = 64`), captured from the pre-seam simulator.
+#[test]
+fn seeded_policy_matches_pre_refactor_e16_seed() {
+    let fp = fingerprint(449, 16, 4);
+    let golden: Vec<u64> = vec![
+        84, 380, 0, 0, 434, 814, 1, 0, 27, 0, 170, 84, 2157, 115, 380, 434, 1, 0, 27, 84,
+        6, 6, 6, 6, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5,
+    ];
+    assert_eq!(fp, golden, "E16-seed fingerprint drifted across the DeliveryPolicy seam");
+}
