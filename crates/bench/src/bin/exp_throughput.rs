@@ -10,8 +10,23 @@
 //!   artifact is never overwritten by a smoke pass.
 //! - `ACN_BENCH_OUT=<path>`: explicit artifact path (overrides both
 //!   defaults).
+//!
+//! Alongside the throughput artifact it writes the trace-derived
+//! latency digest (`BENCH_latency.json` / `target/BENCH_latency.smoke.json`):
+//! sampled `exec.traverse` percentiles, the tracing overhead on the
+//! lock-free fast path, and end-to-end dist token latency.
 
 use std::path::PathBuf;
+
+fn write_artifact(path: &PathBuf, json: &str, what: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {what} artifact: {e}"));
+    eprintln!("wrote {}", path.display());
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
@@ -24,12 +39,15 @@ fn main() {
             PathBuf::from("BENCH_throughput.json")
         }
     });
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-    }
-    std::fs::write(&path, &json).expect("write throughput artifact");
+    write_artifact(&path, &json, "throughput");
     print!("{report}");
-    eprintln!("wrote {}", path.display());
+
+    let (lat_report, lat_json) = acn_bench::exp18_throughput::run_latency_report(smoke);
+    let lat_path = if smoke {
+        PathBuf::from("target").join("BENCH_latency.smoke.json")
+    } else {
+        PathBuf::from("BENCH_latency.json")
+    };
+    write_artifact(&lat_path, &lat_json, "latency");
+    print!("{lat_report}");
 }

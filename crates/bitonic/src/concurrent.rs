@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use acn_sync::{Ordering, RealSync, SyncApi, SyncAtomicU64, SyncRwLock, SyncSnapshot};
 use acn_telemetry::{Counter as TelemetryCounter, Histogram, Registry};
+use acn_trace::{Span, Tracer};
 
 use crate::baselines::Counter;
 use crate::network::{BalancingNetwork, Dest};
@@ -174,6 +175,10 @@ pub struct AtomicNetworkCounter<S: SyncApi = RealSync> {
     wire_counts: Vec<S::AtomicU64>,
     arrivals: S::AtomicU64,
     metrics: BitonicMetrics,
+    /// Sampled `exec.bitonic` spans with monotonic timestamps from the
+    /// [`SyncApi`] clock seam; disabled (one branch per token) unless
+    /// [`Self::attach_tracer`] is called.
+    tracer: Tracer,
 }
 
 impl<S: SyncApi> std::fmt::Debug for AtomicNetworkCounter<S> {
@@ -206,6 +211,7 @@ impl<S: SyncApi> AtomicNetworkCounter<S> {
             wire_counts: (0..width).map(|_| S::AtomicU64::new(0)).collect(),
             arrivals: S::AtomicU64::new(0),
             metrics: BitonicMetrics::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -216,6 +222,16 @@ impl<S: SyncApi> AtomicNetworkCounter<S> {
     /// identical with or without a registry attached.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.metrics = BitonicMetrics::attach(registry);
+    }
+
+    /// Routes sampled `exec.bitonic` spans (one per sampled
+    /// [`Self::next_value`] call, timestamped with
+    /// [`SyncApi::monotonic_now`]) into `tracer`. The arrival index is
+    /// the pseudo trace id, so a power-of-two sampling mask keeps
+    /// roughly one token in `2^k`. Call before sharing the counter
+    /// across threads (it needs `&mut`).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The network width.
@@ -298,16 +314,28 @@ impl<S: SyncApi> AtomicNetworkCounter<S> {
         // Spread arrivals across input wires round-robin, as independent
         // clients would.
         // lint: relaxed-ok(wire assignment is load-balancing only; any interleaving of the arrival RMW is equally correct)
-        let wire = (self.arrivals.fetch_add(1, Ordering::Relaxed) % w as u64) as usize;
+        let arrival = self.arrivals.fetch_add(1, Ordering::Relaxed);
+        let wire = (arrival % w as u64) as usize;
         self.metrics.tokens.inc();
+        let start =
+            if self.tracer.should_sample(arrival) { Some(S::monotonic_now()) } else { None };
         // The round claim happens under the pin so a replacement's
         // quiescent point never misses an exited-but-uncounted token.
-        self.with_pin(|snap| {
+        let value = self.with_pin(|snap| {
             let out = self.walk(snap, wire);
             // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value; replacement reads under the gate edge)
             let round = self.wire_counts[out].fetch_add(1, Ordering::Relaxed);
             out as u64 + round * w as u64
-        })
+        });
+        if let Some(start) = start {
+            self.tracer.record(
+                Span::new("exec.bitonic", arrival)
+                    .between(start, S::monotonic_now())
+                    .with("wire", wire as u64)
+                    .with("value", value),
+            );
+        }
+        value
     }
 
     /// Replaces the published network with a different counting network

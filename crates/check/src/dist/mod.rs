@@ -46,6 +46,7 @@
 pub mod explore;
 pub mod oracles;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use acn_core::component::split_component;
@@ -55,6 +56,7 @@ use acn_core::dist::{
 use acn_overlay::NodeId;
 use acn_simnet::{DeliveryPolicy, PendingEvent, ProcessId, SimConfig};
 use acn_topology::ComponentId;
+use acn_trace::{format_spans, Tracer};
 
 pub use explore::{check_dist, replay_dist_schedule, DistCheckConfig, DistMode, DistReport};
 pub use oracles::OracleConfig;
@@ -245,6 +247,11 @@ pub struct DistFailure {
     pub choices: Vec<DistChoice>,
     /// Random-mode iteration seed, when applicable.
     pub seed: Option<u64>,
+    /// Flight-recorder dump: the causally-ordered spans of the
+    /// offending token trace(s) — tokens whose trace terminated more
+    /// than once — or, when no specific token can be blamed, the last
+    /// spans in the recorder's ring. Empty if nothing was recorded.
+    pub flight_dump: String,
 }
 
 impl fmt::Display for DistFailure {
@@ -257,9 +264,18 @@ impl fmt::Display for DistFailure {
         if let Some(seed) = self.seed {
             writeln!(f, "iteration seed: {seed:#x}")?;
         }
+        if !self.flight_dump.is_empty() {
+            writeln!(f, "flight recorder (causal order):")?;
+            f.write_str(&self.flight_dump)?;
+        }
         writeln!(f, "replay choices: {:?}", self.choices)
     }
 }
+
+/// How many spans the per-run flight recorder retains (oldest evicted
+/// first). Big enough to hold every hop of a bounded exploration
+/// scenario; a cap keeps deep random runs at fixed memory.
+const FLIGHT_RECORDER_CAPACITY: usize = 4096;
 
 /// One execution of a scenario under external scheduling.
 pub(crate) struct DistRun {
@@ -290,6 +306,9 @@ pub(crate) struct DistRun {
     pub(crate) drops_done: u64,
     /// Fault actions applied.
     pub(crate) fault_actions_done: u64,
+    /// Always-on bounded flight recorder: every token hop of the run,
+    /// virtual-clock timestamped, dumped alongside failed oracles.
+    pub(crate) tracer: Tracer,
 }
 
 impl DistRun {
@@ -318,6 +337,13 @@ impl DistRun {
             // identity check — either alone masks the other).
             d.test_disable_token_dedup();
         }
+        // The flight recorder: every token hop of the run lands in this
+        // bounded ring so a failed oracle can print the offending
+        // token's full causal path. Tracing is observation-only, so it
+        // cannot perturb the explored schedules (pinned by the root
+        // crate's determinism regression test).
+        let tracer = Tracer::new(FLIGHT_RECORDER_CAPACITY);
+        d.attach_tracer(&tracer);
         let initial_nodes: Vec<NodeId> = d.world.borrow().ring.nodes().collect();
         let mut injected_per_wire = vec![0u64; scenario.width];
         let mut injected = 0u64;
@@ -342,6 +368,7 @@ impl DistRun {
             timer_preemptions_used: 0,
             drops_done: 0,
             fault_actions_done: 0,
+            tracer,
         }
     }
 
@@ -590,14 +617,33 @@ impl DistRun {
         )
     }
 
-    /// Builds a failure with the current schedule attached.
+    /// Builds a failure with the current schedule and a flight-recorder
+    /// dump attached. The dump is narrowed to the *offending* traces —
+    /// tokens that terminated at the collector more than once (the
+    /// exactly-once violations the explorer hunts) — falling back to
+    /// the recorder's full ring when no token can be blamed.
     pub(crate) fn failure(&self, kind: DistFailureKind, message: String) -> DistFailure {
+        let spans = self.tracer.spans();
+        let mut terminations: BTreeMap<u64, usize> = BTreeMap::new();
+        for s in &spans {
+            if s.kind == "token.count" || s.kind == "token.dup_exit" {
+                *terminations.entry(s.trace).or_default() += 1;
+            }
+        }
+        let offenders: BTreeSet<u64> =
+            terminations.into_iter().filter(|&(_, n)| n >= 2).map(|(t, _)| t).collect();
+        let selected: Vec<_> = if offenders.is_empty() {
+            spans
+        } else {
+            spans.into_iter().filter(|s| offenders.contains(&s.trace)).collect()
+        };
         DistFailure {
             kind,
             message,
             schedule: self.trace.clone(),
             choices: self.choices_taken.clone(),
             seed: None,
+            flight_dump: format_spans(&selected),
         }
     }
 

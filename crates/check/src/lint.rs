@@ -52,6 +52,15 @@
 //!   be restructured or waived with `lock-order-ok`; the model checker
 //!   enforces the rank order dynamically. Transient
 //!   `.lock().clone()`-style accesses (no live guard) are exempt.
+//! - **`trace-determinism`** — an ambient nondeterminism source on a
+//!   span-construction line (`Span::new` / `open_trace` /
+//!   `close_trace`), or anywhere inside the observability layer itself
+//!   (`crates/trace/`, `crates/telemetry/`). Span timestamps and ids
+//!   must come through the `SyncApi`/simnet clock seam
+//!   (`monotonic_now`, `ctx.now()`): the determinism regression test
+//!   compares span DAGs across same-seed runs, and an ambient clock or
+//!   RNG on the trace path makes them diverge. The seam implementation
+//!   (`crates/sync/`) is the one place the ambient clock is allowed.
 
 use std::path::{Path, PathBuf};
 
@@ -72,6 +81,14 @@ const NONDET_SOURCES: [&str; 6] = [
     concat!("Random", "State"),
     concat!("from_", "entropy"),
 ];
+/// Span-construction tokens that put a line on the trace path (the
+/// `trace-determinism` rule's per-line trigger outside the
+/// observability crates).
+const TRACE_TOKENS: [&str; 3] = [
+    concat!("Span::", "new"),
+    concat!("open_", "trace"),
+    concat!("close_", "trace"),
+];
 
 /// Files (by workspace-relative path) where hash-ordered collections
 /// are forbidden.
@@ -87,11 +104,17 @@ fn in_sync_layer(path: &str) -> bool {
     path.starts_with("crates/sync/")
 }
 
+/// The observability layer, where *every* line is on the trace path
+/// for the `trace-determinism` rule.
+fn in_observability_layer(path: &str) -> bool {
+    path.starts_with("crates/trace/") || path.starts_with("crates/telemetry/")
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`hash`, `relaxed`, `std-sync`, `snapshot`,
-    /// `determinism-seam`, `lock-order`).
+    /// `determinism-seam`, `lock-order`, `trace-determinism`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -252,6 +275,32 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                              must be deterministic functions of (state, event, ctx) — take \
                              time and randomness from the simulator seam (ctx/now, stored \
                              seeds) or annotate `// lint: determinism-seam-ok(reason)`"
+                        ),
+                        snippet: snippet.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+
+        // Trace determinism: span timestamps/ids must come through the
+        // SyncApi/simnet clock seam. A line is on the trace path if it
+        // constructs span state, or lives in the observability crates.
+        if !in_sync_layer(path)
+            && (in_observability_layer(path) || TRACE_TOKENS.iter().any(|t| line.contains(t)))
+        {
+            for src in NONDET_SOURCES {
+                if line.contains(src) && !annotated("trace-determinism", line, above) {
+                    findings.push(Finding {
+                        rule: "trace-determinism",
+                        path: path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "ambient nondeterminism ({src}) on the trace path: span \
+                             timestamps and ids must come through the SyncApi/simnet clock \
+                             seam (monotonic_now, ctx.now()) so same-seed runs produce \
+                             identical span DAGs — route through the seam or annotate \
+                             `// lint: trace-determinism-ok(reason)`"
                         ),
                         snippet: snippet.clone(),
                     });
@@ -615,6 +664,42 @@ mod tests {
             NONDET_SOURCES[0]
         );
         assert!(lint_source("crates/core/src/dist.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn flags_ambient_nondeterminism_on_trace_construction_lines() {
+        for token in TRACE_TOKENS {
+            for src in NONDET_SOURCES {
+                let line = format!("    tracer.{token}(\"hop\", {src}::anything());\n");
+                let hits = lint_source("crates/core/src/dist.rs", &line);
+                assert_eq!(hits.len(), 1, "{token}+{src}: {hits:?}");
+                assert_eq!(hits[0].rule, "trace-determinism");
+                // The seam implementation is the one allowed place.
+                assert!(
+                    lint_source("crates/sync/src/lib.rs", &line).is_empty(),
+                    "{token}+{src}: sync layer owns the clock"
+                );
+                // Annotated use is accepted.
+                let annotated =
+                    format!("    // lint: trace-determinism-ok(test-only fixture clock)\n{line}");
+                assert!(lint_source("crates/core/src/dist.rs", &annotated).is_empty());
+            }
+        }
+        // A span built from seam time is fine.
+        let clean = format!("    tracer.record({}(\"hop\", 1).at(ctx.now()));\n", TRACE_TOKENS[0]);
+        assert!(lint_source("crates/core/src/dist.rs", &clean).is_empty());
+    }
+
+    #[test]
+    fn observability_crates_are_trace_path_everywhere() {
+        let src = format!("    let t = {}::anything();\n", NONDET_SOURCES[1]);
+        for path in ["crates/trace/src/lib.rs", "crates/telemetry/src/sink.rs"] {
+            let hits = lint_source(path, &src);
+            assert_eq!(hits.len(), 1, "{path}: {hits:?}");
+            assert_eq!(hits[0].rule, "trace-determinism");
+        }
+        // The same line is fine in harness code off the trace path.
+        assert!(lint_source("crates/bench/src/lib.rs", &src).is_empty());
     }
 
     #[test]

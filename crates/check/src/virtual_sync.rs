@@ -35,6 +35,19 @@ impl SyncApi for VirtualSync {
     type Mutex<T: SyncData> = VMutex<T>;
     type RwLock<T: SyncData + Sync> = VRwLock<T>;
     type Snapshot<T: SyncData + Sync> = VSnapshot<T>;
+
+    /// A deterministic logical tick. Deliberately **not** a kernel
+    /// decision: tracing is observation-only, so taking a timestamp
+    /// must not create a scheduling point (it would change the
+    /// explored interleaving space). A process-wide counter under the
+    /// cooperative scheduler advances in program order, which is all
+    /// monotonicity asks for.
+    fn monotonic_now() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TICKS: AtomicU64 = AtomicU64::new(0);
+        // lint: relaxed-ok(single kernel thread; the counter only needs per-call uniqueness and program-order monotonicity)
+        TICKS.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// A checked atomic: state lives in the kernel's store history.

@@ -102,6 +102,36 @@ fn mutation_missing_ack_dedup_is_caught_with_replayable_counterexample() {
     );
     assert!(!failure.choices.is_empty(), "counterexample has branching choices");
 
+    // The flight recorder narrowed its dump to the offending token and
+    // shows that token's full cross-node path: injection, the
+    // inter-node hop (send + deliver), and the double count that the
+    // oracle flagged.
+    let dump = &failure.flight_dump;
+    assert!(!dump.is_empty(), "oracle failure carries a flight-recorder dump: {failure}");
+    for hop in ["token.inject", "token.send", "token.deliver"] {
+        assert!(dump.contains(hop), "dump shows the {hop} hop:\n{dump}");
+    }
+    assert!(
+        dump.matches("token.count").count() >= 2,
+        "dump shows the token counted twice:\n{dump}"
+    );
+    let nodes: std::collections::BTreeSet<&str> = dump
+        .lines()
+        .filter_map(|l| l.split(" node=").nth(1))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .collect();
+    assert!(nodes.len() >= 2, "the dumped path crosses nodes ({nodes:?}):\n{dump}");
+    let traces: std::collections::BTreeSet<&str> = dump
+        .lines()
+        .filter_map(|l| l.split(" trace=").nth(1))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .collect();
+    assert_eq!(traces.len(), 1, "dump is narrowed to the offending token: {traces:?}");
+    assert!(
+        format!("{failure}").contains("flight recorder (causal order):"),
+        "the rendered failure prints the dump: {failure}"
+    );
+
     // The printed schedule replays to the same violation.
     let replayed = replay_dist_schedule(&scenario, &failure.choices)
         .expect("the recorded schedule reproduces the failure");

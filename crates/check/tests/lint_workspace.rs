@@ -35,7 +35,9 @@ fn workspace_scan_covers_every_crate() {
     // must visit files in each workspace crate.
     let root = workspace_root();
     let scanned = acn_check::lint::workspace_rs_files(&root).expect("workspace scan succeeds");
-    for krate in ["sync", "topology", "core", "bitonic", "simnet", "telemetry", "bench", "check"] {
+    for krate in
+        ["sync", "topology", "core", "bitonic", "simnet", "telemetry", "trace", "bench", "check"]
+    {
         let prefix = root.join("crates").join(krate);
         assert!(
             scanned.iter().any(|p| p.starts_with(&prefix)),

@@ -62,6 +62,7 @@ use acn_sync::{
     Ordering, RealSync, SyncApi, SyncAtomicU64, SyncMutex, SyncRwLock, SyncSnapshot,
 };
 use acn_telemetry::{Counter, Histogram, Registry};
+use acn_trace::{Span, Tracer};
 
 use acn_topology::{
     input_port_of, network_input_address, resolve_output, ComponentId, Cut, CutError,
@@ -271,6 +272,10 @@ pub struct SharedAdaptiveNetwork<S: SyncApi = RealSync> {
     input_counts: Vec<S::AtomicU64>,
     output_counts: Vec<S::AtomicU64>,
     metrics: ConcMetrics,
+    /// Sampled `exec.traverse` spans with monotonic timestamps from the
+    /// [`SyncApi`] clock seam. Disabled (one branch per token) unless
+    /// [`attach_tracer`](Self::attach_tracer) is called.
+    tracer: Tracer,
 }
 
 impl SharedAdaptiveNetwork<RealSync> {
@@ -344,6 +349,7 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
             input_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
             output_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
             metrics: ConcMetrics::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -360,6 +366,18 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
     /// behaviour are identical with or without a registry attached.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.metrics = ConcMetrics::attach(registry);
+    }
+
+    /// Routes sampled `exec.traverse` spans (one per sampled token,
+    /// timestamped with [`SyncApi::monotonic_now`]) into `tracer`.
+    ///
+    /// Call before sharing the network across threads (it needs `&mut`).
+    /// A token's pseudo trace id is `arrival * width + wire`, so a
+    /// sampling mask of `2^k - 1` keeps roughly one token in `2^k`;
+    /// use [`Tracer::with_sampling`] to bound the fast-path overhead
+    /// (the disabled/unsampled cost is a single branch per token).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The network width.
@@ -394,12 +412,14 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
     /// Panics if `wire >= width`.
     pub fn push(&self, wire: usize) -> usize {
         // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
-        self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
+        let arrival = self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
+        let span = self.start_traverse_span(wire, arrival);
         let out = match self.mode {
             ExecMode::Locked => self.traverse_locked(wire),
             ExecMode::LockFree => self.traverse_fast(wire),
         };
+        self.finish_traverse_span(span, out);
         // lint: relaxed-ok(RMWs on one location totally order in the modification order; cross-wire step claims hold only at quiescence)
         self.output_counts[out].fetch_add(1, Ordering::Relaxed);
         out
@@ -414,15 +434,45 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
     /// Panics if `wire >= width`.
     pub fn next_value(&self, wire: usize) -> u64 {
         // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
-        self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
+        let arrival = self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
+        let span = self.start_traverse_span(wire, arrival);
         let out = match self.mode {
             ExecMode::Locked => self.traverse_locked(wire),
             ExecMode::LockFree => self.traverse_fast(wire),
         };
+        self.finish_traverse_span(span, out);
         // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
         let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
         out as u64 + round * self.width() as u64
+    }
+
+    /// Opens a sampled `exec.traverse` span for the token that is the
+    /// `arrival`-th on `wire`: `Some((trace, start))` if the token is
+    /// sampled, `None` (a single branch when tracing is disabled)
+    /// otherwise. The pseudo trace id interleaves wires so any
+    /// power-of-two sampling mask stays uniform across wires.
+    #[inline]
+    fn start_traverse_span(&self, wire: usize, arrival: u64) -> Option<(u64, u64)> {
+        let trace = arrival * self.width() as u64 + wire as u64;
+        if self.tracer.should_sample(trace) {
+            Some((trace, S::monotonic_now()))
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span opened by
+    /// [`start_traverse_span`](Self::start_traverse_span).
+    #[inline]
+    fn finish_traverse_span(&self, span: Option<(u64, u64)>, out: usize) {
+        if let Some((trace, start)) = span {
+            self.tracer.record(
+                Span::new("exec.traverse", trace)
+                    .between(start, S::monotonic_now())
+                    .with("out", out as u64),
+            );
+        }
     }
 
     /// The locked traversal: a structure read lock for the duration,

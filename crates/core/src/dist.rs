@@ -48,6 +48,7 @@ use std::rc::Rc;
 use acn_overlay::{NodeId, Ring};
 use acn_simnet::{Context, DeliveryPolicy, Process, ProcessId, SimConfig, Simulator};
 use acn_telemetry::{Counter, Event as TelemetryEvent, Histogram, Registry};
+use acn_trace::{Span, Tracer, SYSTEM_TRACE};
 use acn_topology::{
     input_port_of, network_input_address, resolve_output, ComponentId, Cut, OutputDestination,
     Tree, WireAddress, WiringStyle,
@@ -330,6 +331,10 @@ pub struct World {
     mutation_no_ack_dedup: bool,
     /// Pre-resolved `acn.dist.*` telemetry handles (no-ops by default).
     pub(crate) metrics: DistMetrics,
+    /// Causal span recorder (no-op by default). Trace ids are the
+    /// stable end-to-end token ids; timestamps are the simulator's
+    /// virtual clock, so recorded span DAGs are deterministic per seed.
+    pub(crate) tracer: Tracer,
 }
 
 impl World {
@@ -350,6 +355,7 @@ impl World {
             next_token_id: 0,
             mutation_no_ack_dedup: false,
             metrics: DistMetrics::default(),
+            tracer: Tracer::disabled(),
         }))
     }
 
@@ -711,6 +717,8 @@ impl NodeProc {
         injected_at: u64,
         hops: u64,
     ) {
+        let tracer = self.world.borrow().tracer.clone();
+        let traced = tracer.should_sample(token);
         loop {
             match self.hosted_candidate(&addr) {
                 Some(id) => {
@@ -720,6 +728,14 @@ impl NodeProc {
                     };
                     let hosted = self.components.get_mut(&id).expect("candidate is hosted");
                     if hosted.frozen {
+                        if traced {
+                            tracer.record(
+                                Span::new("token.buffer", token)
+                                    .at(ctx.now())
+                                    .node(self.node.0)
+                                    .with("level", id.level() as u64),
+                            );
+                        }
                         hosted.buffer.push((token, addr, injected_at, hops));
                         return;
                     }
@@ -733,13 +749,40 @@ impl NodeProc {
                         let mut w = self.world.borrow_mut();
                         w.duplicate_traversal_drops += 1;
                         w.metrics.dup_traversals.inc();
+                        if traced {
+                            w.tracer.record(
+                                Span::new("token.dup_drop", token)
+                                    .at(ctx.now())
+                                    .node(self.node.0)
+                                    .with("level", id.level() as u64),
+                            );
+                        }
                         return;
                     }
                     let in_port = input_port_of(&tree, &id, &addr, style);
                     let port = hosted.comp.process_token(in_port);
+                    if traced {
+                        tracer.record(
+                            Span::new("token.route", token)
+                                .at(ctx.now())
+                                .node(self.node.0)
+                                .with("level", id.level() as u64)
+                                .with("in_port", in_port.map_or(u64::MAX, |p| p as u64))
+                                .with("out_port", port as u64),
+                        );
+                    }
                     match resolve_output(&tree, &id, port, style) {
                         OutputDestination::NetworkOutput(wire) => {
                             self.world.borrow().metrics.routing_hops.record(hops);
+                            if traced {
+                                tracer.record(
+                                    Span::new("token.exit", token)
+                                        .at(ctx.now())
+                                        .node(self.node.0)
+                                        .with("wire", wire as u64)
+                                        .with("hops", hops),
+                                );
+                            }
                             ctx.send(COLLECTOR, Msg::Exit { wire, token, injected_at, hops });
                             return;
                         }
@@ -805,6 +848,19 @@ impl NodeProc {
                 UnackedToken { token, addr: addr.clone(), injected_at, sent_at: ctx.now(), hops },
             );
             self.arm_retry(ctx);
+            {
+                let w = self.world.borrow();
+                if w.tracer.should_sample(token) {
+                    w.tracer.record(
+                        Span::new("token.send", token)
+                            .at(ctx.now())
+                            .node(self.node.0)
+                            .with("to", host.0)
+                            .with("guid", guid)
+                            .with("hops", hops),
+                    );
+                }
+            }
             ctx.send_lossy(
                 ProcessId(host.0),
                 Msg::Token { guid, token, addr, injected_at, attempt, hops },
@@ -884,6 +940,15 @@ impl NodeProc {
                     .with("duration", duration)
                     .with("drained", drained),
             );
+            if w.tracer.is_enabled() {
+                w.tracer.record(
+                    Span::new("net.split", SYSTEM_TRACE)
+                        .between(started_at, ctx.now())
+                        .node(self.node.0)
+                        .with("level", id.level() as u64)
+                        .with("drained", drained),
+                );
+            }
         }
         self.split_list.insert(id);
         for (token, addr, injected_at, hops) in hosted.buffer {
@@ -1093,6 +1158,14 @@ impl NodeProc {
                 .component(parent.to_string())
                 .with("duration", duration),
         );
+        if w.tracer.is_enabled() {
+            w.tracer.record(
+                Span::new("net.merge", SYSTEM_TRACE)
+                    .between(started_at, ctx.now())
+                    .node(self.node.0)
+                    .with("level", parent.level() as u64),
+            );
+        }
     }
 
     /// Aborts an in-progress merge: children are unfrozen in place and
@@ -1279,6 +1352,18 @@ impl Process<Msg> for NodeProc {
                 let addr = network_input_address(&tree, wire, style);
                 let now = ctx.now();
                 let token = self.world.borrow_mut().fresh_token_id();
+                {
+                    let w = self.world.borrow();
+                    if w.tracer.should_sample(token) {
+                        w.tracer.open_trace(token, now);
+                        w.tracer.record(
+                            Span::new("token.inject", token)
+                                .at(now)
+                                .node(self.node.0)
+                                .with("wire", wire as u64),
+                        );
+                    }
+                }
                 if self.departed {
                     let flight = TokenFlight { token, addr, injected_at: now, hops: 0 };
                     self.send_token(ctx, None, flight, ATTEMPT_CACHED);
@@ -1288,15 +1373,33 @@ impl Process<Msg> for NodeProc {
             }
             Msg::Token { guid, token, addr, injected_at, attempt, hops } => {
                 let dedup = !self.world.borrow().mutation_no_ack_dedup;
+                let tracer = self.world.borrow().tracer.clone();
+                let traced = tracer.should_sample(token);
                 if dedup && self.seen.contains(&guid) {
                     // Duplicate (retransmission raced the ack): already
                     // accepted; just re-acknowledge.
+                    if traced {
+                        tracer.record(
+                            Span::new("token.dup_recv", token)
+                                .at(ctx.now())
+                                .node(self.node.0)
+                                .with("guid", guid),
+                        );
+                    }
                     ctx.send(from, Msg::TokenAck { guid });
                 } else if self.departed || self.hosted_candidate(&addr).is_none() {
                     {
                         let mut w = self.world.borrow_mut();
                         w.token_nacks += 1;
                         w.metrics.nacks.inc();
+                    }
+                    if traced {
+                        tracer.record(
+                            Span::new("token.nack", token)
+                                .at(ctx.now())
+                                .node(self.node.0)
+                                .with("guid", guid),
+                        );
                     }
                     if from == ProcessId::EXTERNAL {
                         // Re-injected buffer token with no live sender:
@@ -1308,6 +1411,16 @@ impl Process<Msg> for NodeProc {
                     }
                 } else {
                     self.seen.insert(guid);
+                    if traced {
+                        tracer.record(
+                            Span::new("token.deliver", token)
+                                .at(ctx.now())
+                                .node(self.node.0)
+                                .with("from", from.0)
+                                .with("guid", guid)
+                                .with("hops", hops + 1),
+                        );
+                    }
                     ctx.send(from, Msg::TokenAck { guid });
                     // Accepting the forward counts as one routing hop.
                     self.route_token(ctx, token, addr, injected_at, hops + 1);
@@ -1412,6 +1525,15 @@ impl Process<Msg> for NodeProc {
                         let mut w = self.world.borrow_mut();
                         w.token_retransmits += 1;
                         w.metrics.retransmits.inc();
+                        if w.tracer.should_sample(t.token) {
+                            w.tracer.record(
+                                Span::new("token.retry", t.token)
+                                    .at(now)
+                                    .node(self.node.0)
+                                    .with("guid", guid)
+                                    .with("silent_for", now.saturating_sub(t.sent_at)),
+                            );
+                        }
                     }
                     if self.departed {
                         let flight = TokenFlight {
@@ -1507,6 +1629,8 @@ pub struct Collector {
     exits: Counter,
     /// Telemetry: mirrors `duplicate_drops`.
     dup_drops: Counter,
+    /// Tracing: closes each token's trace on its first (counted) exit.
+    tracer: Tracer,
 }
 
 impl Collector {
@@ -1523,6 +1647,7 @@ impl Collector {
             latency_hist: Histogram::default(),
             exits: Counter::default(),
             dup_drops: Counter::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -1550,6 +1675,13 @@ impl Process<Msg> for Collector {
                 // retransmission raced the delayed original. Count once.
                 self.duplicate_drops += 1;
                 self.dup_drops.inc();
+                if self.tracer.should_sample(token) {
+                    self.tracer.record(
+                        Span::new("token.dup_exit", token)
+                            .at(ctx.now())
+                            .with("wire", wire as u64),
+                    );
+                }
                 return;
             }
             self.counts[wire] += 1;
@@ -1558,6 +1690,15 @@ impl Process<Msg> for Collector {
             self.max_latency = self.max_latency.max(latency);
             self.exits.inc();
             self.latency_hist.record(latency);
+            if self.tracer.should_sample(token) {
+                self.tracer.close_trace(token, ctx.now());
+                self.tracer.record(
+                    Span::new("token.count", token)
+                        .at(ctx.now())
+                        .with("wire", wire as u64)
+                        .with("latency", latency),
+                );
+            }
         }
     }
 }
@@ -1689,6 +1830,23 @@ impl Deployment {
         self.world.borrow_mut().metrics = DistMetrics::attach(registry);
         if let Some(Proc::Collector(c)) = self.sim.process_mut(COLLECTOR) {
             c.attach_telemetry(registry);
+        }
+    }
+
+    /// Routes the whole deployment's causal spans into `tracer`: every
+    /// token hop (inject, route, buffer, send, deliver, nack, retry,
+    /// exit, count) plus the `net.split`/`net.merge`/`net.migrate`
+    /// system spans, all timestamped with the simulator's virtual
+    /// clock, and the simulator's own wire-level spans.
+    ///
+    /// Like [`attach_telemetry`](Self::attach_telemetry), tracing is
+    /// observation-only: an attached deployment produces bit-identical
+    /// outcomes to a detached one.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.sim.attach_tracer(tracer);
+        self.world.borrow_mut().tracer = tracer.clone();
+        if let Some(Proc::Collector(c)) = self.sim.process_mut(COLLECTOR) {
+            c.tracer = tracer.clone();
         }
     }
 
@@ -1892,6 +2050,15 @@ impl Deployment {
                                 .component(id.to_string())
                                 .with("from", pid.0),
                         );
+                        if w.tracer.is_enabled() {
+                            w.tracer.record(
+                                Span::new("net.migrate", SYSTEM_TRACE)
+                                    .at(self.sim.now())
+                                    .node(owner.0)
+                                    .with("from", pid.0)
+                                    .with("level", id.level() as u64),
+                            );
+                        }
                     }
                     // Re-inject buffered tokens via the new owner (it
                     // hosts the component, so it will process them).

@@ -27,8 +27,10 @@
 //! rewrites the output ledger so that application-level counter values
 //! resume consistently.
 
+use acn_sync::{RealSync, SyncApi};
 use acn_telemetry::{Event as TelemetryEvent, Registry};
 use acn_topology::{resolve_output, ComponentDag, ComponentId, OutputDestination};
+use acn_trace::{Span, Tracer, SYSTEM_TRACE};
 
 use crate::component::{port_emissions, Component};
 use crate::local::LocalAdaptiveNetwork;
@@ -230,6 +232,43 @@ pub fn stabilize_with_telemetry(net: &mut LocalAdaptiveNetwork, registry: &Regis
     corrected
 }
 
+/// Like [`audit_with_telemetry`], but additionally records a
+/// `stabilize.audit` system span (monotonic timestamps from the
+/// `acn-sync` clock seam, fault count as a field) in `tracer`.
+#[must_use]
+pub fn audit_traced(
+    net: &LocalAdaptiveNetwork,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> Vec<Fault> {
+    let start = RealSync::monotonic_now();
+    let faults = audit_with_telemetry(net, registry);
+    tracer.record(
+        Span::new("stabilize.audit", SYSTEM_TRACE)
+            .between(start, RealSync::monotonic_now())
+            .with("faults", faults.len() as u64),
+    );
+    faults
+}
+
+/// Like [`stabilize_with_telemetry`], but additionally records a
+/// `stabilize.pass` system span (monotonic timestamps, corrected
+/// component count as a field) in `tracer`.
+pub fn stabilize_traced(
+    net: &mut LocalAdaptiveNetwork,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> usize {
+    let start = RealSync::monotonic_now();
+    let corrected = stabilize_with_telemetry(net, registry);
+    tracer.record(
+        Span::new("stabilize.pass", SYSTEM_TRACE)
+            .between(start, RealSync::monotonic_now())
+            .with("corrected", corrected as u64),
+    );
+    corrected
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +373,27 @@ mod tests {
             registry.snapshot().counter("acn.dist.stabilize_corrected"),
             Some(corrected as u64)
         );
+        assert!(audit(&net).is_empty());
+    }
+
+    #[test]
+    fn traced_wrappers_record_stabilization_spans() {
+        let registry = Registry::new();
+        let tracer = Tracer::new(64);
+        let mut seed = 13u64;
+        let mut net = warmed_network(16, 19, &mut seed);
+        assert!(audit_traced(&net, &registry, &tracer).is_empty());
+        let victim = net.cut().leaves().iter().next().expect("non-empty cut").clone();
+        net.component_mut(&victim).expect("live").set_tokens(777);
+        let corrected = stabilize_traced(&mut net, &registry, &tracer);
+        assert!(corrected >= 1);
+        let spans = tracer.spans();
+        let audit_span =
+            spans.iter().find(|s| s.kind == "stabilize.audit").expect("audit span recorded");
+        assert_eq!(audit_span.field("faults"), Some(0));
+        let pass_span =
+            spans.iter().find(|s| s.kind == "stabilize.pass").expect("pass span recorded");
+        assert_eq!(pass_span.field("corrected"), Some(corrected as u64));
         assert!(audit(&net).is_empty());
     }
 

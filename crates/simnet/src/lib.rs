@@ -66,7 +66,9 @@
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
+use acn_sync::{RealSync, SyncApi};
 use acn_telemetry::{Counter, Event as TelemetryEvent, Gauge, Histogram, Registry};
+use acn_trace::{Span, Tracer, SYSTEM_TRACE};
 
 /// Identifier of a process (the counting layer uses the overlay node id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -407,6 +409,14 @@ pub struct Simulator<M, P> {
     config: SimConfig,
     stats: SimStats,
     metrics: SimMetrics,
+    /// Wire-level causal spans (drops and losses), virtual-clock
+    /// timestamps. Disabled (no-op) by default.
+    tracer: Tracer,
+    /// Self-profiling spans around the event-loop hot path, *monotonic*
+    /// (wall-clock) timestamps from the `acn-sync` clock seam. Kept as
+    /// a separate tracer so real-time profiles never mix with
+    /// virtual-clock traces in one ring.
+    self_profiler: Tracer,
     outbox: Vec<(ProcessId, ProcessId, M, bool)>,
     timer_requests: Vec<(ProcessId, u64, u64)>,
 }
@@ -434,6 +444,8 @@ impl<M, P: Process<M>> Simulator<M, P> {
             config,
             stats: SimStats::default(),
             metrics: SimMetrics::default(),
+            tracer: Tracer::disabled(),
+            self_profiler: Tracer::disabled(),
             outbox: Vec::new(),
             timer_requests: Vec::new(),
         }
@@ -457,6 +469,26 @@ impl<M, P: Process<M>> Simulator<M, P> {
     /// [`SimStats`] identical to an untelemetered run.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.metrics = SimMetrics::attach(registry);
+    }
+
+    /// Routes the simulator's wire-level causal spans into `tracer`:
+    /// one `sim.loss` span per lossy-channel drop and one
+    /// `sim.drop_absent` span per absent-destination drop, both
+    /// timestamped with the virtual clock. Observation-only, like
+    /// [`attach_telemetry`](Self::attach_telemetry).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// Routes *self-profiling* spans into `tracer`: one `sim.step`
+    /// span per processed event, measured with **monotonic wall-clock
+    /// nanoseconds** from the [`acn_sync`] clock seam (covering the
+    /// `BinaryHeap` pop / `BTreeMap` scan, the handler, and the
+    /// outbox flush). Keep this tracer separate from the one passed to
+    /// [`attach_tracer`](Self::attach_tracer): its timestamps are real
+    /// time, not virtual ticks, so the two must not share a ring.
+    pub fn attach_self_profiler(&mut self, tracer: &Tracer) {
+        self.self_profiler = tracer.clone();
     }
 
     /// The current simulated time.
@@ -579,6 +611,14 @@ impl<M, P: Process<M>> Simulator<M, P> {
                     .with("cause", "loss")
                     .with("from", from.0),
             );
+            if self.tracer.is_enabled() {
+                self.tracer.record(
+                    Span::new("sim.loss", SYSTEM_TRACE)
+                        .at(self.time)
+                        .node(to.0)
+                        .with("from", from.0),
+                );
+            }
             return;
         }
         let latency = self.config.base_latency
@@ -688,6 +728,14 @@ impl<M, P: Process<M>> Simulator<M, P> {
                 .with("cause", "loss")
                 .with("from", from.0),
         );
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                Span::new("sim.loss", SYSTEM_TRACE)
+                    .at(self.time)
+                    .node(event.to.0)
+                    .with("from", from.0),
+            );
+        }
         true
     }
 
@@ -708,6 +756,11 @@ impl<M, P: Process<M>> Simulator<M, P> {
     /// smallest key fires, so stepping without an external scheduler is
     /// still deterministic (but *not* timestamp-ordered).
     pub fn step(&mut self) -> bool {
+        // Self-profiling (opt-in): one monotonic-clock span around the
+        // whole event — the `BinaryHeap` pop (Seeded) or `BTreeMap`
+        // head scan (External), the handler, and the outbox flush.
+        let profile_start =
+            if self.self_profiler.is_enabled() { Some(RealSync::monotonic_now()) } else { None };
         let event = match self.policy {
             DeliveryPolicy::Seeded => {
                 let Some(event) = self.queue.pop() else {
@@ -723,7 +776,16 @@ impl<M, P: Process<M>> Simulator<M, P> {
                 self.open.remove(&head.key).expect("enabled event is pending")
             }
         };
+        let to = event.to;
         self.deliver(event);
+        if let Some(start) = profile_start {
+            self.self_profiler.record(
+                Span::new("sim.step", SYSTEM_TRACE)
+                    .between(start, RealSync::monotonic_now())
+                    .node(to.0)
+                    .with("pending", self.pending_events() as u64),
+            );
+        }
         true
     }
 
@@ -744,6 +806,14 @@ impl<M, P: Process<M>> Simulator<M, P> {
                         .with("cause", "absent")
                         .with("from", from.0),
                 );
+                if self.tracer.is_enabled() {
+                    self.tracer.record(
+                        Span::new("sim.drop_absent", SYSTEM_TRACE)
+                            .at(self.time)
+                            .node(event.to.0)
+                            .with("from", from.0),
+                    );
+                }
             }
             self.metrics.queue_depth.set(self.pending_events() as f64);
             return;

@@ -167,6 +167,20 @@ pub trait SyncApi: Send + Sync + 'static {
     /// The epoch-published immutable snapshot cell (payloads are
     /// additionally `Sync`, since pinned readers share them).
     type Snapshot<T: SyncData + Sync>: SyncSnapshot<T>;
+
+    /// A monotonic timestamp in implementation-defined units — the
+    /// **clock seam** for tracing (`acn-trace`): span timestamps taken
+    /// through this method are wall-clock nanoseconds under
+    /// [`RealSync`] but a deterministic logical counter under the
+    /// model checker's `VirtualSync`, so instrumented executors stay
+    /// bit-reproducible when explored. Successive calls never go
+    /// backwards; beyond that no relationship between the units of
+    /// different `SyncApi` implementations is promised.
+    ///
+    /// This is deliberately the *only* sanctioned time source in trace
+    /// construction outside simnet's virtual clock — the
+    /// `trace-determinism` lint rejects ambient `Instant::now` there.
+    fn monotonic_now() -> u64;
 }
 
 /// Production synchronization: `parking_lot` locks, `std` atomics.
@@ -302,6 +316,17 @@ impl SyncApi for RealSync {
     type Mutex<T: SyncData> = RealMutex<T>;
     type RwLock<T: SyncData + Sync> = RealRwLock<T>;
     type Snapshot<T: SyncData + Sync> = RealSnapshot<T>;
+
+    /// Nanoseconds since the first call in this process (a process-
+    /// local origin keeps the values small enough for log2 latency
+    /// buckets while staying monotonic).
+    fn monotonic_now() -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static ORIGIN: OnceLock<Instant> = OnceLock::new();
+        let origin = *ORIGIN.get_or_init(Instant::now);
+        u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 #[cfg(test)]

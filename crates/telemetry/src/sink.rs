@@ -9,10 +9,13 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 // lint: std-sync-ok(acn-telemetry is zero-dependency by policy; it cannot pull in parking_lot)
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::Event;
+use crate::metrics::Counter;
+use crate::Registry;
 
 /// A destination for emitted events.
 ///
@@ -33,18 +36,59 @@ fn relock<'a, T>(
 }
 
 /// An in-memory sink keeping the most recent `capacity` events.
+///
+/// # Overflow semantics
+///
+/// When a new event arrives at a full ring, the **oldest** retained
+/// event is evicted to make room (newest-wins); a zero-capacity ring
+/// discards every event on arrival. Either way the discarded event is
+/// *lost*, and the loss is visible: [`RingBufferSink::dropped`] counts
+/// evictions since creation, and a sink built with
+/// [`RingBufferSink::with_capacity_metered`] additionally increments
+/// the `acn.telemetry.ring_dropped` counter in its registry, so a
+/// truncated event window never masquerades as a complete one.
 #[derive(Debug)]
 pub struct RingBufferSink {
     capacity: usize,
     events: Mutex<VecDeque<Event>>,
+    /// Events evicted (or rejected by a zero-capacity ring) so far.
+    dropped: AtomicU64,
+    /// Registry-visible mirror of [`Self::dropped`] (no-op by default).
+    ring_dropped: Counter,
 }
 
 impl RingBufferSink {
     /// A ring buffer holding at most `capacity` events (older events
-    /// are discarded first).
+    /// are discarded first; see the type docs for overflow semantics).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Arc<Self> {
-        Arc::new(RingBufferSink { capacity, events: Mutex::new(VecDeque::new()) })
+        Arc::new(RingBufferSink {
+            capacity,
+            events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            ring_dropped: Counter::default(),
+        })
+    }
+
+    /// Like [`Self::with_capacity`], but evictions also increment the
+    /// `acn.telemetry.ring_dropped` counter of `registry`, making
+    /// overflow visible in metric snapshots alongside the event stream.
+    #[must_use]
+    pub fn with_capacity_metered(capacity: usize, registry: &Registry) -> Arc<Self> {
+        Arc::new(RingBufferSink {
+            capacity,
+            events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            ring_dropped: registry.counter("acn.telemetry.ring_dropped"),
+        })
+    }
+
+    /// Events discarded due to overflow since creation (oldest-entry
+    /// evictions, plus everything a zero-capacity ring rejected).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        // lint: relaxed-ok(monotonic statistics counter; no ordering is claimed between the count and the retained events)
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// All retained events, oldest first.
@@ -87,10 +131,16 @@ impl EventSink for RingBufferSink {
     fn emit(&self, event: &Event) {
         let mut events = relock(self.events.lock());
         if self.capacity == 0 {
+            // lint: relaxed-ok(monotonic statistics counter; see Self::dropped)
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.ring_dropped.inc();
             return;
         }
         if events.len() == self.capacity {
             events.pop_front();
+            // lint: relaxed-ok(monotonic statistics counter; see Self::dropped)
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.ring_dropped.inc();
         }
         events.push_back(event.clone());
     }
@@ -174,6 +224,41 @@ mod tests {
         let sink = RingBufferSink::with_capacity(0);
         sink.emit(&Event::new("x"));
         assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_drops() {
+        let sink = RingBufferSink::with_capacity(3);
+        for kind in ["a", "b", "c"] {
+            sink.emit(&Event::new(kind));
+        }
+        // At capacity, nothing dropped yet.
+        assert_eq!(sink.dropped(), 0);
+        sink.emit(&Event::new("d"));
+        sink.emit(&Event::new("e"));
+        // Oldest-first eviction: a then b fell off the front.
+        let kinds: Vec<&str> = sink.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["c", "d", "e"]);
+        assert_eq!(sink.dropped(), 2);
+        // clear() is an explicit discard, not overflow.
+        sink.clear();
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn metered_overflow_is_visible_in_the_registry() {
+        let registry = Registry::new();
+        let sink = RingBufferSink::with_capacity_metered(2, &registry);
+        registry.add_sink(sink.clone());
+        for i in 0..5u64 {
+            registry.emit(Event::new("tick").at(i));
+        }
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(registry.snapshot().counter("acn.telemetry.ring_dropped"), Some(3));
+        // The retained window is the newest two events.
+        let ts: Vec<u64> = sink.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, [3, 4]);
     }
 
     #[test]

@@ -28,6 +28,81 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The `q`-quantile (`0.0 <= q <= 1.0`) of the recorded samples, or
+    /// `None` when the histogram is empty.
+    ///
+    /// The log2 buckets only retain each sample's bucket, so the answer
+    /// is **exact** when the target rank lands in a single-value bucket
+    /// (bucket 0 holds only `0`, bucket 1 holds only `1`) and
+    /// **interpolated** otherwise: the bucket's samples are assumed
+    /// uniformly spread over its inclusive `[lo, hi]` range and the
+    /// rank's position within the bucket picks a point on that segment.
+    /// The result is therefore always within the true quantile's bucket
+    /// — an error factor below 2 — and exact for small values.
+    ///
+    /// Quantile rank follows the "nearest-rank, interpolated" rule used
+    /// by most telemetry systems: the target rank is `q * (count - 1)`
+    /// (zero-based), so `quantile(0.0)` is the minimum bucket and
+    /// `quantile(1.0)` the maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a finite value in `[0.0, 1.0]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q.is_finite() && (0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        // Zero-based fractional rank of the target sample.
+        let rank = q * (self.count - 1) as f64;
+        let mut below = 0u64; // samples in buckets before this one
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            // The bucket covers zero-based ranks [below, below + n - 1].
+            let last = (below + n - 1) as f64;
+            if rank <= last {
+                let (lo, hi) = bucket_bounds(i);
+                if lo == hi {
+                    return Some(lo as f64); // single-value bucket: exact
+                }
+                // Position of the rank within this bucket, in [0, 1]
+                // (clamped: a fractional rank straddling the previous
+                // bucket's last sample still reads as this bucket's lo).
+                let frac = if n == 1 {
+                    0.5
+                } else {
+                    ((rank - below as f64) / (n - 1) as f64).max(0.0)
+                };
+                return Some(lo as f64 + frac * (hi - lo) as f64);
+            }
+            below += n;
+        }
+        // count > 0 but buckets empty: inconsistent snapshot; treat the
+        // sum as degenerate single-sample data.
+        None
+    }
+
+    /// Median (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
@@ -276,5 +351,99 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(hist(&[], 0, 0).mean(), None);
         assert_eq!(hist(&[(1, 2)], 2, 6).mean(), Some(3.0));
+    }
+
+    /// Builds a snapshot the way the live histogram would bucket the
+    /// samples, and the exact zero-based interpolated quantile of the
+    /// raw data for comparison.
+    fn from_samples(samples: &[u64]) -> HistogramSnapshot {
+        let mut b = vec![0u64; crate::BUCKET_COUNT];
+        for &s in samples {
+            b[crate::bucket_of(s)] += 1;
+        }
+        HistogramSnapshot {
+            count: samples.len() as u64,
+            sum: samples.iter().sum(),
+            buckets: b,
+        }
+    }
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+        let rank = q * (sorted.len() - 1) as f64;
+        let lo = sorted[rank.floor() as usize] as f64;
+        let hi = sorted[rank.ceil() as usize] as f64;
+        lo + (rank - rank.floor()) * (hi - lo)
+    }
+
+    #[test]
+    fn quantiles_of_small_values_are_exact() {
+        // Values 0 and 1 live in single-value buckets, so every
+        // quantile that lands there is exact, not interpolated.
+        let h = from_samples(&[0, 0, 0, 1, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(0.2), Some(0.0));
+        assert_eq!(h.p50(), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_bucket_bounds() {
+        // 100 samples uniform over [64, 127]: all in bucket 7. The
+        // interpolated quantile must stay inside the bucket and track
+        // the exact quantile closely for uniform data.
+        let samples: Vec<u64> = (0..100).map(|i| 64 + (i * 64) / 100).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = from_samples(&samples);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let got = h.quantile(q).expect("non-empty");
+            let exact = exact_quantile(&sorted, q);
+            assert!((64.0..=127.0).contains(&got), "q={q} escaped the bucket: {got}");
+            // Uniform fill means linear interpolation is near-exact.
+            assert!((got - exact).abs() <= 2.0, "q={q}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn quantiles_never_leave_the_true_bucket() {
+        // A skewed mixture across several buckets: the estimate must
+        // always land in the same bucket as the exact quantile.
+        let mut samples: Vec<u64> = Vec::new();
+        samples.extend(vec![3u64; 50]);
+        samples.extend(vec![20u64; 30]);
+        samples.extend(vec![1000u64; 15]);
+        samples.extend(vec![60_000u64; 5]);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = from_samples(&samples);
+        // Quantiles whose rank falls strictly inside one value's run
+        // (at a run boundary the *exact* quantile interpolates between
+        // two different buckets, so bucket equality cannot hold there).
+        for q in [0.1, 0.6, 0.85, 0.97, 0.99] {
+            let got = h.quantile(q).expect("non-empty");
+            let exact = exact_quantile(&sorted, q);
+            assert_eq!(
+                crate::bucket_of(got.round() as u64),
+                crate::bucket_of(exact.round() as u64),
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(hist(&[], 0, 0).p50(), None);
+        // One sample of value 7 (bucket 3 = [4,7]): every quantile is
+        // the bucket midpoint since nothing narrows it down.
+        let one = from_samples(&[7]);
+        assert_eq!(one.quantile(0.0), one.quantile(1.0));
+        let v = one.p50().expect("one sample");
+        assert!((4.0..=7.0).contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let _ = from_samples(&[1]).quantile(1.5);
     }
 }

@@ -5,7 +5,9 @@
 #
 # Usage:
 #   scripts/bench.sh           # full run, writes BENCH_throughput.json
-#   scripts/bench.sh --smoke   # CI gate: tiny op count, artifact under
+#                              # and BENCH_latency.json (trace-derived
+#                              # p50/p90/p99 + tracing overhead)
+#   scripts/bench.sh --smoke   # CI gate: tiny op count, artifacts under
 #                              # target/ so the committed JSON survives
 set -euo pipefail
 

@@ -30,6 +30,15 @@ echo "==> dist schedule explorer (bounded suite, small random budget)"
 ACN_EXPLORE_BUDGET="${ACN_EXPLORE_BUDGET:-50}" \
     cargo run -q --release -p acn-check --bin acn-dist-explore
 
+echo "==> trace artifact (schema-validated smoke trace)"
+# The schema test runs a seeded deployment with a tracer attached,
+# validates the span stream against the trace schema, and exports a
+# Chrome trace_event JSON artifact — load it in chrome://tracing or
+# Perfetto (docs/TUTORIAL.md walks through it).
+ACN_TRACE_DIR=target/trace cargo test -q --test trace_schema
+test -s target/trace/smoke.trace.json \
+    || { echo "trace_schema did not produce target/trace/smoke.trace.json" >&2; exit 1; }
+
 echo "==> bench smoke (E18 throughput harness, artifact under target/)"
 # Exercises the multi-threaded harness end to end with a tiny op count;
 # headline numbers come from a full `scripts/bench.sh` run, which owns

@@ -15,6 +15,8 @@
 //!   generality claim transferred to a second recursive decomposition.
 //! - [`telemetry`] — metrics registry and structured event tracing used
 //!   to observe all of the above (see `DESIGN.md` §"Telemetry").
+//! - [`trace`] — causal per-token span tracing, the flight recorder,
+//!   and the Chrome `trace_event` exporter (see `DESIGN.md` §10).
 
 pub use acn_bitonic as bitonic;
 pub use acn_core as core;
@@ -24,3 +26,4 @@ pub use acn_periodic as periodic;
 pub use acn_simnet as simnet;
 pub use acn_telemetry as telemetry;
 pub use acn_topology as topology;
+pub use acn_trace as trace;

@@ -12,14 +12,25 @@ use adaptive_counting_networks::overlay::NodeId;
 use adaptive_counting_networks::simnet::SimStats;
 use adaptive_counting_networks::telemetry::{Registry, RingBufferSink, Snapshot, Value};
 use adaptive_counting_networks::topology::Cut;
+use adaptive_counting_networks::trace::Tracer;
 
 /// One deterministic churn scenario: grow 4 → 16 nodes with traffic,
 /// then shrink back to 6, settling at each phase boundary.
 fn run_scenario(registry: Option<&Registry>) -> (SimStats, Vec<u64>, u64, u64, Cut) {
+    run_scenario_traced(registry, None)
+}
+
+fn run_scenario_traced(
+    registry: Option<&Registry>,
+    tracer: Option<&Tracer>,
+) -> (SimStats, Vec<u64>, u64, u64, Cut) {
     let w = 64;
     let mut d = Deployment::new(w, 4, 0xD37E);
     if let Some(r) = registry {
         d.attach_telemetry(r);
+    }
+    if let Some(t) = tracer {
+        d.attach_tracer(t);
     }
     for i in 0..40usize {
         d.inject((i * 13) % w);
@@ -71,6 +82,42 @@ fn telemetry_is_observation_only() {
         render(&registry2.snapshot()),
         "metric snapshots differ between identical seeded runs"
     );
+}
+
+/// Tracing is observation-only like telemetry: attaching a `Tracer`
+/// (alone or alongside a registry) leaves the seeded deployment's
+/// behaviour bit-identical, and two same-seed traced runs produce the
+/// same span DAG — same spans, same causal order, same latency digest.
+#[test]
+fn tracing_is_observation_only_and_span_deterministic() {
+    let baseline = run_scenario(None);
+
+    let trace_one = Tracer::new(1 << 16);
+    let traced = run_scenario_traced(None, Some(&trace_one));
+    assert_eq!(baseline, traced, "tracing changed deployment behaviour");
+
+    // Telemetry + tracing together are still invisible to the run.
+    let registry = Registry::new();
+    let trace_two = Tracer::new(1 << 16);
+    let traced2 = run_scenario_traced(Some(&registry), Some(&trace_two));
+    assert_eq!(baseline, traced2, "tracing + telemetry changed deployment behaviour");
+
+    // Same seed, same span DAG: span-for-span identical rings (kind,
+    // trace id, node, timestamps, fields, causal seq) and identical
+    // end-to-end latency digests.
+    let spans_one = trace_one.spans();
+    let spans_two = trace_two.spans();
+    assert!(!spans_one.is_empty(), "the churn scenario records spans");
+    assert_eq!(spans_one.len(), spans_two.len(), "span counts differ between seeded runs");
+    assert_eq!(spans_one, spans_two, "span DAGs differ between identical seeded runs");
+    assert_eq!(trace_one.dropped(), trace_two.dropped());
+    assert_eq!(trace_one.closed_traces(), trace_two.closed_traces());
+    assert_eq!(
+        trace_one.latency_summary(),
+        trace_two.latency_summary(),
+        "latency digests differ between identical seeded runs"
+    );
+    trace_one.validate().expect("recorded spans are causally consistent");
 }
 
 #[test]

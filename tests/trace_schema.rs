@@ -1,0 +1,121 @@
+//! Trace artifact schema test: a seeded smoke deployment runs with a
+//! `Tracer` attached, and the recorded stream must satisfy the trace
+//! schema end to end —
+//!
+//! 1. the tracer's own invariants hold (`Tracer::validate`): strictly
+//!    increasing causal order, well-formed intervals, no open traces;
+//! 2. domain completeness: every injected token's trace terminates in
+//!    a `token.count` span, and the latency digest covers every token;
+//! 3. the Chrome `trace_event` export is well-formed JSON with the
+//!    fields `chrome://tracing` / Perfetto require;
+//! 4. `write_artifact` lands the file where `ACN_TRACE_DIR` says
+//!    (`scripts/check.sh` runs this test with that variable set and
+//!    checks the artifact exists).
+
+use std::collections::BTreeSet;
+
+use adaptive_counting_networks::core::dist::Deployment;
+use adaptive_counting_networks::trace::{chrome, Tracer};
+
+/// A short seeded deployment with enough churn to exercise every span
+/// kind family: token hops, a split/merge, and collector exits.
+fn smoke_run(tracer: &Tracer) -> u64 {
+    let w = 16;
+    let mut d = Deployment::new(w, 3, 0x5C0E);
+    d.attach_tracer(tracer);
+    for i in 0..24usize {
+        d.inject((i * 7) % w);
+        d.run_for(50);
+    }
+    d.join_node();
+    for i in 0..8usize {
+        d.inject((i * 3) % w);
+        d.run_for(50);
+    }
+    assert!(d.settle(300), "smoke deployment failed to settle");
+    d.run_for(100_000);
+    let total = d.collector().total();
+    assert_eq!(total, 32, "every injected token is counted exactly once");
+    total
+}
+
+/// Minimal structural JSON check: braces/brackets balance outside
+/// strings, string escapes are consumed, nothing closes early.
+fn assert_balanced_json(text: &str) {
+    let (mut objs, mut arrs) = (0i64, 0i64);
+    let (mut in_str, mut esc) = (false, false);
+    for c in text.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => objs += 1,
+            '}' => objs -= 1,
+            '[' => arrs += 1,
+            ']' => arrs -= 1,
+            _ => {}
+        }
+        assert!(objs >= 0 && arrs >= 0, "close before open in trace JSON");
+    }
+    assert!(!in_str, "unterminated string in trace JSON");
+    assert_eq!((objs, arrs), (0, 0), "unbalanced trace JSON");
+}
+
+#[test]
+fn smoke_trace_satisfies_the_schema_and_exports_cleanly() {
+    let tracer = Tracer::new(1 << 16);
+    let injected = smoke_run(&tracer);
+
+    // 1. Tracer invariants.
+    tracer.validate().expect("recorded stream violates the trace schema");
+    assert_eq!(tracer.dropped(), 0, "smoke ring must not wrap (grow capacity)");
+
+    let spans = tracer.spans();
+    assert!(!spans.is_empty());
+    assert!(
+        spans.windows(2).all(|w| w[0].seq < w[1].seq),
+        "spans() must come back in causal order"
+    );
+
+    // 2. Domain completeness: inject and count span sets agree, and
+    //    the latency digest folded every token in.
+    let injects: BTreeSet<u64> =
+        spans.iter().filter(|s| s.kind == "token.inject").map(|s| s.trace).collect();
+    let counts: BTreeSet<u64> =
+        spans.iter().filter(|s| s.kind == "token.count").map(|s| s.trace).collect();
+    assert_eq!(injects.len() as u64, injected, "one token.inject per injected token");
+    assert_eq!(injects, counts, "every injected token's trace ends in token.count");
+    assert_eq!(tracer.closed_traces(), injected);
+    let summary = tracer.latency_summary().expect("closed traces produce a digest");
+    assert_eq!(summary.count, injected);
+    assert!(summary.p50 >= 1.0 && summary.p99 >= summary.p50, "{summary}");
+
+    // 3. Chrome export shape.
+    let json = chrome::to_chrome_json(&spans);
+    assert!(json.starts_with("{\"traceEvents\":["), "envelope: {}", &json[..40.min(json.len())]);
+    assert!(json.ends_with("]}"));
+    assert_balanced_json(&json);
+    for required in ["\"name\":", "\"ph\":", "\"ts\":", "\"pid\":0", "\"tid\":", "\"cat\":\"acn\""]
+    {
+        assert!(json.contains(required), "export missing {required}");
+    }
+    assert_eq!(
+        json.matches("\"name\":").count(),
+        spans.len(),
+        "one trace event per recorded span"
+    );
+
+    // 4. The artifact lands under ACN_TRACE_DIR (or target/trace).
+    let path = chrome::write_artifact("smoke", &spans).expect("write trace artifact");
+    assert!(path.starts_with(chrome::artifact_dir()));
+    let on_disk = std::fs::read_to_string(&path).expect("artifact readable");
+    assert_eq!(on_disk, json, "artifact is the exact export");
+}
