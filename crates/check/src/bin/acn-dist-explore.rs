@@ -15,9 +15,16 @@
 //! (default 200); an optional argument overrides the base seed.
 //! Any failure prints the numbered schedule, re-verifies it through
 //! the replay entry point, and exits non-zero.
+//!
+//! By default every failure is minimized: choice-list ddmin inside the
+//! explorer, then full scenario-level shrinking (`shrink_dist`) at the
+//! bail site, which prints the simplified scenario alongside the
+//! minimal schedule. Set `ACN_SHRINK=0` to report raw counterexamples
+//! instead.
 
 use acn_check::{
-    check_dist, replay_dist_schedule, DistAction, DistCheckConfig, DistReport, DistScenario,
+    check_dist, replay_dist_schedule, shrink_dist, DistAction, DistCheckConfig, DistReport,
+    DistScenario,
 };
 use acn_topology::ComponentId;
 
@@ -59,11 +66,12 @@ fn random_scenario(seed: u64) -> DistScenario {
 
 fn summarize(name: &str, report: &DistReport) {
     println!(
-        "  {name}: {} schedules, {} sleep prunes, depth {}, \
+        "  {name}: {} schedules, {} sleep prunes, depth {}, {} dedup hits, \
          {} fault actions, {} preemptions, {} drops, completed={}",
         report.schedules,
         report.sleep_prunes,
         report.max_depth,
+        report.frontier_dedup_hits,
         report.fault_actions,
         report.timer_preemptions,
         report.drops,
@@ -71,13 +79,36 @@ fn summarize(name: &str, report: &DistReport) {
     );
 }
 
-/// Prints the failure, confirms it replays, and exits non-zero.
-fn bail(scenario: &DistScenario, report: &DistReport) -> ! {
+/// Prints the failure (scenario-minimized unless `ACN_SHRINK=0`),
+/// confirms it replays, and exits non-zero.
+fn bail(scenario: &DistScenario, report: &DistReport, shrink: bool) -> ! {
     let failure = report.failures.first().expect("bail needs a failure");
     eprintln!("FAILED after {} schedules:\n{failure}", report.schedules);
     match replay_dist_schedule(scenario, &failure.choices) {
         Some(replayed) => eprintln!("replay reproduces: {:?}: {}", replayed.kind, replayed.message),
         None => eprintln!("WARNING: the recorded schedule did not reproduce the failure"),
+    }
+    if shrink {
+        let minimized = shrink_dist(scenario, failure);
+        eprintln!(
+            "minimized scenario ({} replays, {} accepted): {} nodes, width {}, \
+             {} injections, {} actions, {} preemptions, {} drops",
+            minimized.stats.attempts,
+            minimized.stats.accepted,
+            minimized.scenario.nodes,
+            minimized.scenario.width,
+            minimized.scenario.injections.len(),
+            minimized.scenario.actions.len(),
+            minimized.scenario.timer_preemptions,
+            minimized.scenario.max_drops,
+        );
+        eprintln!("minimized failure:\n{}", minimized.failure);
+        match replay_dist_schedule(&minimized.scenario, &minimized.failure.choices) {
+            Some(replayed) => {
+                eprintln!("minimized replay reproduces: {:?}: {}", replayed.kind, replayed.message);
+            }
+            None => eprintln!("WARNING: the minimized schedule did not reproduce the failure"),
+        }
     }
     std::process::exit(1);
 }
@@ -91,32 +122,39 @@ fn main() {
         .ok()
         .map(|s| s.parse().expect("ACN_EXPLORE_BUDGET must be a u64"))
         .unwrap_or(200);
+    // ACN_SHRINK=0 reports raw counterexamples (default: minimize).
+    let shrink = std::env::var("ACN_SHRINK").map_or(true, |v| v != "0");
     let registry = acn_telemetry::Registry::new();
 
     println!("exhaustive suite (seed {seed:#x}):");
     for (name, scenario) in exhaustive_suite(seed) {
-        let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+        let mut config = DistCheckConfig::exhaustive();
+        config.shrink_failures = shrink;
+        let report = check_dist(&config, &scenario);
         report.emit(&registry);
         summarize(name, &report);
         if !report.ok() {
-            bail(&scenario, &report);
+            bail(&scenario, &report, shrink);
         }
     }
 
     println!("randomized fault exploration ({budget} schedules):");
     let scenario = random_scenario(seed);
-    let report = check_dist(&DistCheckConfig::random(budget, seed), &scenario);
+    let mut config = DistCheckConfig::random(budget, seed);
+    config.shrink_failures = shrink;
+    let report = check_dist(&config, &scenario);
     report.emit(&registry);
     summarize("3 nodes, split/inject/join/merge + drops", &report);
     if !report.ok() {
-        bail(&scenario, &report);
+        bail(&scenario, &report, shrink);
     }
 
     let snap = registry.snapshot();
     println!(
-        "totals: {} schedules, {} sleep prunes, {} fault actions, {} drops",
+        "totals: {} schedules, {} sleep prunes, {} dedup hits, {} fault actions, {} drops",
         snap.counter("acn.check.dist.schedules").unwrap_or(0),
         snap.counter("acn.check.dist.sleep_prunes").unwrap_or(0),
+        snap.counter("acn.check.dist.frontier_dedup_hits").unwrap_or(0),
         snap.counter("acn.check.dist.fault_actions").unwrap_or(0),
         snap.counter("acn.check.dist.drops").unwrap_or(0),
     );

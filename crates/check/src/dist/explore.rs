@@ -65,6 +65,15 @@ pub struct DistCheckConfig {
     pub max_steps: usize,
     /// Stop at the first failure (default) or keep exploring.
     pub stop_on_failure: bool,
+    /// Memoize canonically-fingerprinted states across executions
+    /// (exhaustive mode): a fresh decision node whose
+    /// [`DistRun::fingerprint`] was already visited with a subset
+    /// sleep set and at least as much remaining step budget is pruned.
+    /// Default on.
+    pub memoize: bool,
+    /// Minimize every recorded failure with the delta-debugging
+    /// shrinker ([`crate::shrink`]) before reporting it. Default on.
+    pub shrink_failures: bool,
 }
 
 impl Default for DistCheckConfig {
@@ -74,6 +83,8 @@ impl Default for DistCheckConfig {
             max_schedules: 200_000,
             max_steps: 5_000,
             stop_on_failure: true,
+            memoize: true,
+            shrink_failures: true,
         }
     }
 }
@@ -103,6 +114,12 @@ pub struct DistReport {
     pub schedules: u64,
     /// Branches dropped because every branching choice slept.
     pub sleep_prunes: u64,
+    /// Branches dropped by the canonical-state memo (an already-seen
+    /// rename-quotient fingerprint with a covering sleep set and
+    /// budget).
+    pub frontier_dedup_hits: u64,
+    /// Distinct canonical state fingerprints seen at decision nodes.
+    pub states_seen: u64,
     /// Deepest branching-decision stack reached.
     pub max_depth: usize,
     /// Fault actions applied, summed over all executions.
@@ -116,8 +133,11 @@ pub struct DistReport {
     /// ran (random) within the budget.
     pub completed: bool,
     /// Recorded failures (at most one unless `stop_on_failure` is
-    /// off).
+    /// off), pre-minimized when `DistCheckConfig::shrink_failures` is
+    /// on.
     pub failures: Vec<DistFailure>,
+    /// Shrinker statistics (all zero when no failure was shrunk).
+    pub shrink: crate::shrink::ShrinkStats,
 }
 
 impl DistReport {
@@ -138,7 +158,12 @@ impl DistReport {
             .counter("acn.check.dist.timer_preemptions")
             .add(self.timer_preemptions);
         registry.counter("acn.check.dist.drops").add(self.drops);
+        registry
+            .counter("acn.check.dist.frontier_dedup_hits")
+            .add(self.frontier_dedup_hits);
+        registry.counter("acn.check.dist.states_seen").add(self.states_seen);
         registry.gauge("acn.check.dist.max_depth").set(self.max_depth as f64);
+        self.shrink.emit(registry);
     }
 
     /// Panics with the first failure's full schedule if the check did
@@ -248,11 +273,16 @@ pub fn replay_dist_schedule(
 
 /// Runs one execution to its end, replaying `path` and extending it at
 /// the first fresh node. Shared by every DFS iteration.
+/// Sleep sets (with the remaining step budget) a canonical fingerprint
+/// was already explored under.
+type DistMemo = BTreeMap<u64, Vec<(BTreeSet<ChoiceId>, usize)>>;
+
 fn run_to_end(
     run: &mut DistRun,
     path: &mut Vec<Node>,
     report: &mut DistReport,
     scenario: &DistScenario,
+    mut memo: Option<&mut DistMemo>,
 ) -> ExecEnd {
     let mut sleep: BTreeSet<ChoiceId> = BTreeSet::new();
     let mut prev: Option<ChoiceId> = None;
@@ -282,7 +312,32 @@ fn run_to_end(
             sleep = &node.sleep_entry | &node.exhausted();
             *node.taken.last().expect("replayed node has a choice")
         } else {
-            // Fresh node: branch on every awake choice.
+            // Fresh node: consult the cross-execution canonical-state
+            // memo first. A hit with a subset sleep set and at least
+            // as much remaining budget means every continuation from
+            // here was already explored with at least as many
+            // scheduling options.
+            if let Some(memo) = memo.as_deref_mut() {
+                let fingerprint = run.fingerprint();
+                let remaining = run.remaining_steps();
+                match memo.get_mut(&fingerprint) {
+                    Some(seen) => {
+                        if seen
+                            .iter()
+                            .any(|(s, rem)| *rem >= remaining && s.is_subset(&sleep))
+                        {
+                            report.frontier_dedup_hits += 1;
+                            return ExecEnd::Pruned;
+                        }
+                        seen.push((sleep.clone(), remaining));
+                    }
+                    None => {
+                        report.states_seen += 1;
+                        memo.insert(fingerprint, vec![(sleep.clone(), remaining)]);
+                    }
+                }
+            }
+            // Branch on every awake choice.
             let awake: Vec<(DistChoice, ChoiceId)> = frontier
                 .iter()
                 .map(|c| (*c, run.choice_id(c)))
@@ -315,9 +370,29 @@ fn run_to_end(
     }
 }
 
+/// Runs the shrinker over a fresh failure when the config asks for it,
+/// folding the attempt statistics into the report. The scenario is
+/// left untouched (choices-only minimization), so the reported
+/// failure replays against the scenario the caller explored.
+fn maybe_shrink(
+    config: &DistCheckConfig,
+    scenario: &DistScenario,
+    failure: DistFailure,
+    report: &mut DistReport,
+) -> DistFailure {
+    if !config.shrink_failures {
+        return failure;
+    }
+    let (shrunk, stats) =
+        crate::shrink::shrink_dist_choices_budget(scenario, &failure, config.max_steps);
+    report.shrink.fold(&stats);
+    shrunk
+}
+
 fn check_exhaustive(config: &DistCheckConfig, scenario: &DistScenario) -> DistReport {
     let mut report = DistReport::default();
     let mut path: Vec<Node> = Vec::new();
+    let mut memo: DistMemo = DistMemo::new();
     let mut executions = 0u64;
 
     'executions: loop {
@@ -328,7 +403,13 @@ fn check_exhaustive(config: &DistCheckConfig, scenario: &DistScenario) -> DistRe
         executions += 1;
 
         let mut run = DistRun::new(scenario, config.max_steps);
-        let end = run_to_end(&mut run, &mut path, &mut report, scenario);
+        let end = run_to_end(
+            &mut run,
+            &mut path,
+            &mut report,
+            scenario,
+            config.memoize.then_some(&mut memo),
+        );
         report.fault_actions += run.fault_actions_done;
         report.timer_preemptions += run.timer_preemptions_used;
         report.drops += run.drops_done;
@@ -338,6 +419,7 @@ fn check_exhaustive(config: &DistCheckConfig, scenario: &DistScenario) -> DistRe
             ExecEnd::Pruned => {}
             ExecEnd::Failed(failure) => {
                 report.schedules += 1;
+                let failure = maybe_shrink(config, scenario, failure, &mut report);
                 report.failures.push(failure);
                 if config.stop_on_failure {
                     report.completed = false;
@@ -417,6 +499,7 @@ fn check_random(
         report.schedules += 1;
         if let Some(mut failure) = failure {
             failure.seed = Some(iter_seed);
+            let failure = maybe_shrink(config, scenario, failure, &mut report);
             report.failures.push(failure);
             if config.stop_on_failure {
                 report.completed = false;

@@ -622,6 +622,33 @@ impl DistRun {
     /// tokens that terminated at the collector more than once (the
     /// exactly-once violations the explorer hunts) — falling back to
     /// the recorder's full ring when no token can be blamed.
+    /// Remaining step budget. Cross-execution memoization must only
+    /// prune when the recorded visit had at least as much budget left,
+    /// or a state that previously quiesced within budget could mask a
+    /// later visit that would have hit [`DistFailureKind::Stuck`].
+    pub(crate) fn remaining_steps(&self) -> usize {
+        self.max_steps - self.steps
+    }
+
+    /// Canonical fingerprint of the complete run state: the
+    /// deployment's id-symmetry-quotient fingerprint
+    /// ([`Deployment::canonical_fingerprint`]) combined with the
+    /// run-local scheduling state (scripted-action cursor, fault
+    /// budgets, and the client-side injection ledger). Two runs with
+    /// equal fingerprints and equal remaining budget have identical
+    /// continuations for every choice sequence.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.d.canonical_fingerprint().hash(&mut h);
+        self.next_action.hash(&mut h);
+        self.timer_budget.hash(&mut h);
+        self.drop_budget.hash(&mut h);
+        self.injected.hash(&mut h);
+        self.injected_per_wire.hash(&mut h);
+        h.finish()
+    }
+
     pub(crate) fn failure(&self, kind: DistFailureKind, message: String) -> DistFailure {
         let spans = self.tracer.spans();
         let mut terminations: BTreeMap<u64, usize> = BTreeMap::new();

@@ -72,6 +72,18 @@ pub struct CheckConfig {
     pub max_steps: usize,
     /// Stop at the first failure (default) or keep exploring.
     pub stop_on_failure: bool,
+    /// Key the visited-state table on
+    /// [`Kernel::canonical_fingerprint`] (dead-store truncation)
+    /// instead of the raw [`Kernel::fingerprint`]. Default on; turn
+    /// off to measure how much the quotient saves.
+    pub canonical: bool,
+    /// Additionally bucket finished-and-joined threads as inert in the
+    /// canonical fingerprint (see [`Kernel::canonical_fingerprint`]).
+    /// Off by default.
+    pub symmetric: bool,
+    /// Minimize every recorded failure with the delta-debugging
+    /// shrinker ([`crate::shrink`]) before reporting it. Default on.
+    pub shrink_failures: bool,
 }
 
 impl Default for CheckConfig {
@@ -81,6 +93,9 @@ impl Default for CheckConfig {
             max_executions: 250_000,
             max_steps: 20_000,
             stop_on_failure: true,
+            canonical: true,
+            symmetric: false,
+            shrink_failures: true,
         }
     }
 }
@@ -116,8 +131,10 @@ pub struct Report {
     /// ran (random) within the budget.
     pub completed: bool,
     /// Recorded failures (at most one unless `stop_on_failure` is
-    /// off).
+    /// off), pre-minimized when `CheckConfig::shrink_failures` is on.
     pub failures: Vec<Failure>,
+    /// Shrinker statistics (all zero when no failure was shrunk).
+    pub shrink: crate::shrink::ShrinkStats,
 }
 
 impl Report {
@@ -136,6 +153,7 @@ impl Report {
         registry.counter("acn.check.states_seen").add(self.states_seen);
         registry.counter("acn.check.failures").add(self.failures.len() as u64);
         registry.gauge("acn.check.max_depth").set(self.max_depth as f64);
+        self.shrink.emit(registry);
     }
 
     /// Panics with the first failure's full report if the check did
@@ -238,18 +256,18 @@ where
     end
 }
 
-fn start_execution(scenario: &Arc<dyn Fn() + Send + Sync>) -> Arc<Kernel> {
+pub(crate) fn start_execution(scenario: &Arc<dyn Fn() + Send + Sync>) -> Arc<Kernel> {
     let kernel = Arc::new(Kernel::new());
     let body = Arc::clone(scenario);
     start_root(&kernel, move || body());
     kernel
 }
 
-fn first_enabled(pending: &[Pending]) -> Option<Choice> {
+pub(crate) fn first_enabled(pending: &[Pending]) -> Option<Choice> {
     pending.iter().find(|p| p.enabled).map(|p| Choice { tid: p.tid, variant: 0 })
 }
 
-fn deadlock_failure(kernel: &Kernel, pending: &[Pending]) -> Failure {
+pub(crate) fn deadlock_failure(kernel: &Kernel, pending: &[Pending]) -> Failure {
     let (mut schedule, choices) = kernel.schedule();
     for p in pending {
         schedule.push(ScheduleStep {
@@ -267,7 +285,7 @@ fn deadlock_failure(kernel: &Kernel, pending: &[Pending]) -> Failure {
     }
 }
 
-fn depth_failure(kernel: &Kernel, max_steps: usize) -> Failure {
+pub(crate) fn depth_failure(kernel: &Kernel, max_steps: usize) -> Failure {
     let (schedule, choices) = kernel.schedule();
     Failure {
         kind: FailureKind::DepthExceeded,
@@ -309,6 +327,22 @@ fn wake(
     });
 }
 
+/// Runs the shrinker over a fresh failure when the config asks for it,
+/// folding the attempt statistics into the report.
+fn maybe_shrink(
+    config: &CheckConfig,
+    scenario: &Arc<dyn Fn() + Send + Sync>,
+    failure: Failure,
+    report: &mut Report,
+) -> Failure {
+    if !config.shrink_failures {
+        return failure;
+    }
+    let (shrunk, stats) = crate::shrink::shrink_thread_arc(scenario, &failure, config.max_steps);
+    report.shrink.fold(&stats);
+    shrunk
+}
+
 fn check_exhaustive(config: &CheckConfig, scenario: &Arc<dyn Fn() + Send + Sync>) -> Report {
     let mut report = Report::default();
     let mut path: Vec<Node> = Vec::new();
@@ -348,7 +382,11 @@ fn check_exhaustive(config: &CheckConfig, scenario: &Arc<dyn Fn() + Send + Sync>
                         *node.taken.last().expect("replayed node has a choice")
                     } else {
                         // Fresh node.
-                        let fingerprint = kernel.fingerprint();
+                        let fingerprint = if config.canonical {
+                            kernel.canonical_fingerprint(config.symmetric)
+                        } else {
+                            kernel.fingerprint()
+                        };
                         match memo.get_mut(&fingerprint) {
                             Some(seen) => {
                                 if seen.iter().any(|s| s.is_subset(&sleep)) {
@@ -406,6 +444,7 @@ fn check_exhaustive(config: &CheckConfig, scenario: &Arc<dyn Fn() + Send + Sync>
             ExecEnd::Pruned => {}
             ExecEnd::Failed(failure) => {
                 report.schedules += 1;
+                let failure = maybe_shrink(config, scenario, failure, &mut report);
                 report.failures.push(failure);
                 if config.stop_on_failure {
                     report.completed = false;
@@ -483,6 +522,7 @@ fn check_random(
         report.schedules += 1;
         if let Some(mut failure) = failure {
             failure.seed = Some(iter_seed);
+            let failure = maybe_shrink(config, scenario, failure, &mut report);
             report.failures.push(failure);
             if config.stop_on_failure {
                 report.completed = false;

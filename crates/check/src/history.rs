@@ -1,0 +1,419 @@
+//! A linearizability / quiescent-consistency **history oracle** for
+//! the concurrent executors.
+//!
+//! The quiescent oracles ([`crate::oracles`]) only judge terminal
+//! states: run everything, join, check the exit counts. This module
+//! checks the *history* — every invocation/response interval with the
+//! value it returned — against a sequential specification, so
+//! intermediate states are verified too. Two consistency conditions
+//! are offered, matching what the theory actually promises:
+//!
+//! - [`History::check_linearizable`]: there is a total order of the
+//!   operations, consistent with real-time precedence (op `a` before
+//!   op `b` whenever `a` responded before `b` was invoked), under
+//!   which the sequential spec produces exactly the observed values.
+//!   This holds for a **single-component** adaptive network — the
+//!   whole traversal collapses to one `fetch_add`, which is its
+//!   linearization point.
+//! - [`History::check_quiescent`]: the same, but precedence only
+//!   relates operations separated by a *quiescent point* (an instant
+//!   with no operation in flight). This is the honest condition for
+//!   **multi-component** counting networks: the bitonic network's step
+//!   property is a quiescent guarantee, and overlapping traversals may
+//!   legitimately return values out of real-time order (no value is
+//!   ever duplicated or skipped — but the order is only
+//!   quiescently consistent, as the counting-network literature
+//!   spells out).
+//!
+//! The checker is a Wing–Gong-style search: depth-first over the
+//! precedence-minimal not-yet-linearized operations, memoized on the
+//! (taken-set, spec-state) pair so revisited frontiers are pruned.
+//! Histories are capped at 64 operations (a `u64` taken-mask) — far
+//! above what a bounded model-check scenario produces.
+//!
+//! Histories come from two seams, both already in the codebase:
+//!
+//! - [`History::from_spans`] reconstructs a history from the
+//!   executors' value-carrying trace spans (`exec.bitonic`,
+//!   `exec.traverse`), whose intervals cover the linearization point
+//!   by construction;
+//! - [`HistoryRecorder`] records a history directly inside a checked
+//!   scenario via the `SyncApi` clock seam, for oracle-ing ad-hoc
+//!   counters under the model checker.
+
+use acn_sync::SyncApi;
+use acn_trace::Span;
+use std::collections::BTreeSet;
+// The recorder must not run through the very lock layer the checker
+// explores: recording an operation is observation, not a scheduling
+// point. Under the checker exactly one logical thread runs at a time,
+// so this mutex is never contended and never blocks.
+// lint: std-sync-ok(observation-only recorder; must not create scheduling points in the checked scenario)
+use std::sync::{Mutex, PoisonError};
+
+/// One completed operation of a recorded history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Timestamp of the invocation (`SyncApi::monotonic_now` units).
+    pub invoke: u64,
+    /// Timestamp of the response (`>= invoke`).
+    pub respond: u64,
+    /// The value the operation returned.
+    pub value: u64,
+}
+
+/// A complete concurrent history: one [`OpRecord`] per operation.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The completed operations, in no particular order.
+    pub ops: Vec<OpRecord>,
+}
+
+/// A sequential specification the history is checked against.
+pub trait SeqSpec {
+    /// The sequential state (must be totally ordered for memoization).
+    type State: Clone + Ord;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// If an operation returning `value` is legal in `state`, the
+    /// state after it; `None` if the spec cannot produce `value` here.
+    fn apply(&self, state: &Self::State, value: u64) -> Option<Self::State>;
+}
+
+/// The sequential counter: hands out 0, 1, 2, ... in order. This is
+/// the spec of `next_value` — any permutation gap or duplicate makes
+/// some prefix unlinearizable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterSpec;
+
+impl SeqSpec for CounterSpec {
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, value: u64) -> Option<u64> {
+        (value == *state).then(|| state + 1)
+    }
+}
+
+impl History {
+    /// Reconstructs a history from value-carrying trace spans of the
+    /// given kind: `start`/`end` become the invocation/response
+    /// interval and the `value` field the result. Spans without a
+    /// `value` field are skipped (e.g. `exec.traverse` spans recorded
+    /// by `push`, which claims no value).
+    #[must_use]
+    pub fn from_spans(spans: &[Span], kind: &str) -> History {
+        let ops = spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .filter_map(|s| {
+                s.field("value")
+                    .map(|value| OpRecord { invoke: s.start, respond: s.end, value })
+            })
+            .collect();
+        History { ops }
+    }
+
+    /// Checks the history against `spec` under **real-time**
+    /// precedence (linearizability). Returns the violating diagnosis
+    /// on failure.
+    ///
+    /// # Errors
+    ///
+    /// An explanation of why no linearization exists (or why the
+    /// history is too long to check).
+    pub fn check_linearizable<S: SeqSpec>(&self, spec: &S) -> Result<(), String> {
+        let precedes = |a: usize, b: usize| self.ops[a].respond < self.ops[b].invoke;
+        self.linearize(spec, precedes).map_err(|e| format!("history is not linearizable: {e}"))
+    }
+
+    /// Checks the history against `spec` under **quiescent-point**
+    /// precedence (quiescent consistency): operation `a` must take
+    /// effect before `b` only if some instant with *no* operation in
+    /// flight separates `a`'s response from `b`'s invocation.
+    ///
+    /// # Errors
+    ///
+    /// An explanation of why no quiescently-consistent order exists
+    /// (or why the history is too long to check).
+    pub fn check_quiescent<S: SeqSpec>(&self, spec: &S) -> Result<(), String> {
+        // Sweep the timeline; count the quiescent cuts (active-ops
+        // counter returning to zero) seen strictly before each
+        // invocation and before each response. A cut separates a from
+        // b iff b's invocation has seen strictly more cuts than a's
+        // response had.
+        let n = self.ops.len();
+        let mut events: Vec<(u64, i8, usize)> = Vec::with_capacity(2 * n);
+        for (i, op) in self.ops.iter().enumerate() {
+            events.push((op.invoke, 1, i));
+            events.push((op.respond, -1, i));
+        }
+        // At equal timestamps, responses sweep before invocations, so
+        // back-to-back ops at the same instant still count as
+        // separated by the cut between them.
+        events.sort_by_key(|&(t, delta, _)| (t, delta));
+        let mut active = 0i64;
+        let mut cuts = 0u64;
+        let mut invoke_cuts = vec![0u64; n];
+        let mut respond_cuts = vec![0u64; n];
+        for (_, delta, i) in events {
+            if delta == 1 {
+                invoke_cuts[i] = cuts;
+                active += 1;
+            } else {
+                respond_cuts[i] = cuts;
+                active -= 1;
+                if active == 0 {
+                    cuts += 1;
+                }
+            }
+        }
+        let precedes = |a: usize, b: usize| invoke_cuts[b] > respond_cuts[a];
+        self.linearize(spec, precedes)
+            .map_err(|e| format!("history is not quiescently consistent: {e}"))
+    }
+
+    /// The Wing–Gong search core, parameterized by the precedence
+    /// relation. Finds a total order extending `precedes` under which
+    /// `spec` reproduces every observed value.
+    fn linearize<S: SeqSpec>(
+        &self,
+        spec: &S,
+        precedes: impl Fn(usize, usize) -> bool,
+    ) -> Result<(), String> {
+        let n = self.ops.len();
+        if n == 0 {
+            return Ok(());
+        }
+        if n > 64 {
+            return Err(format!("history has {n} operations (checker cap: 64)"));
+        }
+        // preds[j]: bitmask of operations that must linearize before j.
+        let preds: Vec<u64> = (0..n)
+            .map(|j| {
+                (0..n)
+                    .filter(|&i| i != j && precedes(i, j))
+                    .fold(0u64, |m, i| m | (1 << i))
+            })
+            .collect();
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        // DFS over (taken-mask, spec-state), memoized: a revisited
+        // frontier state linearizes the remainder identically.
+        let mut seen: BTreeSet<(u64, S::State)> = BTreeSet::new();
+        let mut stack: Vec<(u64, S::State)> = vec![(0, spec.initial())];
+        let mut deepest = 0u32;
+        while let Some((mask, state)) = stack.pop() {
+            if mask == full {
+                return Ok(());
+            }
+            deepest = deepest.max(mask.count_ones());
+            if !seen.insert((mask, state.clone())) {
+                continue;
+            }
+            for (j, &pred) in preds.iter().enumerate() {
+                let bit = 1u64 << j;
+                if mask & bit != 0 || pred & !mask != 0 {
+                    continue;
+                }
+                if let Some(next) = spec.apply(&state, self.ops[j].value) {
+                    stack.push((mask | bit, next));
+                }
+            }
+        }
+        let mut ops: Vec<&OpRecord> = self.ops.iter().collect();
+        ops.sort_by_key(|o| (o.invoke, o.respond));
+        Err(format!(
+            "no order extends the precedence relation past {deepest}/{n} operations; \
+             history (by invocation): {:?}",
+            ops
+        ))
+    }
+}
+
+/// Records a history from inside a (checked or real) concurrent
+/// scenario, stamping invocations and responses through the `SyncApi`
+/// clock seam. Under `VirtualSync` the stamps come from the
+/// deterministic virtual clock and recording is not a scheduling
+/// point, so attaching the recorder does not change the explored
+/// schedule space.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    /// `(invoke, Some((respond, value)))` once completed.
+    ops: Mutex<Vec<PendingOp>>,
+}
+
+/// An in-flight or completed recorded operation:
+/// `(invoke, Some((respond, value)))` once completed.
+type PendingOp = (u64, Option<(u64, u64)>);
+
+impl HistoryRecorder {
+    /// A fresh, empty recorder.
+    #[must_use]
+    pub fn new() -> HistoryRecorder {
+        HistoryRecorder::default()
+    }
+
+    /// Records an invocation now; returns the operation's id.
+    pub fn invoke<S: SyncApi>(&self) -> usize {
+        let mut ops = self.ops.lock().unwrap_or_else(PoisonError::into_inner);
+        ops.push((S::monotonic_now(), None));
+        ops.len() - 1
+    }
+
+    /// Records operation `op`'s response with the value it returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was not handed out by [`invoke`](Self::invoke)
+    /// or already responded.
+    pub fn respond<S: SyncApi>(&self, op: usize, value: u64) {
+        let mut ops = self.ops.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = &mut ops[op];
+        assert!(slot.1.is_none(), "operation {op} already responded");
+        slot.1 = Some((S::monotonic_now(), value));
+    }
+
+    /// The history of completed operations (pending invocations are
+    /// dropped: the oracle checks complete histories, and a bounded
+    /// scenario joins all its threads before collecting).
+    #[must_use]
+    pub fn history(&self) -> History {
+        let ops = self.ops.lock().unwrap_or_else(PoisonError::into_inner);
+        History {
+            ops: ops
+                .iter()
+                .filter_map(|&(invoke, done)| {
+                    done.map(|(respond, value)| OpRecord { invoke, respond, value })
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acn_sync::RealSync;
+
+    fn op(invoke: u64, respond: u64, value: u64) -> OpRecord {
+        OpRecord { invoke, respond, value }
+    }
+
+    #[test]
+    fn empty_history_is_trivially_consistent() {
+        let h = History::default();
+        h.check_linearizable(&CounterSpec).unwrap();
+        h.check_quiescent(&CounterSpec).unwrap();
+    }
+
+    #[test]
+    fn sequential_dense_history_is_linearizable() {
+        let h = History { ops: vec![op(0, 1, 0), op(2, 3, 1), op(4, 5, 2)] };
+        h.check_linearizable(&CounterSpec).unwrap();
+        h.check_quiescent(&CounterSpec).unwrap();
+    }
+
+    #[test]
+    fn real_time_reordering_is_not_linearizable() {
+        // A finishes strictly before B starts, yet B returned the
+        // earlier value: no linearization exists.
+        let h = History { ops: vec![op(0, 1, 1), op(2, 3, 0)] };
+        let err = h.check_linearizable(&CounterSpec).unwrap_err();
+        assert!(err.contains("not linearizable"), "{err}");
+        // The quiescent cut between them forbids the reorder too.
+        assert!(h.check_quiescent(&CounterSpec).is_err());
+    }
+
+    #[test]
+    fn overlapping_operations_may_reorder() {
+        // B runs inside A's interval, so either order is admissible.
+        let h = History { ops: vec![op(0, 3, 1), op(1, 2, 0)] };
+        h.check_linearizable(&CounterSpec).unwrap();
+        h.check_quiescent(&CounterSpec).unwrap();
+    }
+
+    #[test]
+    fn quiescent_but_not_linearizable() {
+        // The canonical separation: C spans the whole run, so there is
+        // never a quiescent point, and A/B (real-time ordered between
+        // themselves) returned out-of-order values. Linearizability
+        // must reject, quiescent consistency must accept.
+        let h = History { ops: vec![op(0, 10, 0), op(1, 2, 2), op(3, 4, 1)] };
+        assert!(h.check_linearizable(&CounterSpec).is_err());
+        h.check_quiescent(&CounterSpec).unwrap();
+    }
+
+    #[test]
+    fn duplicated_value_fails_both_conditions() {
+        // A lost update: two operations claimed the same value. No
+        // order whatsoever satisfies the counter spec.
+        let h = History { ops: vec![op(0, 3, 0), op(1, 2, 0)] };
+        assert!(h.check_linearizable(&CounterSpec).is_err());
+        assert!(h.check_quiescent(&CounterSpec).is_err());
+    }
+
+    #[test]
+    fn back_to_back_at_the_same_instant_are_separated() {
+        // A responds at t=1 and B invokes at t=1: the sweep counts the
+        // quiescent cut between them (responses sort before
+        // invocations at equal times), so even QC forbids the swap.
+        let h = History { ops: vec![op(0, 1, 1), op(1, 2, 0)] };
+        assert!(h.check_quiescent(&CounterSpec).is_err());
+    }
+
+    #[test]
+    fn histories_beyond_the_mask_cap_are_rejected() {
+        let ops: Vec<OpRecord> = (0..65).map(|i| op(2 * i, 2 * i + 1, i)).collect();
+        let err = History { ops }.check_linearizable(&CounterSpec).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn exactly_64_operations_are_checkable() {
+        let ops: Vec<OpRecord> = (0..64).map(|i| op(2 * i, 2 * i + 1, i)).collect();
+        History { ops }.check_linearizable(&CounterSpec).unwrap();
+    }
+
+    #[test]
+    fn from_spans_keeps_only_value_carrying_spans_of_the_kind() {
+        let spans = vec![
+            Span::new("exec.traverse", 1).between(0, 5).with("out", 2).with("value", 0),
+            // A push span: same kind, no value claimed.
+            Span::new("exec.traverse", 2).between(1, 2).with("out", 3),
+            // A different kind entirely.
+            Span::new("exec.hop", 3).between(2, 3).with("value", 9),
+            Span::new("exec.traverse", 4).between(6, 7).with("value", 1),
+        ];
+        let h = History::from_spans(&spans, "exec.traverse");
+        assert_eq!(h.ops, vec![op(0, 5, 0), op(6, 7, 1)]);
+        h.check_linearizable(&CounterSpec).unwrap();
+    }
+
+    #[test]
+    fn recorder_round_trips_completed_operations() {
+        let rec = HistoryRecorder::new();
+        let a = rec.invoke::<RealSync>();
+        let b = rec.invoke::<RealSync>();
+        rec.respond::<RealSync>(b, 0);
+        rec.respond::<RealSync>(a, 1);
+        // A third operation never responds and is dropped.
+        let _ = rec.invoke::<RealSync>();
+        let h = rec.history();
+        assert_eq!(h.ops.len(), 2);
+        h.check_linearizable(&CounterSpec).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already responded")]
+    fn double_respond_panics() {
+        let rec = HistoryRecorder::new();
+        let a = rec.invoke::<RealSync>();
+        rec.respond::<RealSync>(a, 0);
+        rec.respond::<RealSync>(a, 1);
+    }
+}

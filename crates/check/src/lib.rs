@@ -63,10 +63,12 @@
 
 pub mod dist;
 pub mod explore;
+pub mod history;
 pub mod lint;
 pub mod oracles;
 pub mod rng;
 pub mod sched;
+pub mod shrink;
 pub mod virtual_sync;
 pub mod vthread;
 
@@ -75,5 +77,7 @@ pub use dist::{
     DistFailureKind, DistMode, DistReport, DistScenario, OracleConfig,
 };
 pub use explore::{check, replay_schedule, CheckConfig, Mode, Report};
+pub use history::{CounterSpec, History, HistoryRecorder, OpRecord, SeqSpec};
 pub use sched::{Choice, Failure, FailureKind, ScheduleStep};
+pub use shrink::{shrink_dist, shrink_dist_choices, shrink_thread_choices, ShrinkStats, ShrunkDist};
 pub use virtual_sync::VirtualSync;

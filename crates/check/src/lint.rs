@@ -61,12 +61,23 @@
 //!   compares span DAGs across same-seed runs, and an ambient clock or
 //!   RNG on the trace path makes them diverge. The seam implementation
 //!   (`crates/sync/`) is the one place the ambient clock is allowed.
+//! - **`unsafe-audit`** — an `unsafe` block/fn/impl without a
+//!   `// safety:` justification on the same line or the comment line
+//!   directly above. The workspace is `#![forbid(unsafe_code)]`
+//!   almost everywhere; where unsafety is ever introduced, the
+//!   invariant argument must ride next to it. (This rule uses the
+//!   `// safety:` idiom rather than the `lint: ...-ok(...)` form, to
+//!   match what rustdoc/clippy conventions already expect reviewers
+//!   to read.)
 
 use std::path::{Path, PathBuf};
 
 /// Pattern constants are assembled with `concat!` so this file does
 /// not itself contain the flagged token sequences.
 const RELAXED: &str = concat!("Ordering::", "Relaxed");
+const UNSAFE_KW: &str = concat!("unsa", "fe");
+const UNSAFE_RULE: &str = concat!("unsa", "fe-audit");
+const SAFETY_MARKER: &str = concat!("// ", "safety:");
 const STD_SYNC_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
 const STD_SYNC_PREFIX: &str = concat!("std::", "sync::");
 const HASH_TYPES: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
@@ -114,7 +125,8 @@ fn in_observability_layer(path: &str) -> bool {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`hash`, `relaxed`, `std-sync`, `snapshot`,
-    /// `determinism-seam`, `lock-order`, `trace-determinism`).
+    /// `determinism-seam`, `lock-order`, `trace-determinism`,
+    /// `unsafe-audit`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -145,6 +157,17 @@ fn annotated(rule: &str, line: &str, above: Option<&str>) -> bool {
             // Require a non-empty reason before the closing paren.
             rest.find(')').is_some_and(|end| !rest[..end].trim().is_empty())
         })
+    };
+    has(line) || above.is_some_and(|l| is_comment_line(l) && has(l))
+}
+
+/// Whether `line` (or the comment line `above`) carries a
+/// `// safety: <non-empty justification>` for the `unsafe-audit`
+/// rule.
+fn safety_justified(line: &str, above: Option<&str>) -> bool {
+    let has = |l: &str| {
+        l.find(SAFETY_MARKER)
+            .is_some_and(|start| !l[start + SAFETY_MARKER.len()..].trim().is_empty())
     };
     has(line) || above.is_some_and(|l| is_comment_line(l) && has(l))
 }
@@ -337,6 +360,21 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                 message: format!(
                     "unjustified {RELAXED}: state why relaxed ordering is sufficient with \
                      `// lint: relaxed-ok(reason)` or strengthen the ordering"
+                ),
+                snippet: snippet.clone(),
+            });
+        }
+
+        // Unsafe audit: the keyword is matched token-bounded, so
+        // `#![forbid(unsafe_code)]` attributes do not trip it.
+        if token_bounded(line, UNSAFE_KW) && !safety_justified(line, above) {
+            findings.push(Finding {
+                rule: UNSAFE_RULE,
+                path: path.to_string(),
+                line: lineno,
+                message: format!(
+                    "unaudited `{UNSAFE_KW}`: state why the invariants hold with a \
+                     `{SAFETY_MARKER} <justification>` on this line or the comment line above"
                 ),
                 snippet: snippet.clone(),
             });
@@ -700,6 +738,39 @@ mod tests {
         }
         // The same line is fine in harness code off the trace path.
         assert!(lint_source("crates/bench/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn flags_unaudited_unsafe_and_accepts_safety_comments() {
+        let bare = format!("    {UNSAFE_KW} {{ ptr.read() }}\n");
+        let hits = lint_source("crates/core/src/concurrent.rs", &bare);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, UNSAFE_RULE);
+
+        let same_line =
+            format!("    {UNSAFE_KW} {{ ptr.read() }} {SAFETY_MARKER} ptr outlives the arena\n");
+        assert!(lint_source("x.rs", &same_line).is_empty());
+
+        let above = format!("    {SAFETY_MARKER} ptr outlives the arena\n{bare}");
+        assert!(lint_source("x.rs", &above).is_empty());
+
+        // An empty justification does not count.
+        let empty = format!("    {UNSAFE_KW} {{ ptr.read() }} {SAFETY_MARKER}\n");
+        assert_eq!(lint_source("x.rs", &empty).len(), 1);
+
+        // `unsafe fn` and `unsafe impl` are audited too.
+        for form in ["fn read_raw()", "impl Send for Cell"] {
+            let src = format!("{UNSAFE_KW} {form} {{}}\n");
+            assert_eq!(lint_source("x.rs", &src).len(), 1, "{form}");
+        }
+    }
+
+    #[test]
+    fn forbid_unsafe_code_attributes_are_not_flagged() {
+        // The identifier `unsafe_code` is not the keyword: the token
+        // boundary check must keep the workspace-wide forbids clean.
+        let src = format!("#![forbid({UNSAFE_KW}_code)]\n");
+        assert!(lint_source("crates/core/src/lib.rs", &src).is_empty());
     }
 
     #[test]

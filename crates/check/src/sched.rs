@@ -357,6 +357,11 @@ struct ThreadRec {
     /// Per-atomic coherence frontier: the newest store index already
     /// read.
     frontier: std::collections::BTreeMap<u64, usize>,
+    /// Whether some thread has already joined this one. A finished,
+    /// joined thread is inert: its handle is consumed, so no future op
+    /// can observe its record (see
+    /// [`Kernel::canonical_fingerprint`]'s `symmetric` mode).
+    joined: bool,
 }
 
 #[derive(Debug)]
@@ -437,6 +442,7 @@ impl Kernel {
                     obs: 0,
                     held: Vec::new(),
                     frontier: std::collections::BTreeMap::new(),
+                    joined: false,
                 }],
                 objects: Vec::new(),
                 grant: None,
@@ -515,6 +521,7 @@ impl Kernel {
             obs: 0,
             held: Vec::new(),
             frontier: std::collections::BTreeMap::new(),
+            joined: false,
         });
         tid
     }
@@ -863,6 +870,7 @@ impl Kernel {
             Op::Join { target } => {
                 let target_clock = st.threads[*target].clock.clone();
                 st.threads[tid].clock.join(&target_clock);
+                st.threads[*target].joined = true;
                 0
             }
         };
@@ -911,6 +919,104 @@ impl Kernel {
         let st = self.lock();
         debug_assert!(st.touched.is_empty(), "fingerprint before draining wake info");
         hash_of(&(&st.objects, &st.threads))
+    }
+
+    /// A *canonical* state fingerprint: like [`fingerprint`]
+    /// (`Self::fingerprint`), but quotiented by state differences no
+    /// future operation can observe, so more genuinely-equivalent
+    /// interleavings collapse to one memo entry.
+    ///
+    /// Two reductions apply:
+    ///
+    /// - **Dead-store truncation.** For every atomic, the prefix of the
+    ///   modification order that *no* live thread may ever read again is
+    ///   dropped before hashing. A load by thread `t` is bounded below
+    ///   by `t`'s happens-before minimum (`hb_min`, the newest store
+    ///   with `s.vc[s.tid] <= clock_t[s.tid]`), and `hb_min` is
+    ///   monotone in the clock — so the minimum of `hb_min` over all
+    ///   non-finished threads is a sound cutoff even for threads
+    ///   spawned later (a child inherits its parent's clock, never a
+    ///   smaller one). Per-thread coherence frontiers are rebased to
+    ///   the truncated indexing (entries that rebase to the implicit
+    ///   floor 0 are dropped). States that differ only in how a
+    ///   now-invisible write order came about become equal.
+    ///
+    /// - **Inert-thread bucketing** (only when `symmetric`). A thread
+    ///   that is `Finished` *and* already joined is inert: its handle
+    ///   is consumed (join handles are affine, so a second join can
+    ///   never be issued) and no kernel op reads its record again. Its
+    ///   entire record hashes as a constant. This is opt-in because it
+    ///   additionally forgets the inert thread's observation hash —
+    ///   sound for the kernel's state machine, but intentionally
+    ///   separate so the default canonical mode stays a pure
+    ///   dead-store quotient.
+    ///
+    /// Both reductions only ever *merge* states whose continuations are
+    /// behaviourally identical; a hash collision (as with the plain
+    /// fingerprint) can at worst suppress exploration of a schedule,
+    /// never produce a false failure.
+    #[must_use]
+    pub fn canonical_fingerprint(&self, symmetric: bool) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let st = self.lock();
+        debug_assert!(st.touched.is_empty(), "fingerprint before draining wake info");
+        // Per-atomic cutoff: the oldest store index any non-finished
+        // thread may still read. At least the newest store survives.
+        let mut cuts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for (obj, rec) in st.objects.iter().enumerate() {
+            let ObjRec::Atomic { history } = rec else { continue };
+            let mut cut = history.len() - 1;
+            for t in &st.threads {
+                if t.status == Status::Finished {
+                    continue;
+                }
+                let hb_min = history
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, s)| s.vc.get(s.tid) <= t.clock.get(s.tid))
+                    .map_or(0, |(i, _)| i);
+                cut = cut.min(hb_min);
+            }
+            cuts.insert(obj as u64, cut);
+        }
+        let mut h = std::hash::DefaultHasher::new();
+        st.objects.len().hash(&mut h);
+        for (obj, rec) in st.objects.iter().enumerate() {
+            match rec {
+                ObjRec::Atomic { history } => {
+                    let cut = cuts[&(obj as u64)];
+                    0u8.hash(&mut h);
+                    history[cut..].hash(&mut h);
+                }
+                other => {
+                    1u8.hash(&mut h);
+                    other.hash(&mut h);
+                }
+            }
+        }
+        st.threads.len().hash(&mut h);
+        for t in &st.threads {
+            if symmetric && t.joined && t.status == Status::Finished {
+                u64::MAX.hash(&mut h);
+                continue;
+            }
+            t.status.hash(&mut h);
+            t.clock.hash(&mut h);
+            t.obs.hash(&mut h);
+            t.held.hash(&mut h);
+            let rebased: Vec<(u64, usize)> = t
+                .frontier
+                .iter()
+                .filter_map(|(&obj, &idx)| {
+                    let cut = cuts.get(&obj).copied().unwrap_or(0);
+                    let r = idx.max(cut) - cut;
+                    (r != 0).then_some((obj, r))
+                })
+                .collect();
+            rebased.hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Winds the execution down: repeatedly grants a poison to every

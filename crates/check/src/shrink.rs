@@ -1,0 +1,571 @@
+//! Delta-debugging counterexample minimization for both checkers.
+//!
+//! A raw counterexample out of the explorers is a choice list with
+//! dozens-to-hundreds of entries, most of which are incidental: the
+//! schedule wandered there, but the bug doesn't need them. This module
+//! shrinks such failures to (locally) minimal, still-failing,
+//! seed-replayable schedules, in the classic ddmin shape:
+//!
+//! 1. **Chunk removal (ddmin).** Try deleting progressively smaller
+//!    chunks of the choice list, replaying after every candidate;
+//!    keep any candidate that still fails *the same way*.
+//! 2. **Point lowering.** Try lowering each surviving choice to its
+//!    most canonical form (variant 0 for stale-load branches, the
+//!    time-ordered head for dist deliveries) — this turns "deliver the
+//!    3rd pending event" into "deliver the head", which reads better
+//!    and replays identically.
+//! 3. **Scenario minimization** (dist only, [`shrink_dist`]): drop
+//!    scripted fault actions and boot injections, tighten the timer-
+//!    preemption and drop budgets, remove overlay nodes — each with a
+//!    confirming replay.
+//!
+//! # Lenient replay, strict result
+//!
+//! Deleting choices desynchronizes the positional indices the strict
+//! replayers demand, so candidates run under a *lenient* replayer:
+//! recorded choices that are not enabled at the current decision are
+//! skipped, and when the list runs dry the execution completes
+//! deterministically (canonical first enabled choice — exactly the
+//! strict replayers' extension rule). The kernel/run re-records every
+//! choice actually applied, and that **re-recorded** list becomes the
+//! new candidate, so the shrunk failure's `choices` always replay
+//! strictly ([`crate::replay_schedule`] /
+//! [`crate::replay_dist_schedule`]) with zero divergence.
+//!
+//! # "Fails the same way"
+//!
+//! A candidate is accepted only if the replayed failure has the same
+//! kind and the same *oracle class* — the failure message up to the
+//! first `:`, which is the oracle's stable prefix (the suffix carries
+//! state-specific counts that legitimately change as the schedule
+//! shrinks). This keeps the minimizer from walking from, say, an
+//! exactly-once violation to an unrelated stuck-budget failure that a
+//! mutilated schedule also triggers.
+//!
+//! Every acceptance strictly decreases the choice-list length, so
+//! shrinking terminates and is convergent: shrinking an already-shrunk
+//! failure is a fixpoint (asserted by a property test).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::dist::{
+    oracles as dist_oracles, DistAction, DistChoice, DistFailure, DistFailureKind, DistRun,
+    DistScenario,
+};
+use crate::explore::{deadlock_failure, depth_failure, first_enabled, start_execution};
+use crate::sched::{Choice, Failure, WaitOutcome};
+
+/// Hard cap on confirming replays per shrink, so a pathological
+/// counterexample can't stall a sweep (each replay is one bounded
+/// execution).
+const MAX_ATTEMPTS: u64 = 2_000;
+
+/// Statistics of one or more shrink runs (`acn.check.shrink.*`).
+#[derive(Debug, Clone, Default)]
+pub struct ShrinkStats {
+    /// Confirming replays executed.
+    pub attempts: u64,
+    /// Candidates accepted (each strictly shortened the schedule).
+    pub accepted: u64,
+    /// Choices removed in total (original length - final length).
+    pub removed_choices: u64,
+    /// Failures run through the shrinker.
+    pub failures_shrunk: u64,
+}
+
+impl ShrinkStats {
+    /// Folds another run's statistics into this one.
+    pub fn fold(&mut self, other: &ShrinkStats) {
+        self.attempts += other.attempts;
+        self.accepted += other.accepted;
+        self.removed_choices += other.removed_choices;
+        self.failures_shrunk += other.failures_shrunk;
+    }
+
+    /// Emits the statistics as `acn.check.shrink.*` counters.
+    pub fn emit(&self, registry: &acn_telemetry::Registry) {
+        registry.counter("acn.check.shrink.attempts").add(self.attempts);
+        registry.counter("acn.check.shrink.accepted").add(self.accepted);
+        registry
+            .counter("acn.check.shrink.removed_choices")
+            .add(self.removed_choices);
+        registry
+            .counter("acn.check.shrink.failures_shrunk")
+            .add(self.failures_shrunk);
+    }
+}
+
+/// The stable identity of a failure: its kind plus the oracle-class
+/// prefix of the message (everything before the first `:`).
+fn message_class(message: &str) -> &str {
+    message.split(':').next().unwrap_or("")
+}
+
+// ---------------------------------------------------------------------
+// Generic ddmin engine
+// ---------------------------------------------------------------------
+
+/// The per-domain replay hook ddmin drives. `replay` runs a candidate
+/// choice list and returns `Some((failure, applied))` iff the
+/// execution still fails in the original class, where `applied` is the
+/// re-recorded list of choices actually granted (always strictly
+/// replayable).
+/// A lenient replay: `None` if the candidate fails differently (or
+/// not at all), `Some((result, applied))` with the strictly-replayable
+/// applied choice list when it fails the same way.
+type ReplayFn<'a, C, R> = Box<dyn FnMut(&[C]) -> Option<(R, Vec<C>)> + 'a>;
+
+struct Minimizer<'a, C, R> {
+    replay: ReplayFn<'a, C, R>,
+    /// Canonical lowerings to try for one choice (most-canonical
+    /// first); empty if the choice is already canonical.
+    lowerings: fn(&C) -> Vec<C>,
+    stats: &'a mut ShrinkStats,
+}
+
+impl<C: Clone + PartialEq, R> Minimizer<'_, C, R> {
+    fn try_candidate(&mut self, candidate: &[C], best_len: usize) -> Option<(R, Vec<C>)> {
+        if self.stats.attempts >= MAX_ATTEMPTS {
+            return None;
+        }
+        self.stats.attempts += 1;
+        let (result, applied) = (self.replay)(candidate)?;
+        // Accept on the *re-recorded* length: lenient replay may have
+        // both skipped entries and auto-extended, and only the applied
+        // list is guaranteed to replay strictly.
+        if applied.len() < best_len {
+            self.stats.accepted += 1;
+            Some((result, applied))
+        } else {
+            None
+        }
+    }
+
+    /// Classic ddmin chunk removal followed by a point-lowering pass,
+    /// iterated to a fixpoint (or the attempt cap). Returns the final
+    /// choice list and the last accepted failure, if any reduction
+    /// succeeded.
+    fn minimize(&mut self, initial: Vec<C>) -> (Vec<C>, Option<R>) {
+        let mut best = initial;
+        let mut result = None;
+        loop {
+            let before = best.len();
+            self.chunk_pass(&mut best, &mut result);
+            self.lower_pass(&mut best, &mut result);
+            if best.len() >= before || best.is_empty() {
+                break;
+            }
+        }
+        (best, result)
+    }
+
+    fn chunk_pass(&mut self, best: &mut Vec<C>, result: &mut Option<R>) {
+        let mut n = 2usize;
+        while best.len() >= 2 {
+            let chunk = best.len().div_ceil(n);
+            let mut reduced = false;
+            let mut start = 0usize;
+            while start < best.len() {
+                let end = (start + chunk).min(best.len());
+                let mut candidate = Vec::with_capacity(best.len() - (end - start));
+                candidate.extend_from_slice(&best[..start]);
+                candidate.extend_from_slice(&best[end..]);
+                if let Some((r, applied)) = self.try_candidate(&candidate, best.len()) {
+                    *best = applied;
+                    *result = Some(r);
+                    reduced = true;
+                    break;
+                }
+                start = end;
+            }
+            if reduced {
+                n = n.saturating_sub(1).max(2);
+            } else if n >= best.len() || self.stats.attempts >= MAX_ATTEMPTS {
+                break;
+            } else {
+                n = (2 * n).min(best.len());
+            }
+        }
+    }
+
+    /// For each position, try the choice's canonical lowerings. A
+    /// lowering keeps the length, so acceptance here requires the
+    /// *replayed* list to be no longer and lexicographically "more
+    /// canonical" is approximated by simply requiring it to still fail
+    /// and not grow.
+    fn lower_pass(&mut self, best: &mut Vec<C>, result: &mut Option<R>) {
+        let mut i = 0usize;
+        while i < best.len() {
+            for lowered in (self.lowerings)(&best[i]) {
+                if lowered == best[i] || self.stats.attempts >= MAX_ATTEMPTS {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[i] = lowered;
+                self.stats.attempts += 1;
+                if let Some((r, applied)) = (self.replay)(&candidate) {
+                    // A lowering is only useful if it does not lengthen
+                    // the schedule; shorter is a bonus.
+                    if applied.len() <= best.len() {
+                        if applied.len() < best.len() {
+                            self.stats.accepted += 1;
+                        }
+                        *best = applied;
+                        *result = Some(r);
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-schedule shrinking
+// ---------------------------------------------------------------------
+
+/// Lenient replay of a thread-schedule candidate: recorded choices
+/// that are not currently pending/enabled (or whose stale-load variant
+/// is out of range) are skipped; after the list runs dry the execution
+/// completes with the canonical first enabled choice. Returns the
+/// failure, if the execution still fails.
+pub(crate) fn replay_thread_lenient(
+    scenario: &Arc<dyn Fn() + Send + Sync>,
+    choices: &[Choice],
+    max_steps: usize,
+) -> Option<Failure> {
+    let kernel = start_execution(scenario);
+    let mut queue: VecDeque<Choice> = choices.iter().copied().collect();
+    let mut depth = 0usize;
+    let end = loop {
+        match kernel.wait_quiescent() {
+            WaitOutcome::Failed => break kernel.take_failure(),
+            WaitOutcome::AllFinished => break None,
+            WaitOutcome::Node(pending) => {
+                if depth >= max_steps {
+                    break Some(depth_failure(&kernel, max_steps));
+                }
+                let _ = kernel.take_touched();
+                let mut chosen = None;
+                while let Some(c) = queue.pop_front() {
+                    let valid = pending
+                        .iter()
+                        .any(|p| p.tid == c.tid && p.enabled && c.variant < p.variants);
+                    if valid {
+                        chosen = Some(c);
+                        break;
+                    }
+                }
+                let choice = match chosen.or_else(|| first_enabled(&pending)) {
+                    Some(c) => c,
+                    None => break Some(deadlock_failure(&kernel, &pending)),
+                };
+                depth += 1;
+                kernel.grant(choice);
+            }
+        }
+    };
+    kernel.poison_and_join();
+    end
+}
+
+/// Minimizes a failing thread schedule: ddmin over the choice list
+/// plus variant lowering, every candidate confirmed by lenient replay
+/// against the same scenario. The returned failure's `choices` replay
+/// strictly via [`crate::replay_schedule`] to the same failure kind
+/// and oracle class.
+pub fn shrink_thread_choices<F>(scenario: F, failure: &Failure) -> (Failure, ShrinkStats)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+    shrink_thread_arc(&scenario, failure, crate::CheckConfig::default().max_steps)
+}
+
+/// [`shrink_thread_choices`] over an already-shared scenario (the
+/// explorer's internal entry point).
+pub(crate) fn shrink_thread_arc(
+    scenario: &Arc<dyn Fn() + Send + Sync>,
+    failure: &Failure,
+    max_steps: usize,
+) -> (Failure, ShrinkStats) {
+    let mut stats = ShrinkStats { failures_shrunk: 1, ..ShrinkStats::default() };
+    let kind = failure.kind.clone();
+    let class = message_class(&failure.message).to_string();
+    let original_len = failure.choices.len();
+    let (choices, shrunk) = {
+        let mut minimizer = Minimizer {
+            replay: Box::new(|candidate: &[Choice]| {
+                let f = replay_thread_lenient(scenario, candidate, max_steps)?;
+                (f.kind == kind && message_class(&f.message) == class).then(|| {
+                    let applied = f.choices.clone();
+                    (f, applied)
+                })
+            }),
+            lowerings: |c: &Choice| {
+                if c.variant == 0 {
+                    Vec::new()
+                } else {
+                    vec![Choice { tid: c.tid, variant: 0 }]
+                }
+            },
+            stats: &mut stats,
+        };
+        minimizer.minimize(failure.choices.clone())
+    };
+    stats.removed_choices += (original_len - choices.len().min(original_len)) as u64;
+    match shrunk {
+        Some(mut f) => {
+            f.seed = failure.seed;
+            (f, stats)
+        }
+        None => (failure.clone(), stats),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dist-schedule shrinking
+// ---------------------------------------------------------------------
+
+/// Lenient replay of a dist-schedule candidate: recorded choices not
+/// in the current branching frontier are skipped; after the list runs
+/// dry the canonical head choice extends the execution. Returns the
+/// failure, if the execution still fails.
+pub(crate) fn replay_dist_lenient(
+    scenario: &DistScenario,
+    choices: &[DistChoice],
+    max_steps: usize,
+) -> Option<DistFailure> {
+    let mut run = DistRun::new(scenario, max_steps);
+    let mut queue: VecDeque<DistChoice> = choices.iter().copied().collect();
+    loop {
+        let frontier = match run.settle_frontier() {
+            Ok(f) => f,
+            Err(failure) => return Some(failure),
+        };
+        if frontier.is_empty() {
+            return match dist_oracles::check_terminal(&run, &scenario.oracles) {
+                Ok(()) => None,
+                Err(msg) => Some(run.failure(DistFailureKind::OracleViolation, msg)),
+            };
+        }
+        let mut chosen = None;
+        while let Some(c) = queue.pop_front() {
+            if frontier.contains(&c) {
+                chosen = Some(c);
+                break;
+            }
+        }
+        let choice = chosen.unwrap_or(frontier[0]);
+        if let Err(failure) = run.apply(choice) {
+            return Some(failure);
+        }
+    }
+}
+
+/// Minimizes a failing dist schedule's **choice list only** (the
+/// scenario is left untouched, so the result replays against the
+/// original scenario — this is what the explorer wires into its
+/// failure paths). The returned failure's `choices` replay strictly
+/// via [`crate::replay_dist_schedule`].
+pub fn shrink_dist_choices(
+    scenario: &DistScenario,
+    failure: &DistFailure,
+) -> (DistFailure, ShrinkStats) {
+    shrink_dist_choices_budget(scenario, failure, crate::DistCheckConfig::default().max_steps)
+}
+
+pub(crate) fn shrink_dist_choices_budget(
+    scenario: &DistScenario,
+    failure: &DistFailure,
+    max_steps: usize,
+) -> (DistFailure, ShrinkStats) {
+    let mut stats = ShrinkStats { failures_shrunk: 1, ..ShrinkStats::default() };
+    let original_len = failure.choices.len();
+    let (choices, shrunk) =
+        minimize_dist(scenario, failure, failure.choices.clone(), max_steps, &mut stats);
+    stats.removed_choices += (original_len - choices.len().min(original_len)) as u64;
+    match shrunk {
+        Some(mut f) => {
+            f.seed = failure.seed;
+            (f, stats)
+        }
+        None => (failure.clone(), stats),
+    }
+}
+
+/// One ddmin + lowering run of a dist choice list against a fixed
+/// scenario.
+fn minimize_dist(
+    scenario: &DistScenario,
+    failure: &DistFailure,
+    initial: Vec<DistChoice>,
+    max_steps: usize,
+    stats: &mut ShrinkStats,
+) -> (Vec<DistChoice>, Option<DistFailure>) {
+    let kind = failure.kind;
+    let class = message_class(&failure.message).to_string();
+    let mut minimizer = Minimizer {
+        replay: Box::new(move |candidate: &[DistChoice]| {
+            let f = replay_dist_lenient(scenario, candidate, max_steps)?;
+            (f.kind == kind && message_class(&f.message) == class).then(|| {
+                let applied = f.choices.clone();
+                (f, applied)
+            })
+        }),
+        lowerings: |c: &DistChoice| match c {
+            DistChoice::Deliver(i) if *i > 0 => {
+                vec![DistChoice::Deliver(0), DistChoice::Deliver(i / 2)]
+            }
+            DistChoice::Drop(i) if *i > 0 => {
+                vec![DistChoice::Drop(0), DistChoice::Drop(i / 2)]
+            }
+            _ => Vec::new(),
+        },
+        stats,
+    };
+    minimizer.minimize(initial)
+}
+
+/// A fully minimized distributed counterexample: the (possibly
+/// simplified) scenario, the minimal failing schedule against it, and
+/// the shrink statistics.
+#[derive(Debug, Clone)]
+pub struct ShrunkDist {
+    /// The minimized scenario (fewer actions / injections / nodes,
+    /// tighter fault budgets than the original — or the original if no
+    /// simplification survived replay).
+    pub scenario: DistScenario,
+    /// The minimal failure; `failure.choices` replays strictly against
+    /// `scenario`.
+    pub failure: DistFailure,
+    /// Attempt/acceptance statistics.
+    pub stats: ShrinkStats,
+}
+
+/// Full dist minimization: alternates scenario-level simplification
+/// (drop fault actions, drop boot injections, tighten timer/drop
+/// budgets, remove overlay nodes) with choice-list ddmin, until a
+/// fixpoint. Every candidate is confirmed by lenient replay; the
+/// result is a strictly-replayable counterexample against the
+/// *returned* scenario.
+#[must_use]
+pub fn shrink_dist(scenario: &DistScenario, failure: &DistFailure) -> ShrunkDist {
+    let max_steps = crate::DistCheckConfig::default().max_steps;
+    let kind = failure.kind;
+    let class = message_class(&failure.message).to_string();
+    let mut stats = ShrinkStats { failures_shrunk: 1, ..ShrinkStats::default() };
+    let mut best_scenario = scenario.clone();
+    let mut best_failure = failure.clone();
+    let original_len = failure.choices.len();
+
+    loop {
+        let mut changed = false;
+
+        // Scenario-level candidates, most aggressive first. Each keeps
+        // the current choice list (lenient replay skips whatever no
+        // longer applies).
+        for candidate in scenario_candidates(&best_scenario) {
+            if stats.attempts >= MAX_ATTEMPTS {
+                break;
+            }
+            stats.attempts += 1;
+            if let Some(f) =
+                replay_dist_lenient(&candidate, &best_failure.choices, max_steps)
+            {
+                if f.kind == kind && message_class(&f.message) == class {
+                    stats.accepted += 1;
+                    best_scenario = candidate;
+                    best_failure = f;
+                    changed = true;
+                }
+            }
+        }
+
+        // Choice-level ddmin against the (possibly new) scenario.
+        let before = best_failure.choices.len();
+        let (choices, shrunk) = minimize_dist(
+            &best_scenario,
+            &best_failure,
+            best_failure.choices.clone(),
+            max_steps,
+            &mut stats,
+        );
+        if let Some(f) = shrunk {
+            best_failure = f;
+        }
+        if choices.len() < before {
+            changed = true;
+        }
+
+        if !changed || stats.attempts >= MAX_ATTEMPTS {
+            break;
+        }
+    }
+
+    stats.removed_choices +=
+        (original_len - best_failure.choices.len().min(original_len)) as u64;
+    best_failure.seed = failure.seed;
+    ShrunkDist { scenario: best_scenario, failure: best_failure, stats }
+}
+
+/// Scenario simplification candidates: one structural reduction each.
+fn scenario_candidates(s: &DistScenario) -> Vec<DistScenario> {
+    let mut out = Vec::new();
+    // Drop each scripted fault action.
+    for k in 0..s.actions.len() {
+        let mut c = s.clone();
+        c.actions.remove(k);
+        out.push(c);
+    }
+    // Drop each boot injection (keep at least one token in play so the
+    // oracles still have something to count).
+    if s.injections.len() > 1 {
+        for j in 0..s.injections.len() {
+            let mut c = s.clone();
+            c.injections.remove(j);
+            out.push(c);
+        }
+    }
+    // Tighten the fault budgets.
+    if s.timer_preemptions > 0 {
+        let mut c = s.clone();
+        c.timer_preemptions = 0;
+        out.push(c);
+        if s.timer_preemptions > 1 {
+            let mut c = s.clone();
+            c.timer_preemptions = s.timer_preemptions / 2;
+            out.push(c);
+        }
+    }
+    if s.max_drops > 0 {
+        let mut c = s.clone();
+        c.max_drops = 0;
+        out.push(c);
+        if s.max_drops > 1 {
+            let mut c = s.clone();
+            c.max_drops = s.max_drops / 2;
+            out.push(c);
+        }
+    }
+    // Remove an overlay node, as long as every Crash/Leave index stays
+    // valid in the smaller boot set.
+    if s.nodes > 1 {
+        let max_index = s
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                DistAction::Crash(i) | DistAction::Leave(i) => Some(*i),
+                _ => None,
+            })
+            .max();
+        if max_index.is_none_or(|m| m + 1 < s.nodes) {
+            let mut c = s.clone();
+            c.nodes = s.nodes - 1;
+            out.push(c);
+        }
+    }
+    out
+}

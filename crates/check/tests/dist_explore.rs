@@ -269,7 +269,38 @@ fn random_mode_is_seed_deterministic() {
     assert!(a.fault_actions > 0, "faults were exercised: {a:?}");
 }
 
-/// The explorer's statistics land under `acn.check.dist.*`.
+/// Cross-execution state memoization: canonically-fingerprinted
+/// frontier states already visited (with a subset sleep set and at
+/// least as much budget) are pruned, shrinking the schedule count
+/// without changing the verdict.
+#[test]
+fn frontier_memoization_prunes_revisited_states() {
+    let mut scenario = DistScenario::new(2, 2, 0xD15C0, vec![0, 1]);
+    scenario.timer_preemptions = 1;
+
+    let memoized = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    memoized.assert_ok();
+    assert!(
+        memoized.frontier_dedup_hits > 0,
+        "revisited canonical states must be deduplicated: {memoized:?}"
+    );
+    assert!(memoized.states_seen > 0);
+
+    let mut plain_config = DistCheckConfig::exhaustive();
+    plain_config.memoize = false;
+    let plain = check_dist(&plain_config, &scenario);
+    plain.assert_ok();
+    assert_eq!(plain.frontier_dedup_hits, 0, "no dedup when memoization is off");
+    assert!(
+        memoized.schedules < plain.schedules,
+        "memoization must prune whole executions: {} vs plain {}",
+        memoized.schedules,
+        plain.schedules
+    );
+}
+
+/// The explorer's statistics land under `acn.check.dist.*` (and the
+/// shrinker's under `acn.check.shrink.*`).
 #[test]
 fn report_emits_dist_metrics() {
     let scenario = DistScenario::new(2, 2, 0xD15C6, vec![0]);
@@ -281,4 +312,11 @@ fn report_emits_dist_metrics() {
     assert_eq!(snap.counter("acn.check.dist.schedules"), Some(report.schedules));
     assert_eq!(snap.counter("acn.check.dist.failures"), Some(0));
     assert!(snap.gauge("acn.check.dist.max_depth").is_some());
+    assert_eq!(
+        snap.counter("acn.check.dist.frontier_dedup_hits"),
+        Some(report.frontier_dedup_hits)
+    );
+    assert_eq!(snap.counter("acn.check.dist.states_seen"), Some(report.states_seen));
+    assert_eq!(snap.counter("acn.check.shrink.attempts"), Some(0), "clean run, no shrinking");
+    assert_eq!(snap.counter("acn.check.shrink.failures_shrunk"), Some(0));
 }

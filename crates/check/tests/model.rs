@@ -81,6 +81,93 @@ fn exhaustive_width8_three_tokens_static_cut() {
 }
 
 // ---------------------------------------------------------------------------
+// Symmetry reduction: the canonical fingerprint (dead-store truncation
+// + inert-thread bucketing) pushes the exhaustible bound to width-8 x
+// 4 tokens, and measurably merges states a plain fingerprint keeps
+// apart.
+// ---------------------------------------------------------------------------
+
+fn width8_four_tokens_scenario() {
+    let net = Arc::new(SharedAdaptiveNetwork::<VirtualSync>::new_in(8));
+    let tokens: Vec<_> = (0..4)
+        .map(|i| {
+            let net = Arc::clone(&net);
+            vthread::spawn(move || net.next_value(i * 2))
+        })
+        .collect();
+    let values: Vec<u64> = tokens.into_iter().map(|h| h.join()).collect();
+    oracles::assert_values_dense(&values);
+    oracles::assert_network_quiescent(&net.output_counts(), 4);
+}
+
+#[test]
+fn exhaustive_width8_four_tokens_under_symmetry_reduction() {
+    let mut config = CheckConfig::exhaustive();
+    config.symmetric = true;
+    let report = check(config, width8_four_tokens_scenario);
+    report.assert_ok();
+    assert!(report.completed, "width-8 x 4 tokens must exhaust within the CI budget");
+    assert!(report.schedules > 1);
+    assert!(report.memo_prunes > 0, "the visited-state memo must carry the load: {report:?}");
+}
+
+/// A scenario built to have dead divergence: once the reader thread
+/// has finished and been joined, *where* it read is unobservable, and
+/// the writer's overwritten history is dead. The canonical fingerprint
+/// (with inert-thread bucketing) must merge those states; the plain
+/// fingerprint keeps them apart.
+fn dead_divergence_scenario() {
+    let x = Arc::new(VAtomic::new(0));
+    let writer = {
+        let x = Arc::clone(&x);
+        vthread::spawn(move || {
+            x.store(1, Ordering::SeqCst);
+            x.store(2, Ordering::SeqCst);
+            x.store(3, Ordering::SeqCst);
+        })
+    };
+    let reader = {
+        let x = Arc::clone(&x);
+        vthread::spawn(move || {
+            let _ = x.load(Ordering::SeqCst);
+        })
+    };
+    writer.join();
+    reader.join();
+    // Tail work after the race is history: equivalent suffixes.
+    for _ in 0..3 {
+        x.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn canonical_fingerprint_measurably_reduces_the_state_space() {
+    let mut plain_config = CheckConfig::exhaustive();
+    plain_config.canonical = false;
+    let plain = check(plain_config, dead_divergence_scenario);
+    plain.assert_ok();
+
+    let mut sym_config = CheckConfig::exhaustive();
+    sym_config.symmetric = true;
+    let sym = check(sym_config, dead_divergence_scenario);
+    sym.assert_ok();
+
+    assert!(
+        sym.states_seen < plain.states_seen,
+        "canonicalization must merge dead-divergent states: {} vs plain {}",
+        sym.states_seen,
+        plain.states_seen
+    );
+    assert!(
+        sym.schedules <= plain.schedules,
+        "merging can only prune re-exploration: {} vs plain {}",
+        sym.schedules,
+        plain.schedules
+    );
+    assert!(sym.memo_prunes > plain.memo_prunes, "the merges land as memo prunes");
+}
+
+// ---------------------------------------------------------------------------
 // Seeded bug: a load-then-store "counter" loses updates. The checker
 // must find the lost update and print a replayable schedule.
 // ---------------------------------------------------------------------------

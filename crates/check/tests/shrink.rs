@@ -1,0 +1,210 @@
+//! Counterexample-shrinking acceptance suite: the explorers' failure
+//! paths hand back delta-debugged, strictly-replayable minimal
+//! schedules, and shrinking is convergent (a shrunk failure is a
+//! fixpoint).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use acn_check::{
+    check, check_dist, oracles, replay_dist_schedule, replay_schedule, shrink_dist,
+    shrink_dist_choices, shrink_thread_choices, vthread, CheckConfig, DistCheckConfig,
+    DistFailure, DistFailureKind, DistScenario, FailureKind, VirtualSync,
+};
+use acn_sync::{SyncApi, SyncAtomicU64};
+
+type VAtomic = <VirtualSync as SyncApi>::AtomicU64;
+
+/// Scans the same seed window as the dist-explore mutation test and
+/// returns the first caught ack-dedup violation (already shrunk by the
+/// explorer's failure path) with its scenario and report.
+fn caught_dedup_mutation() -> (DistScenario, acn_check::DistReport) {
+    for seed in 0..16u64 {
+        let mut scenario = DistScenario::new(2, 2, seed, vec![0]);
+        scenario.timer_preemptions = 1; // retry-before-ack is the race
+        scenario.disable_ack_dedup = true;
+        let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+        if !report.failures.is_empty() {
+            return (scenario, report);
+        }
+    }
+    panic!("the dedup mutation must be caught within the seed window");
+}
+
+/// The planted-mutation regression the issue pins: the dedup
+/// counterexample shrinks to at most 12 schedule choices and replays
+/// strictly to the same oracle failure.
+#[test]
+fn dedup_mutation_counterexample_shrinks_to_a_short_strict_replay() {
+    let (scenario, report) = caught_dedup_mutation();
+    let failure = &report.failures[0];
+    assert_eq!(failure.kind, DistFailureKind::OracleViolation, "{failure}");
+    assert!(
+        failure.choices.len() <= 12,
+        "shrunk counterexample stays short, got {} choices: {failure}",
+        failure.choices.len()
+    );
+    assert!(report.shrink.failures_shrunk >= 1, "the failure went through the shrinker");
+    assert!(report.shrink.attempts > 0, "shrinking actually replayed candidates");
+
+    // Strict replay of the shrunk schedule reproduces the same class
+    // of violation — no divergence.
+    let replayed = replay_dist_schedule(&scenario, &failure.choices)
+        .expect("the shrunk schedule still fails");
+    assert_eq!(replayed.kind, failure.kind, "{replayed}");
+    assert_eq!(
+        replayed.message.split(':').next(),
+        failure.message.split(':').next(),
+        "same oracle class on replay"
+    );
+
+    // The shrunk failure still carries a usable flight-recorder dump.
+    assert!(!failure.flight_dump.is_empty(), "shrunk failure keeps its dump: {failure}");
+}
+
+/// Convergence: shrinking an already-shrunk dist failure changes
+/// nothing, across the whole seed window (a deterministic stand-in for
+/// a property test — the inputs sweep every caught seed).
+#[test]
+fn dist_shrinking_is_a_fixpoint() {
+    let mut checked = 0;
+    for seed in 0..16u64 {
+        let mut scenario = DistScenario::new(2, 2, seed, vec![0]);
+        scenario.timer_preemptions = 1;
+        scenario.disable_ack_dedup = true;
+        let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+        for failure in &report.failures {
+            let (again, stats) = shrink_dist_choices(&scenario, failure);
+            assert_eq!(
+                again.choices, failure.choices,
+                "re-shrinking must not change a shrunk schedule (seed {seed})"
+            );
+            assert_eq!(stats.accepted, 0, "no candidate improves a fixpoint (seed {seed})");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "at least one failure must flow through the fixpoint check");
+}
+
+/// Full scenario-level minimization: `shrink_dist` may simplify the
+/// scenario itself, and whatever it returns is a strictly-replayable
+/// counterexample against the *returned* scenario.
+#[test]
+fn scenario_level_shrinking_returns_a_replayable_counterexample() {
+    let (scenario, report) = caught_dedup_mutation();
+    let shrunk = shrink_dist(&scenario, &report.failures[0]);
+    assert!(shrunk.stats.attempts > 0);
+    assert!(
+        shrunk.failure.choices.len() <= report.failures[0].choices.len(),
+        "scenario minimization never lengthens the schedule"
+    );
+    let replayed: DistFailure = replay_dist_schedule(&shrunk.scenario, &shrunk.failure.choices)
+        .expect("the minimized counterexample replays against the minimized scenario");
+    assert_eq!(replayed.kind, DistFailureKind::OracleViolation);
+    assert_eq!(
+        replayed.message.split(':').next(),
+        shrunk.failure.message.split(':').next()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Thread-schedule shrinking through the thread explorer's failure path.
+// ---------------------------------------------------------------------------
+
+/// The classic lost update (load + store), plus two spectator threads
+/// touching an unrelated atomic: the raw counterexample wanders
+/// through spectator steps the bug does not need, which is exactly
+/// what ddmin deletes.
+fn noisy_lossy_counter_scenario() {
+    let counter = Arc::new(VAtomic::new(0));
+    let noise = Arc::new(VAtomic::new(0));
+    let spectators: Vec<_> = (0..2)
+        .map(|_| {
+            let noise = Arc::clone(&noise);
+            vthread::spawn(move || {
+                noise.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            vthread::spawn(move || {
+                // BUG (deliberate): load + store is not fetch_add.
+                let v = counter.load(Ordering::SeqCst);
+                counter.store(v + 1, Ordering::SeqCst);
+                v
+            })
+        })
+        .collect();
+    for s in spectators {
+        s.join();
+    }
+    let values: Vec<u64> = workers.into_iter().map(|h| h.join()).collect();
+    oracles::assert_values_dense(&values);
+}
+
+#[test]
+fn thread_counterexample_is_shrunk_and_replays_strictly() {
+    let report = check(CheckConfig::exhaustive(), noisy_lossy_counter_scenario);
+    assert!(!report.ok(), "the seeded bug must be found");
+    assert!(report.shrink.failures_shrunk >= 1);
+    let failure = &report.failures[0];
+    assert_eq!(failure.kind, FailureKind::Panic);
+    // The 2-thread lost update needs few decisions once the spectator
+    // scheduling is deleted (the main thread's spawns/joins still
+    // contribute forced decisions).
+    assert!(
+        failure.choices.len() <= 12,
+        "shrunk thread schedule stays short, got {}: {failure}",
+        failure.choices.len()
+    );
+    let replayed = replay_schedule(noisy_lossy_counter_scenario, &failure.choices)
+        .expect("the shrunk choices replay strictly");
+    assert_eq!(replayed.kind, FailureKind::Panic);
+    assert!(replayed.message.contains("not dense"), "{}", replayed.message);
+}
+
+#[test]
+fn thread_shrinking_is_a_fixpoint() {
+    let report = check(CheckConfig::exhaustive(), noisy_lossy_counter_scenario);
+    assert!(!report.ok());
+    let failure = &report.failures[0];
+    let (again, stats) = shrink_thread_choices(noisy_lossy_counter_scenario, failure);
+    assert_eq!(again.choices, failure.choices, "re-shrinking a shrunk failure is a no-op");
+    assert_eq!(stats.accepted, 0);
+}
+
+/// Shrinking can be disabled, and the raw counterexample is (weakly)
+/// longer than the shrunk one on the same scenario.
+#[test]
+fn disabling_shrinking_keeps_the_raw_counterexample() {
+    let mut raw_config = CheckConfig::exhaustive();
+    raw_config.shrink_failures = false;
+    let raw = check(raw_config, noisy_lossy_counter_scenario);
+    let shrunk = check(CheckConfig::exhaustive(), noisy_lossy_counter_scenario);
+    assert!(!raw.ok() && !shrunk.ok());
+    assert_eq!(raw.shrink.failures_shrunk, 0, "no shrinking when disabled");
+    assert!(
+        shrunk.failures[0].choices.len() <= raw.failures[0].choices.len(),
+        "shrinking never lengthens: {} vs raw {}",
+        shrunk.failures[0].choices.len(),
+        raw.failures[0].choices.len()
+    );
+}
+
+/// Shrink statistics flow into telemetry under `acn.check.shrink.*`.
+#[test]
+fn shrink_statistics_emit_to_telemetry() {
+    let report = check(CheckConfig::exhaustive(), noisy_lossy_counter_scenario);
+    assert!(!report.ok());
+    let registry = acn_telemetry::Registry::new();
+    report.emit(&registry);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("acn.check.shrink.attempts"), Some(report.shrink.attempts));
+    assert_eq!(
+        snap.counter("acn.check.shrink.failures_shrunk"),
+        Some(report.shrink.failures_shrunk)
+    );
+    assert!(report.shrink.attempts > 0);
+}

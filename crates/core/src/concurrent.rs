@@ -441,10 +441,24 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
             ExecMode::Locked => self.traverse_locked(wire),
             ExecMode::LockFree => self.traverse_fast(wire),
         };
-        self.finish_traverse_span(span, out);
         // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
         let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
-        out as u64 + round * self.width() as u64
+        let value = out as u64 + round * self.width() as u64;
+        // The span must close *after* the round claim: the fetch_add
+        // above is the linearization point of a single-component
+        // counter, and the history oracle reconstructs invocation/
+        // response intervals (and the handed-out value) from these
+        // spans. Closing early would shrink the interval past the
+        // effect and break the real-time precedence order.
+        if let Some((trace, start)) = span {
+            self.tracer.record(
+                Span::new("exec.traverse", trace)
+                    .between(start, S::monotonic_now())
+                    .with("out", out as u64)
+                    .with("value", value),
+            );
+        }
+        value
     }
 
     /// Opens a sampled `exec.traverse` span for the token that is the

@@ -671,6 +671,36 @@ impl<M, P: Process<M>> Simulator<M, P> {
         }
     }
 
+    /// A deterministic snapshot of **every** pending event — not just
+    /// the enabled FIFO heads — in the documented delivery order
+    /// ([`Event::key`]), paired with the message payload (`None` for
+    /// timers). External schedulers use this to fingerprint the whole
+    /// transport state: in-flight messages behind their link heads and
+    /// future-dated timers are state too.
+    #[must_use]
+    pub fn pending_snapshot(&self) -> Vec<(PendingEvent, Option<&M>)> {
+        let mut events: Vec<&Event<M>> = self.queue.iter().chain(self.open.values()).collect();
+        events.sort_by_key(|e| e.key());
+        events
+            .into_iter()
+            .map(|e| {
+                let payload = match &e.payload {
+                    Payload::Message { msg, .. } => Some(msg),
+                    Payload::Timer { .. } => None,
+                };
+                (e.pending(), payload)
+            })
+            .collect()
+    }
+
+    /// The per-link FIFO clocks: `(from, to) -> latest scheduled
+    /// delivery time` on that link. Part of the transport state a
+    /// fingerprint must cover, because each clock floors the timestamp
+    /// of the link's next send.
+    pub fn link_clocks(&self) -> impl Iterator<Item = ((ProcessId, ProcessId), u64)> + '_ {
+        self.link_clock.iter().map(|(&link, &t)| (link, t))
+    }
+
     /// Fires one pending event by key ([`DeliveryPolicy::External`]
     /// only). Returns `false` — without delivering anything — if the
     /// key is unknown or names a message that is not its link's FIFO

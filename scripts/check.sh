@@ -24,6 +24,18 @@ echo "==> model checker (bounded exhaustive + seeded random suite)"
 # oracles plus the ack-dedup mutation catch.
 cargo test -q -p acn-check
 
+echo "==> history oracle (linearizability / quiescent consistency)"
+# The bounded Wing-Gong suite: both executors' recorded histories
+# checked against the sequential counter spec on every explored
+# schedule, plus the seeded lost-update catch (tests/history_oracle.rs).
+cargo test -q -p acn-check --test history_oracle
+
+echo "==> counterexample shrinker (smoke: planted mutation -> minimal replay)"
+# Confirms the delta-debugging shrinker still reduces the planted
+# ack-dedup counterexample to a short, strictly-replayable schedule
+# and that shrinking is a fixpoint (tests/shrink.rs).
+cargo test -q -p acn-check --test shrink
+
 echo "==> dist schedule explorer (bounded suite, small random budget)"
 # The standalone explorer binary over the same oracles; deeper random
 # exploration is scripts/explore.sh's job (ACN_EXPLORE_BUDGET knob).

@@ -12,6 +12,10 @@
 # Knobs:
 #   ACN_EXPLORE_BUDGET  randomized schedules to sample (default 2000)
 #   ACN_EXPLORE_SEED    base seed (default: explorer's built-in)
+#   ACN_SHRINK          1 (default) minimizes any counterexample with
+#                       the delta-debugging shrinker (choice-list ddmin
+#                       + scenario simplification) before printing it;
+#                       0 reports the raw schedule
 #
 # Usage: scripts/explore.sh
 set -euo pipefail
@@ -20,8 +24,8 @@ cd "$(dirname "$0")/.."
 
 BUDGET="${ACN_EXPLORE_BUDGET:-2000}"
 
-echo "==> acn-dist-explore (random budget: ${BUDGET} schedules)"
-ACN_EXPLORE_BUDGET="${BUDGET}" \
+echo "==> acn-dist-explore (random budget: ${BUDGET} schedules, shrink: ${ACN_SHRINK:-1})"
+ACN_EXPLORE_BUDGET="${BUDGET}" ACN_SHRINK="${ACN_SHRINK:-1}" \
     cargo run -q --release -p acn-check --bin acn-dist-explore -- ${ACN_EXPLORE_SEED:-}
 
 echo "==> exploration finished, all oracles held"
