@@ -6,20 +6,30 @@
 //! ops — not a global `RwLock` plus a per-component `Mutex` per hop.
 //! This harness measures exactly that: the same
 //! [`SharedAdaptiveNetwork`] workload under [`ExecMode::Locked`] (the
-//! pre-fast-path executor, kept for comparison and checking) and
-//! [`ExecMode::LockFree`] (the epoch-published snapshot fast path of
-//! `DESIGN.md` §8), at 1/2/4/8 threads.
+//! pre-fast-path executor, kept for comparison and checking), the
+//! scalar [`ExecMode::LockFree`] fast path (epoch-published snapshot,
+//! `DESIGN.md` §8), and the batching/eliminating
+//! [`ShardedFrontEnd`] over the same lock-free network (`DESIGN.md`
+//! §12) — the headline `lockfree` column — at 1/2/4/8 threads, plus a
+//! `scaling_vs_1thread` column so flat scaling is visible at a glance.
+//!
+//! Two satellites ride along: a batch-size sweep at 8 threads
+//! (adaptive vs pinned 16/64/256) and a padded-vs-unpadded
+//! false-sharing microbench justifying [`CachePadded`] on the
+//! per-leaf atomics.
 //!
 //! Besides the human-readable table, [`run_report`] renders
 //! `BENCH_throughput.json` — the repo's first perf-trajectory artifact
 //! (see README "Benchmarks"). Numbers are only meaningful from release
 //! builds (`scripts/bench.sh`).
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
 use acn_core::dist::Deployment;
-use acn_core::{ExecMode, SharedAdaptiveNetwork};
+use acn_core::{ExecMode, FrontendConfig, SharedAdaptiveNetwork, ShardedFrontEnd};
+use acn_sync::CachePadded;
 use acn_telemetry::Registry;
 use acn_topology::ComponentId;
 use acn_trace::Tracer;
@@ -37,15 +47,49 @@ pub struct ThroughputRow {
     pub threads: usize,
     /// Locked-mode throughput, tokens/second.
     pub locked: f64,
-    /// Lock-free-mode throughput, tokens/second.
+    /// Scalar lock-free throughput (one token per traversal),
+    /// tokens/second — the pre-batching fast path, kept as the
+    /// baseline the front-end is measured against.
+    pub scalar: f64,
+    /// Batched lock-free throughput through the [`ShardedFrontEnd`]
+    /// (per-thread shard, adaptive batches, elimination), tokens/second
+    /// — the headline `lockfree` column.
     pub lockfree: f64,
 }
 
 impl ThroughputRow {
-    /// Lock-free over locked speedup.
+    /// Lock-free (front-end) over locked speedup.
     #[must_use]
     pub fn speedup(&self) -> f64 {
         self.lockfree / self.locked
+    }
+}
+
+/// One batch-size sweep point (8 threads, front-end).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPoint {
+    /// Pinned batch size; `0` means adaptive sizing.
+    pub batch: u64,
+    /// Front-end throughput at that size, tokens/second.
+    pub tokens_per_sec: f64,
+}
+
+/// Padded-vs-unpadded contended `fetch_add` microbench (the S1
+/// before/after evidence for cache-line padding the per-leaf atomics).
+#[derive(Debug, Clone, Copy)]
+pub struct PaddingReport {
+    /// Ops/second with each thread's counter on adjacent words
+    /// (false sharing).
+    pub unpadded: f64,
+    /// Ops/second with each counter in its own [`CachePadded`] line.
+    pub padded: f64,
+}
+
+impl PaddingReport {
+    /// Padded over unpadded throughput ratio.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.padded / self.unpadded
     }
 }
 
@@ -91,6 +135,57 @@ fn run_mode_traced(mode: ExecMode, threads: usize, ops: u64, tracer: &Tracer) ->
     total as f64 / elapsed
 }
 
+/// Runs `threads × ops` tokens through a fresh lock-free network via
+/// the [`ShardedFrontEnd`] (one shard per thread) and returns the
+/// aggregate consumed-token throughput. Asserts conservation
+/// (`consumed + stashed == claimed`) and that the batching and
+/// elimination counters are live in the telemetry snapshot — the
+/// acceptance criteria of the scaling fix must hold on every run.
+fn run_frontend(threads: usize, ops: u64, config: Option<FrontendConfig>) -> f64 {
+    let registry = Registry::new();
+    let mut net = SharedAdaptiveNetwork::new(WIDTH);
+    net.attach_telemetry(&registry);
+    let net = Arc::new(net);
+    net.split(&ComponentId::root()).expect("root splits");
+    let mut fe = match config {
+        Some(cfg) => ShardedFrontEnd::with_config_in(Arc::clone(&net), threads, cfg),
+        None => ShardedFrontEnd::new(Arc::clone(&net), threads),
+    };
+    fe.attach_telemetry(&registry);
+    let fe = Arc::new(fe);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let fe = Arc::clone(&fe);
+            std::thread::spawn(move || {
+                let mut wire = t % WIDTH;
+                for _ in 0..ops {
+                    let _ = fe.next_value(t, wire);
+                    wire = (wire + 1) % WIDTH;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let total = threads as u64 * ops;
+    let claimed: u64 = net.output_counts().iter().sum();
+    assert_eq!(
+        total + fe.outstanding(),
+        claimed,
+        "front-end leaked or invented values"
+    );
+    let snap = registry.snapshot();
+    for name in
+        ["acn.exec.batch_flushes", "acn.exec.batch_tokens", "acn.exec.refills", "acn.exec.elim_hits"]
+    {
+        assert!(snap.counter(name).is_some(), "{name} missing from telemetry snapshot");
+    }
+    total as f64 / elapsed
+}
+
 /// Runs the sweep over `thread_counts` with `ops` tokens per thread.
 #[must_use]
 pub fn measure(thread_counts: &[usize], ops: u64) -> Vec<ThroughputRow> {
@@ -99,16 +194,108 @@ pub fn measure(thread_counts: &[usize], ops: u64) -> Vec<ThroughputRow> {
         .map(|&threads| ThroughputRow {
             threads,
             locked: run_mode(ExecMode::Locked, threads, ops),
-            lockfree: run_mode(ExecMode::LockFree, threads, ops),
+            scalar: run_mode(ExecMode::LockFree, threads, ops),
+            lockfree: run_frontend(threads, ops, None),
         })
         .collect()
 }
 
+/// The batch-size sweep: the front-end at `threads` threads with
+/// adaptive sizing (`batch == 0`) and with the batch pinned to each
+/// size in `sizes`.
+#[must_use]
+pub fn measure_batch_sweep(threads: usize, ops: u64, sizes: &[u64]) -> Vec<BatchPoint> {
+    let mut points =
+        vec![BatchPoint { batch: 0, tokens_per_sec: run_frontend(threads, ops, None) }];
+    for &b in sizes {
+        let cfg = FrontendConfig {
+            batch_min: b,
+            batch_max: b,
+            quiet_window: 1024,
+            elim_slots: (threads / 2).max(1),
+            elim_patience: 32,
+        };
+        points.push(BatchPoint {
+            batch: b,
+            tokens_per_sec: run_frontend(threads, ops, Some(cfg)),
+        });
+    }
+    points
+}
+
+/// `threads` workers each hammering their own `AtomicU64`, all packed
+/// adjacently in one allocation — every `fetch_add` invalidates the
+/// neighbours' cache line (false sharing).
+fn hammer_unpadded(threads: usize, iters: u64) -> f64 {
+    let slots: Arc<Vec<AtomicU64>> = Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let slots = Arc::clone(&slots);
+            std::thread::spawn(move || {
+                for _ in 0..iters {
+                    // lint: relaxed-ok(private per-thread tally; the microbench measures cache traffic, not ordering)
+                    slots[t].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    (threads as u64 * iters) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Same workload with each counter in its own [`CachePadded`] cache
+/// line — the layout the executor uses for per-leaf atomics.
+fn hammer_padded(threads: usize, iters: u64) -> f64 {
+    let slots: Arc<Vec<CachePadded<AtomicU64>>> =
+        Arc::new((0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect());
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let slots = Arc::clone(&slots);
+            std::thread::spawn(move || {
+                for _ in 0..iters {
+                    // lint: relaxed-ok(private per-thread tally; the microbench measures cache traffic, not ordering)
+                    slots[t].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    (threads as u64 * iters) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Measures the false-sharing microbench at `threads` threads.
+#[must_use]
+pub fn measure_padding(threads: usize, iters: u64) -> PaddingReport {
+    PaddingReport {
+        unpadded: hammer_unpadded(threads, iters),
+        padded: hammer_padded(threads, iters),
+    }
+}
+
 /// Renders the rows as the `BENCH_throughput.json` artifact: a single
 /// JSON object, hand-rolled (no serde in the workspace) and stable in
-/// field order so diffs across PRs read as a trajectory.
+/// field order so diffs across PRs read as a trajectory. The
+/// `lockfree_tokens_per_sec` column is the batched front-end (the
+/// production serving path); `scalar_lockfree_tokens_per_sec` keeps
+/// the pre-batching per-token fast path visible for comparison, and
+/// `scaling_vs_1thread` is each row's front-end throughput over the
+/// 1-thread row's (the scaling-regression guard in `scripts/bench.sh`
+/// reads it).
 #[must_use]
-pub fn render_json(rows: &[ThroughputRow], ops: u64, smoke: bool) -> String {
+pub fn render_json(
+    rows: &[ThroughputRow],
+    sweep: &[BatchPoint],
+    padding: &PaddingReport,
+    ops: u64,
+    smoke: bool,
+) -> String {
+    let base = rows.first().map_or(1.0, |r| r.lockfree.max(1e-9));
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"throughput_locked_vs_lockfree\",\n");
     out.push_str(&format!("  \"width\": {WIDTH},\n"));
@@ -118,29 +305,72 @@ pub fn render_json(rows: &[ThroughputRow], ops: u64, smoke: bool) -> String {
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"threads\": {}, \"locked_tokens_per_sec\": {:.0}, \
-             \"lockfree_tokens_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+             \"scalar_lockfree_tokens_per_sec\": {:.0}, \
+             \"lockfree_tokens_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"scaling_vs_1thread\": {:.2}}}{}\n",
             row.threads,
             row.locked,
+            row.scalar,
             row.lockfree,
             row.speedup(),
+            row.lockfree / base,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"batch_sweep_8t\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        let label = if p.batch == 0 { "\"adaptive\"".to_string() } else { p.batch.to_string() };
+        out.push_str(&format!(
+            "    {{\"batch\": {label}, \"tokens_per_sec\": {:.0}}}{}\n",
+            p.tokens_per_sec,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"padding_microbench\": {{\"unpadded_ops_per_sec\": {:.0}, \
+         \"padded_ops_per_sec\": {:.0}, \"padded_over_unpadded\": {:.2}}}\n",
+        padding.unpadded,
+        padding.padded,
+        padding.ratio()
+    ));
+    out.push_str("}\n");
     out
 }
 
 /// Renders the human-readable table.
 #[must_use]
-pub fn render_table(rows: &[ThroughputRow], ops: u64) -> String {
-    let mut table =
-        Table::new(&["threads", "locked (tok/s)", "lock-free (tok/s)", "speedup"]);
+pub fn render_table(
+    rows: &[ThroughputRow],
+    sweep: &[BatchPoint],
+    padding: &PaddingReport,
+    ops: u64,
+) -> String {
+    let base = rows.first().map_or(1.0, |r| r.lockfree.max(1e-9));
+    let mut table = Table::new(&[
+        "threads",
+        "locked (tok/s)",
+        "scalar lf (tok/s)",
+        "lock-free (tok/s)",
+        "speedup",
+        "scaling",
+    ]);
     for row in rows {
         table.row(&[
             row.threads.to_string(),
             format!("{:.0}", row.locked),
+            format!("{:.0}", row.scalar),
             format!("{:.0}", row.lockfree),
             format!("{:.2}x", row.speedup()),
+            format!("{:.2}x", row.lockfree / base),
+        ]);
+    }
+    let mut sweep_table = Table::new(&["batch (8t)", "lock-free (tok/s)"]);
+    for p in sweep {
+        sweep_table.row(&[
+            if p.batch == 0 { "adaptive".to_string() } else { p.batch.to_string() },
+            format!("{:.0}", p.tokens_per_sec),
         ]);
     }
     section(
@@ -148,23 +378,43 @@ pub fn render_table(rows: &[ThroughputRow], ops: u64) -> String {
         &format!(
             "{}\nWorkload: BITONIC[{WIDTH}] split once (multi-component cut), {ops} tokens\n\
              per thread, round-robin input wires. Locked = global RwLock read +\n\
-             per-component Mutex per hop; lock-free = epoch-validated snapshot pin +\n\
-             one fetch_add per hop (DESIGN.md \u{a7}8). Expected shape: parity-ish at one\n\
-             thread, widening gap as threads contend on the component locks.\n",
-            table.render()
+             per-component Mutex per hop; scalar lf = epoch-validated snapshot pin +\n\
+             one fetch_add per hop (DESIGN.md \u{a7}8); lock-free = the sharded batching\n\
+             front-end over the same fast path (per-thread shard, adaptive batches,\n\
+             elimination — DESIGN.md \u{a7}12). `scaling` is each row over the 1-thread\n\
+             front-end row; the scalar path is flat because every thread hammers the\n\
+             same {WIDTH} leaf counters per token.\n\n\
+             Batch-size sweep (8 threads, front-end):\n{}\n\
+             False-sharing microbench (8 threads, contended fetch_add):\n\
+             unpadded {:.0} ops/s vs cache-padded {:.0} ops/s ({:.2}x). Padding puts\n\
+             each per-leaf hot word in its own cache line; the gap tracks true\n\
+             hardware parallelism (near 1x on a single-core host, where threads\n\
+             timeslice instead of bouncing lines).\n",
+            table.render(),
+            sweep_table.render(),
+            padding.unpadded,
+            padding.padded,
+            padding.ratio()
         ),
     )
 }
 
-/// Full harness: measures 1/2/4/8 threads and returns
-/// `(human_report, json_artifact)`. `smoke` shrinks the per-thread op
-/// count so CI gates finish fast; headline numbers come from the
-/// release-mode full run (`scripts/bench.sh`).
+/// Full harness: measures 1/2/4/8 threads plus the batch sweep and the
+/// padding microbench, and returns `(human_report, json_artifact)`.
+/// `smoke` shrinks the per-thread op count so CI gates finish fast;
+/// headline numbers come from the release-mode full run
+/// (`scripts/bench.sh`).
 #[must_use]
 pub fn run_report(smoke: bool) -> (String, String) {
     let ops: u64 = if smoke { 20_000 } else { 400_000 };
     let rows = measure(&[1, 2, 4, 8], ops);
-    (render_table(&rows, ops), render_json(&rows, ops, smoke))
+    let sweep_ops: u64 = if smoke { 10_000 } else { 200_000 };
+    let sweep = measure_batch_sweep(8, sweep_ops, &[16, 64, 256]);
+    let padding = measure_padding(8, if smoke { 50_000 } else { 2_000_000 });
+    (
+        render_table(&rows, &sweep, &padding, ops),
+        render_json(&rows, &sweep, &padding, ops, smoke),
+    )
 }
 
 /// Runs the experiment and returns the rendered report (table only; the
@@ -336,22 +586,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_modes_measure_and_json_is_well_formed() {
+    fn all_modes_measure_and_json_is_well_formed() {
         // Tiny run: this is a correctness test of the harness, not a
         // performance assertion (debug builds invert every ratio).
         let rows = measure(&[1, 2], 200);
         assert_eq!(rows.len(), 2);
         for row in &rows {
-            assert!(row.locked > 0.0 && row.lockfree > 0.0);
+            assert!(row.locked > 0.0 && row.scalar > 0.0 && row.lockfree > 0.0);
         }
-        let json = render_json(&rows, 200, true);
+        let sweep = measure_batch_sweep(2, 100, &[16]);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].batch, 0);
+        assert_eq!(sweep[1].batch, 16);
+        let padding = measure_padding(2, 500);
+        assert!(padding.unpadded > 0.0 && padding.padded > 0.0);
+        let json = render_json(&rows, &sweep, &padding, 200, true);
         assert!(json.contains("\"experiment\": \"throughput_locked_vs_lockfree\""));
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"scalar_lockfree_tokens_per_sec\""));
+        assert!(json.contains("\"scaling_vs_1thread\""));
+        assert!(json.contains("\"batch\": \"adaptive\""));
+        assert!(json.contains("\"batch\": 16"));
+        assert!(json.contains("\"padding_microbench\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        let table = render_table(&rows, 200);
+        let table = render_table(&rows, &sweep, &padding, 200);
         assert!(table.contains("E18"));
+        assert!(table.contains("adaptive"));
+    }
+
+    #[test]
+    fn frontend_run_conserves_and_registers_counters() {
+        // run_frontend's internal asserts (conservation + counter
+        // presence) are the test; a panic here is the failure.
+        let tput = run_frontend(2, 300, None);
+        assert!(tput > 0.0);
     }
 
     #[test]
@@ -390,3 +660,4 @@ mod tests {
         assert!(table.contains("overhead"));
     }
 }
+

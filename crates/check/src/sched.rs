@@ -107,7 +107,8 @@ impl VClock {
 }
 
 /// Memory ordering reduced to the classes the kernel distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The derived order is by strength: `Relaxed < AcqRel < SeqCst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OrdClass {
     /// `Relaxed`.
     Relaxed,
@@ -164,6 +165,21 @@ pub enum Op {
         /// Ordering class.
         ord: OrdClass,
     },
+    /// Atomic compare-exchange (strong): a read-modify-write when the
+    /// latest store equals `expected`, otherwise a load of the latest
+    /// store. The returned value is the observed one; callers infer
+    /// success from `observed == expected`.
+    Cas {
+        /// Object id.
+        obj: u64,
+        /// Value the exchange requires.
+        expected: u64,
+        /// Replacement value on success.
+        new: u64,
+        /// Ordering class (the success ordering; failures acquire
+        /// whenever this class does).
+        ord: OrdClass,
+    },
     /// Blocking mutex acquisition (enabled only while free).
     MutexLock {
         /// Object id.
@@ -200,6 +216,7 @@ impl Op {
             Op::Load { obj, .. }
             | Op::Store { obj, .. }
             | Op::RmwAdd { obj, .. }
+            | Op::Cas { obj, .. }
             | Op::MutexLock { obj }
             | Op::MutexTryLock { obj }
             | Op::RwRead { obj }
@@ -227,6 +244,9 @@ impl Op {
             Op::Load { obj, ord } => format!("load(a{obj},{ord:?})"),
             Op::Store { obj, value, ord } => format!("store(a{obj}={value},{ord:?})"),
             Op::RmwAdd { obj, value, ord } => format!("rmw(a{obj}+={value},{ord:?})"),
+            Op::Cas { obj, expected, new, ord } => {
+                format!("cas(a{obj}:{expected}=>{new},{ord:?})")
+            }
             Op::MutexLock { obj } => format!("lock(m{obj})"),
             Op::MutexTryLock { obj } => format!("try_lock(m{obj})"),
             Op::RwRead { obj } => format!("read(rw{obj})"),
@@ -771,6 +791,33 @@ impl Kernel {
                     unreachable!()
                 };
                 history.push(StoreRec { value: new, vc, tid, release });
+                let idx = history.len() - 1;
+                st.threads[tid].frontier.insert(*obj, idx);
+                old
+            }
+            Op::Cas { obj, expected, new, ord } => {
+                // Like every RMW, a compare-exchange reads the latest
+                // store in the modification order (a failed strong CAS
+                // is modeled as a load of the latest store — a legal
+                // and coherence-maximal choice).
+                let (old, joins) = {
+                    let ObjRec::Atomic { history } = &st.objects[*obj as usize] else {
+                        unreachable!()
+                    };
+                    let last = history.last().expect("history starts with init");
+                    (last.value, (ord.acquires() && last.release).then(|| last.vc.clone()))
+                };
+                if let Some(vc) = joins {
+                    st.threads[tid].clock.join(&vc);
+                }
+                let vc = st.threads[tid].clock.clone();
+                let release = ord.releases();
+                let ObjRec::Atomic { history } = &mut st.objects[*obj as usize] else {
+                    unreachable!()
+                };
+                if old == *expected {
+                    history.push(StoreRec { value: *new, vc, tid, release });
+                }
                 let idx = history.len() - 1;
                 st.threads[tid].frontier.insert(*obj, idx);
                 old

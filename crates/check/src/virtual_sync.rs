@@ -84,6 +84,26 @@ impl SyncAtomicU64 for VAtomicU64 {
         let op = Op::RmwAdd { obj: self.obj, value, ord: ord_class(order) };
         with_kernel(|kernel, tid| kernel.decision(tid, op))
     }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        // One kernel decision covers both outcomes; the class is the
+        // stronger of the two orderings so failure-path acquires are
+        // not lost.
+        let ord = ord_class(success).max(ord_class(failure));
+        let op = Op::Cas { obj: self.obj, expected: current, new, ord };
+        let observed = with_kernel(|kernel, tid| kernel.decision(tid, op));
+        if observed == current {
+            Ok(observed)
+        } else {
+            Err(observed)
+        }
+    }
 }
 
 /// A checked mutex: the virtual lock lives in the kernel; the data

@@ -59,7 +59,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use acn_sync::{
-    Ordering, RealSync, SyncApi, SyncAtomicU64, SyncMutex, SyncRwLock, SyncSnapshot,
+    CachePadded, Ordering, RealSync, SyncApi, SyncAtomicU64, SyncMutex, SyncRwLock,
+    SyncSnapshot,
 };
 use acn_telemetry::{Counter, Histogram, Registry};
 use acn_trace::{Span, Tracer};
@@ -69,7 +70,7 @@ use acn_topology::{
     OutputDestination, Tree, WiringStyle,
 };
 
-use crate::component::{merge_components, split_component, Component};
+use crate::component::{merge_components, port_emissions, split_component, Component};
 use crate::local::AdaptError;
 
 /// The lock-protected structure: the cut and its live components.
@@ -143,12 +144,19 @@ enum FastRoute {
 /// component's output behaviour depends only on its counter, never on
 /// arrival order. The arrival profile is tallied so the writer's
 /// harvest can replay the batch into the [`Component`] exactly.
+/// The hot per-leaf atomics are individually cache-line padded
+/// ([`CachePadded`]): `hops` and each per-port arrival tally get their
+/// own line, so tokens contending on *different* leaves (or different
+/// ports of one leaf) never false-share. Before padding, the leaves of
+/// a freshly built snapshot sat back to back in one `Vec` allocation
+/// and the 1→8-thread throughput curve was flat (see E18's padding
+/// microbench and DESIGN.md §12).
 struct FastLeaf<S: SyncApi> {
     id: ComponentId,
     width: usize,
     base_tokens: u64,
-    hops: S::AtomicU64,
-    arrivals: Vec<S::AtomicU64>,
+    hops: CachePadded<S::AtomicU64>,
+    arrivals: Vec<CachePadded<S::AtomicU64>>,
     routes: Vec<FastRoute>,
 }
 
@@ -203,6 +211,13 @@ struct ConcMetrics {
     /// `acn.conc.snapshot_retries` — pinned snapshots that failed
     /// epoch validation (a reconfiguration won the race) and retried.
     snapshot_retries: Counter,
+    /// `acn.exec.batch_flushes` — batched traversals executed
+    /// ([`SharedAdaptiveNetwork::push_batch`] /
+    /// [`SharedAdaptiveNetwork::next_batch`] calls with nonzero weight).
+    batch_flushes: Counter,
+    /// `acn.exec.batch_tokens` — tokens carried by batched traversals
+    /// (`batch_tokens / batch_flushes` = mean realized batch size).
+    batch_tokens: Counter,
 }
 
 impl ConcMetrics {
@@ -215,6 +230,8 @@ impl ConcMetrics {
             merges: registry.counter("acn.conc.merges"),
             fastpath_hits: registry.counter("acn.conc.fastpath_hits"),
             snapshot_retries: registry.counter("acn.conc.snapshot_retries"),
+            batch_flushes: registry.counter("acn.exec.batch_flushes"),
+            batch_tokens: registry.counter("acn.exec.batch_tokens"),
         }
     }
 
@@ -269,8 +286,11 @@ pub struct SharedAdaptiveNetwork<S: SyncApi = RealSync> {
     snapshot: S::Snapshot<FastSnapshot<S>>,
     /// The current epoch; bumped with every published snapshot.
     epoch: S::AtomicU64,
-    input_counts: Vec<S::AtomicU64>,
-    output_counts: Vec<S::AtomicU64>,
+    /// Per-wire arrival/exit tallies, cache-line padded: adjacent
+    /// wires are hammered by different threads, and unpadded they
+    /// false-share (same flat-scaling failure as the leaf atomics).
+    input_counts: Vec<CachePadded<S::AtomicU64>>,
+    output_counts: Vec<CachePadded<S::AtomicU64>>,
     metrics: ConcMetrics,
     /// Sampled `exec.traverse` spans with monotonic timestamps from the
     /// [`SyncApi`] clock seam. Disabled (one branch per token) unless
@@ -346,8 +366,8 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
             gate: S::RwLock::new(0),
             snapshot: S::Snapshot::new(Arc::new(snapshot)),
             epoch: S::AtomicU64::new(0),
-            input_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
-            output_counts: (0..w).map(|_| S::AtomicU64::new(0)).collect(),
+            input_counts: (0..w).map(|_| CachePadded::new(S::AtomicU64::new(0))).collect(),
+            output_counts: (0..w).map(|_| CachePadded::new(S::AtomicU64::new(0))).collect(),
             metrics: ConcMetrics::default(),
             tracer: Tracer::disabled(),
         }
@@ -415,14 +435,110 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
         let arrival = self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
         let span = self.start_traverse_span(wire, arrival);
-        let out = match self.mode {
-            ExecMode::Locked => self.traverse_locked(wire),
-            ExecMode::LockFree => self.traverse_fast(wire),
-        };
+        let out = self.route_token(wire);
         self.finish_traverse_span(span, out);
         // lint: relaxed-ok(RMWs on one location totally order in the modification order; cross-wire step claims hold only at quiescence)
         self.output_counts[out].fetch_add(1, Ordering::Relaxed);
         out
+    }
+
+    /// The single [`ExecMode`] dispatch point for scalar traversals:
+    /// every token-routing entry (`push`, `next_value`) funnels
+    /// through here, so mode selection lives in exactly one place.
+    #[inline]
+    fn route_token(&self, wire: usize) -> usize {
+        match self.mode {
+            ExecMode::Locked => self.traverse_locked(wire),
+            ExecMode::LockFree => self.traverse_fast(wire),
+        }
+    }
+
+    /// The single [`ExecMode`] dispatch point for **batched**
+    /// traversals: routes `weight` tokens from `wire` at once,
+    /// accumulating how many exit on each output wire into `exits`
+    /// (which must be zero-initialized, `width` long).
+    fn route_batch(&self, wire: usize, weight: u64, exits: &mut [u64]) {
+        match self.mode {
+            ExecMode::Locked => {
+                // The locked path has no weighted traversal (every hop
+                // takes a component mutex anyway); a batch is just the
+                // sequential replay.
+                for _ in 0..weight {
+                    exits[self.traverse_locked(wire)] += 1;
+                }
+            }
+            ExecMode::LockFree => self.traverse_fast_batch(wire, weight, exits),
+        }
+    }
+
+    /// Routes `weight` tokens from `wire` in one batched traversal —
+    /// on the lock-free path: **one snapshot pin and one `fetch_add`
+    /// per leaf crossed** for the whole batch, instead of `weight`
+    /// full traversals. Returns the per-output-wire exit counts (sum
+    /// = `weight`). Quiescent totals keep the step property: a batch
+    /// is indistinguishable from `weight` back-to-back tokens because
+    /// round-robin output depends only on the counter, never on
+    /// arrival order (DESIGN.md §12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= width`.
+    pub fn push_batch(&self, wire: usize, weight: u64) -> Vec<u64> {
+        let mut exits = vec![0u64; self.width()];
+        if weight == 0 {
+            return exits;
+        }
+        // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
+        self.input_counts[wire].fetch_add(weight, Ordering::Relaxed);
+        self.metrics.tokens.add(weight);
+        self.metrics.batch_flushes.inc();
+        self.metrics.batch_tokens.add(weight);
+        self.route_batch(wire, weight, &mut exits);
+        for (out, &count) in exits.iter().enumerate() {
+            if count > 0 {
+                // lint: relaxed-ok(RMWs on one location totally order in the modification order; cross-wire step claims hold only at quiescence)
+                self.output_counts[out].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        exits
+    }
+
+    /// Batched [`next_value`](Self::next_value): claims `weight`
+    /// distinct counter values in one traversal and returns them
+    /// (unordered). Concurrent batches never overlap, and at
+    /// quiescence the union of all handed-out values is dense — but
+    /// values *within and across* in-flight batches may be claimed out
+    /// of real-time order, so a batched counter is quiescently
+    /// consistent rather than linearizable (the standard trade of
+    /// batched id allocation; see DESIGN.md §12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= width`.
+    pub fn next_batch(&self, wire: usize, weight: u64) -> Vec<u64> {
+        let mut values = Vec::with_capacity(weight as usize);
+        if weight == 0 {
+            return values;
+        }
+        // lint: relaxed-ok(per-wire arrival tally; only read at quiescence, where the caller's join/sync supplies the edge)
+        self.input_counts[wire].fetch_add(weight, Ordering::Relaxed);
+        self.metrics.tokens.add(weight);
+        self.metrics.batch_flushes.inc();
+        self.metrics.batch_tokens.add(weight);
+        let mut exits = vec![0u64; self.width()];
+        self.route_batch(wire, weight, &mut exits);
+        let w = self.width() as u64;
+        for (out, &count) in exits.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            // lint: relaxed-ok(the rounds come from this wire's own RMW modification order, which alone determines the handed-out values)
+            let round = self.output_counts[out].fetch_add(count, Ordering::Relaxed);
+            for j in 0..count {
+                values.push(out as u64 + (round + j) * w);
+            }
+        }
+        values
     }
 
     /// Distributed-counter semantics: routes a token and returns
@@ -437,10 +553,7 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
         let arrival = self.input_counts[wire].fetch_add(1, Ordering::Relaxed);
         self.metrics.tokens.inc();
         let span = self.start_traverse_span(wire, arrival);
-        let out = match self.mode {
-            ExecMode::Locked => self.traverse_locked(wire),
-            ExecMode::LockFree => self.traverse_fast(wire),
-        };
+        let out = self.route_token(wire);
         // lint: relaxed-ok(the round comes from this wire's own RMW modification order, which alone determines the handed-out value)
         let round = self.output_counts[out].fetch_add(1, Ordering::Relaxed);
         let value = out as u64 + round * self.width() as u64;
@@ -562,6 +675,83 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
                     }
                 }
             }
+        }
+    }
+
+    /// The weighted lock-free traversal: carries `weight` tokens
+    /// through the pinned snapshot with **one `fetch_add` per leaf
+    /// crossed** (two with the arrival tally), however large the
+    /// batch.
+    ///
+    /// The batch claims positions `[h, h + k)` of a leaf's
+    /// modification order atomically (`hops.fetch_add(k)`), and
+    /// round-robin output is a pure function of position, so the
+    /// tokens leaving on output port `q` number
+    /// `port_emissions(base + h + k, width, q) -
+    ///  port_emissions(base + h, width, q)` — the same delta
+    /// arithmetic [`Component::absorb_batch`] uses, which is why the
+    /// writer's residue harvest stays exact under weighted tokens
+    /// with **no changes**: arrivals and hops are bumped by equal
+    /// totals, and absorb only ever looks at sums.
+    ///
+    /// Downstream weights are accumulated per (leaf, port) and
+    /// processed in increasing leaf index: snapshot routes only ever
+    /// point at strictly higher leaf indices (leaves are in
+    /// `ComponentId` pre-order and wires flow down the cut;
+    /// [`build_snapshot`](Self::build_snapshot) asserts it), so a
+    /// single in-order sweep settles the whole batch.
+    fn traverse_fast_batch(&self, wire: usize, weight: u64, exits: &mut [u64]) {
+        loop {
+            let snap = self.snapshot.load();
+            let pin = self.gate.read();
+            if snap.epoch != self.epoch.load(Ordering::Acquire) {
+                self.metrics.snapshot_retries.inc();
+                drop(pin);
+                continue;
+            }
+            self.metrics.fastpath_hits.add(weight);
+            // Pending weight per (leaf, port), settled in index order.
+            let mut pending: Vec<Vec<u64>> =
+                snap.leaves.iter().map(|l| vec![0u64; l.width]).collect();
+            let (leaf0, port0) = snap.entries[wire];
+            pending[leaf0][port0] = weight;
+            let mut depth = 0u64;
+            for leaf_idx in leaf0..snap.leaves.len() {
+                let leaf = &snap.leaves[leaf_idx];
+                let total: u64 = pending[leaf_idx].iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                depth += 1;
+                for (port, &k) in pending[leaf_idx].iter().enumerate() {
+                    if k > 0 {
+                        // lint: relaxed-ok(per-epoch arrival tally; read only at the harvest quiescent point, where the gate write acquisition supplies the edge)
+                        leaf.arrivals[port].fetch_add(k, Ordering::Relaxed);
+                    }
+                }
+                // lint: relaxed-ok(the claimed position range comes from this leaf's own RMW modification order, which alone determines the outputs; harvest reads under the gate edge)
+                let h = leaf.hops.fetch_add(total, Ordering::Relaxed);
+                let before = leaf.base_tokens + h;
+                for (q, route) in leaf.routes.iter().enumerate() {
+                    let emitted = port_emissions(before + total, leaf.width, q)
+                        - port_emissions(before, leaf.width, q);
+                    if emitted == 0 {
+                        continue;
+                    }
+                    match *route {
+                        FastRoute::Leaf { leaf: next, port } => {
+                            debug_assert!(next > leaf_idx, "snapshot routes flow forward");
+                            pending[next][port] += emitted;
+                        }
+                        FastRoute::Exit(out) => exits[out] += emitted,
+                    }
+                }
+            }
+            // One depth sample per batch: leaves crossed by the batch
+            // (its widest token path), not per token.
+            self.metrics.traversal_depth.record(depth);
+            drop(pin);
+            return;
         }
     }
 
@@ -745,12 +935,25 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
                     id: id.clone(),
                     width,
                     base_tokens: comp.tokens(),
-                    hops: S::AtomicU64::new(0),
-                    arrivals: (0..width).map(|_| S::AtomicU64::new(0)).collect(),
+                    hops: CachePadded::new(S::AtomicU64::new(0)),
+                    arrivals: (0..width)
+                        .map(|_| CachePadded::new(S::AtomicU64::new(0)))
+                        .collect(),
                     routes,
                 }
             })
             .collect();
+        // The batched traversal settles pending weights in one
+        // in-order sweep, which is sound because internal wires only
+        // ever point at strictly later leaves (leaves are in
+        // `ComponentId` pre-order — topological for every wiring).
+        for (i, leaf) in leaves.iter().enumerate() {
+            for route in &leaf.routes {
+                if let FastRoute::Leaf { leaf: next, .. } = route {
+                    assert!(*next > i, "snapshot routes must flow forward: {i} -> {next}");
+                }
+            }
+        }
         let entries = (0..tree.width())
             .map(|wire| {
                 let addr = network_input_address(tree, wire, style);
@@ -816,6 +1019,17 @@ impl<S: SyncApi> SharedAdaptiveNetwork<S> {
     #[must_use]
     pub fn total_exited(&self) -> u64 {
         self.output_counts.iter().map(|c| c.load(Ordering::Acquire)).sum()
+    }
+
+    /// A monotone contention indicator: the sum of the counters that
+    /// tick when the fast path collides with reconfiguration
+    /// (`acn.conc.snapshot_retries`) or tokens wait on component locks
+    /// (`acn.conc.lock_contention`). Reads zero when no telemetry
+    /// registry is attached. The sharded front-end's adaptive batch
+    /// sizing treats a rising signal as pressure to grow batches.
+    #[must_use]
+    pub fn contention_signal(&self) -> u64 {
+        self.metrics.snapshot_retries.get() + self.metrics.lock_contention.get()
     }
 }
 
@@ -1040,6 +1254,132 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_traversal_matches_sequential_replay() {
+        // A weight-n batch must be indistinguishable (in exit counts
+        // and subsequent behaviour) from n sequential pushes on a twin
+        // network — round-robin output is oblivious to arrival order.
+        let batched = SharedAdaptiveNetwork::new(8);
+        let twin = SharedAdaptiveNetwork::new(8);
+        let root = ComponentId::root();
+        batched.split(&root).unwrap();
+        twin.split(&root).unwrap();
+
+        let exits = batched.push_batch(3, 10);
+        let mut expect = vec![0u64; 8];
+        for _ in 0..10 {
+            expect[twin.push(3)] += 1;
+        }
+        assert_eq!(exits, expect);
+        assert_eq!(exits.iter().sum::<u64>(), 10);
+
+        // Scalar tokens after the batch still agree hop for hop.
+        for t in 0..16usize {
+            assert_eq!(batched.push(t % 8), twin.push(t % 8));
+        }
+        assert_eq!(batched.output_counts(), twin.output_counts());
+
+        // And a batch after a reconfiguration (exact residue harvest
+        // of the weighted arrivals) still agrees.
+        batched.merge(&root).unwrap();
+        twin.merge(&root).unwrap();
+        let exits = batched.push_batch(1, 7);
+        let mut expect = vec![0u64; 8];
+        for _ in 0..7 {
+            expect[twin.push(1)] += 1;
+        }
+        assert_eq!(exits, expect);
+    }
+
+    #[test]
+    fn next_batch_values_are_dense_with_mixed_scalars() {
+        let net = SharedAdaptiveNetwork::new(8);
+        net.split(&ComponentId::root()).unwrap();
+        let mut all = net.next_batch(0, 5);
+        all.push(net.next_value(3));
+        all.extend(net.next_batch(6, 4));
+        all.push(net.next_value(1));
+        all.extend(net.next_batch(2, 1));
+        all.sort_unstable();
+        assert_eq!(all, (0..12u64).collect::<Vec<u64>>());
+        let counts = net.output_counts();
+        assert!(
+            acn_bitonic::step::is_step_sequence(&counts),
+            "step property violated: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn locked_mode_batches_agree_with_lockfree() {
+        let fast = SharedAdaptiveNetwork::new(8);
+        let locked = SharedAdaptiveNetwork::new_locked(8);
+        let root = ComponentId::root();
+        fast.split(&root).unwrap();
+        locked.split(&root).unwrap();
+        for (wire, weight) in [(0usize, 6u64), (5, 1), (3, 9), (3, 0), (7, 4)] {
+            assert_eq!(fast.push_batch(wire, weight), locked.push_batch(wire, weight));
+        }
+        let mut a = fast.next_batch(2, 5);
+        let mut b = locked.next_batch(2, 5);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(fast.output_counts(), locked.output_counts());
+    }
+
+    #[test]
+    fn batch_telemetry_counts_flushes_and_tokens() {
+        let registry = Registry::new();
+        let mut net = SharedAdaptiveNetwork::new(8);
+        net.attach_telemetry(&registry);
+        net.split(&ComponentId::root()).unwrap();
+        let _ = net.push_batch(0, 12);
+        let _ = net.next_batch(4, 8);
+        let _ = net.push_batch(1, 0); // zero-weight: not a flush
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("acn.exec.batch_flushes"), Some(2));
+        assert_eq!(snap.counter("acn.exec.batch_tokens"), Some(20));
+        // Batched tokens count as fast-path hits and tokens too.
+        assert_eq!(snap.counter("acn.conc.fastpath_hits"), Some(20));
+        assert_eq!(snap.counter("acn.conc.tokens"), Some(20));
+    }
+
+    #[test]
+    fn concurrent_batches_with_live_reconfiguration() {
+        let net = Arc::new(SharedAdaptiveNetwork::new(16));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let net = Arc::clone(&net);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut values = Vec::new();
+                let mut n = 0u64;
+                // lint: relaxed-ok(test stop flag; any stale read only runs one more harmless iteration)
+                while !stop.load(Ordering::Relaxed) {
+                    values.extend(net.next_batch((t * 5 + n as usize) % 16, 1 + n % 7));
+                    n += 1;
+                }
+                values
+            }));
+        }
+        let root = ComponentId::root();
+        for _ in 0..20 {
+            net.split(&root).expect("split at quiescence");
+            net.merge(&root).expect("merge at quiescence");
+        }
+        // lint: relaxed-ok(test stop flag; workers observe it eventually, exactness is not required)
+        stop.store(true, Ordering::Relaxed);
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..all.len() as u64).collect();
+        assert_eq!(all, expect, "batched values must be distinct and dense");
+        assert!(net.structure_consistent());
     }
 
     #[test]

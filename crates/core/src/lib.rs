@@ -48,6 +48,7 @@
 pub mod component;
 pub mod concurrent;
 pub mod dist;
+pub mod frontend;
 pub mod local;
 pub mod manager;
 pub mod matching;
@@ -57,6 +58,7 @@ pub mod stabilize;
 
 pub use component::Component;
 pub use concurrent::{ExecMode, SharedAdaptiveNetwork};
+pub use frontend::{FrontendConfig, ShardedFrontEnd};
 pub use local::{AdaptError, LocalAdaptiveNetwork, TokenPos};
 pub use manager::{ConvergedNetwork, NetworkSnapshot};
 pub use matching::{MatchMaker, MatchOutcome};

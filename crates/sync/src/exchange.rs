@@ -1,0 +1,217 @@
+//! The elimination / combining **exchange slot** — the `SyncApi`
+//! primitive behind the diffracting layer in front of hot balancers.
+//!
+//! Under contention, two tokens that would otherwise fight over the
+//! same leaf `fetch_add` can instead *pair off* at an exchange slot:
+//! one side (the **waiter**) posts an offer carrying its token weight
+//! and spins briefly; the other side (the **combiner**) absorbs the
+//! offered weight into its own batched traversal and hands the
+//! resulting values back through the slot. The network sees one
+//! combined traversal instead of two contending ones — the classic
+//! elimination/diffraction move (Shavit & Zemach), adapted here to
+//! *weighted* tokens so it composes with the batched fast path.
+//!
+//! # Protocol
+//!
+//! The slot is a single tagged-state atomic plus a mutex-protected
+//! payload cell. States: `EMPTY`, `OFFER(weight)`, `FULFILLED`.
+//!
+//! - [`ExchangeSlot::offer`]`(weight, patience)`: CAS `EMPTY →
+//!   OFFER(weight)`; spin up to `patience` loads for `FULFILLED`; on
+//!   timeout CAS `OFFER → EMPTY` to withdraw. If the withdrawal CAS
+//!   fails a combiner has already committed — the payload is
+//!   guaranteed present (see below) and the offer completes as an
+//!   exchange after all.
+//! - [`ExchangeSlot::fulfil`]`(weight, payload)`: **holding the
+//!   payload mutex across the CAS**, CAS `OFFER(weight) → FULFILLED`
+//!   and deposit the payload. Holding the mutex across the CAS is
+//!   what makes fulfilment atomic from the waiter's point of view: a
+//!   waiter that observes `FULFILLED` must acquire the same mutex to
+//!   collect, so it blocks (boundedly) until the payload is in place.
+//!   If the CAS fails — the waiter withdrew first, or another
+//!   combiner won — the payload is handed back to the caller
+//!   (`Err`), who keeps the speculatively-claimed values for its own
+//!   stash instead of losing them.
+//!
+//! Every wait in the protocol is **bounded** (`patience` loads for
+//! the waiter, one mutex acquisition for collection), which is what
+//! lets `VirtualSync` exhaustively explore pairing, timeout, and
+//! withdraw/fulfil races without diverging on an unbounded spin.
+
+use crate::{Ordering, SyncApi, SyncAtomicU64, SyncData, SyncMutex};
+
+/// Slot state: no offer posted.
+const EMPTY: u64 = 0;
+/// Slot state tag: an offer of weight `w` is encoded `(w << 2) | OFFER_TAG`.
+const OFFER_TAG: u64 = 1;
+/// Slot state: a combiner committed; the payload cell holds the values.
+const FULFILLED: u64 = 2;
+
+/// Encodes an offer of `weight` into the state word.
+fn offer_word(weight: u64) -> u64 {
+    debug_assert!(weight < (1 << 62), "offer weight overflows the state tag");
+    (weight << 2) | OFFER_TAG
+}
+
+/// The outcome of [`ExchangeSlot::offer`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum OfferOutcome<T> {
+    /// A combiner absorbed the offered weight; here are the values it
+    /// claimed on the offerer's behalf.
+    Exchanged(T),
+    /// Nobody took the offer within `patience`; it was withdrawn and
+    /// the caller must traverse the network itself.
+    TimedOut,
+    /// The slot already carries someone else's offer (or an
+    /// in-flight fulfilment); nothing was posted.
+    Busy,
+}
+
+/// A single elimination slot exchanging token weight for a payload of
+/// claimed values. See the [module docs](self) for the protocol.
+pub struct ExchangeSlot<T: SyncData, S: SyncApi = crate::RealSync> {
+    state: S::AtomicU64,
+    payload: S::Mutex<Option<T>>,
+}
+
+impl<T: SyncData, S: SyncApi> Default for ExchangeSlot<T, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: SyncData, S: SyncApi> ExchangeSlot<T, S> {
+    /// A new, empty slot.
+    pub fn new() -> Self {
+        ExchangeSlot { state: S::AtomicU64::new(EMPTY), payload: S::Mutex::new(None) }
+    }
+
+    /// Posts an offer of `weight` tokens and waits up to `patience`
+    /// state loads for a combiner. See [`OfferOutcome`].
+    pub fn offer(&self, weight: u64, patience: usize) -> OfferOutcome<T> {
+        let word = offer_word(weight);
+        if self
+            .state
+            .compare_exchange(EMPTY, word, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return OfferOutcome::Busy;
+        }
+        for _ in 0..patience {
+            if self.state.load(Ordering::Acquire) == FULFILLED {
+                return OfferOutcome::Exchanged(self.collect());
+            }
+            std::hint::spin_loop();
+        }
+        // Timeout: withdraw. If the withdrawal CAS fails, a combiner
+        // committed in the meantime (OFFER can only leave via us or a
+        // fulfilling CAS) — collect the exchange after all.
+        match self.state.compare_exchange(word, EMPTY, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => OfferOutcome::TimedOut,
+            Err(state) => {
+                debug_assert_eq!(state, FULFILLED, "offer can only be displaced by fulfilment");
+                OfferOutcome::Exchanged(self.collect())
+            }
+        }
+    }
+
+    /// Returns the weight of the currently posted offer, if any — the
+    /// combiner's cheap read-only probe before it commits to
+    /// speculatively claiming extra values.
+    pub fn pending_offer(&self) -> Option<u64> {
+        let state = self.state.load(Ordering::Acquire);
+        (state & 0b11 == OFFER_TAG).then_some(state >> 2)
+    }
+
+    /// Attempts to fulfil a pending offer of exactly `weight` with
+    /// `payload`. `Ok(())` means the exchange committed and the
+    /// offerer will collect `payload`; `Err(payload)` hands the
+    /// payload back (the offer was withdrawn, changed, or already
+    /// fulfilled) and the caller keeps the values.
+    pub fn fulfil(&self, weight: u64, payload: T) -> Result<(), T> {
+        // Hold the payload mutex across the CAS: a waiter that sees
+        // FULFILLED collects under this same mutex, so it can never
+        // observe the state change before the payload is deposited.
+        let mut cell = self.payload.lock();
+        match self.state.compare_exchange(
+            offer_word(weight),
+            FULFILLED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                debug_assert!(cell.is_none(), "fulfilled a slot that still carries a payload");
+                *cell = Some(payload);
+                Ok(())
+            }
+            Err(_) => Err(payload),
+        }
+    }
+
+    /// Collects the deposited payload after observing `FULFILLED` and
+    /// resets the slot to `EMPTY` for the next pairing.
+    fn collect(&self) -> T {
+        let payload =
+            self.payload.lock().take().expect("FULFILLED slot must carry a payload");
+        self.state.store(EMPTY, Ordering::Release);
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RealSync;
+    use std::sync::Arc;
+
+    type Slot = ExchangeSlot<Vec<u64>, RealSync>;
+
+    #[test]
+    fn offer_times_out_when_nobody_combines() {
+        let slot: Slot = ExchangeSlot::new();
+        assert_eq!(slot.offer(3, 4), OfferOutcome::TimedOut);
+        // The slot is usable again afterwards.
+        assert_eq!(slot.pending_offer(), None);
+        assert_eq!(slot.offer(1, 0), OfferOutcome::TimedOut);
+    }
+
+    #[test]
+    fn second_offer_finds_the_slot_busy() {
+        let slot: Arc<Slot> = Arc::new(ExchangeSlot::new());
+        let held = Arc::clone(&slot);
+        let holder = std::thread::spawn(move || held.offer(2, 1 << 22));
+        // Wait until the first offer is visibly posted.
+        while slot.pending_offer().is_none() {
+            std::hint::spin_loop();
+        }
+        assert_eq!(slot.offer(1, 1), OfferOutcome::Busy);
+        // Release the holder by fulfilling it.
+        assert_eq!(slot.fulfil(2, vec![10, 11]), Ok(()));
+        assert_eq!(holder.join().unwrap(), OfferOutcome::Exchanged(vec![10, 11]));
+    }
+
+    #[test]
+    fn fulfil_hands_payload_back_when_offer_is_gone() {
+        let slot: Slot = ExchangeSlot::new();
+        assert_eq!(slot.fulfil(5, vec![1]), Err(vec![1]));
+        // Wrong weight is also a miss — the offer word mismatches.
+        assert_eq!(slot.offer(3, 0), OfferOutcome::TimedOut);
+        assert_eq!(slot.fulfil(4, vec![2]), Err(vec![2]));
+    }
+
+    #[test]
+    fn pairing_round_trips_the_payload() {
+        let slot: Arc<Slot> = Arc::new(ExchangeSlot::new());
+        let offerer = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.offer(2, 1 << 22))
+        };
+        while slot.pending_offer() != Some(2) {
+            std::hint::spin_loop();
+        }
+        assert_eq!(slot.fulfil(2, vec![40, 41]), Ok(()));
+        assert_eq!(offerer.join().unwrap(), OfferOutcome::Exchanged(vec![40, 41]));
+        // Slot fully reset.
+        assert_eq!(slot.pending_offer(), None);
+    }
+}

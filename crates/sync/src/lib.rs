@@ -44,6 +44,65 @@ use std::sync::Arc;
 
 pub use std::sync::atomic::Ordering;
 
+pub mod exchange;
+
+pub use exchange::{ExchangeSlot, OfferOutcome};
+
+/// Pads and aligns a value to (at least) a 128-byte cache-line
+/// boundary so that two `CachePadded` neighbours in an array never
+/// share a line.
+///
+/// 128 bytes covers both the 64-byte x86-64 line (and its adjacent-
+/// line prefetcher, which drags pairs of lines) and the 128-byte
+/// aarch64 line. The hot per-leaf atomics of the lock-free fast path
+/// (`hops`, per-port arrival tallies, the per-wire entry/exit counts)
+/// are wrapped in this: without it, independent counters allocated
+/// side by side false-share lines and the throughput curve goes flat
+/// even when the algorithmic contention is gone (E18's padding
+/// microbench measures exactly this before/after).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: Hash> Hash for CachePadded<T> {
+    /// Padding is invisible to state fingerprints: hashes exactly as
+    /// the wrapped value does.
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.value.hash(state);
+    }
+}
+
 /// Bounds required of data protected by a [`SyncApi`] lock.
 ///
 /// `Hash` exists for the model checker's state fingerprinting;
@@ -66,6 +125,22 @@ pub trait SyncAtomicU64: Send + Sync + 'static {
     fn store(&self, value: u64, order: Ordering);
     /// Atomically adds `value`, returning the previous value.
     fn fetch_add(&self, value: u64, order: Ordering) -> u64;
+    /// Atomically replaces the value with `new` if it equals
+    /// `current`: `Ok(previous)` on success, `Err(actual)` on failure
+    /// (the strong variant — no spurious failures). `failure` must not
+    /// be `Release`/`AcqRel`, mirroring `std`.
+    ///
+    /// This is the **exchange primitive** behind the elimination layer
+    /// (`ExchangeSlot`): under the model checker every `Cas` is a
+    /// scheduling point with read-modify-write coherence, so
+    /// pairing/timeout races are explored rather than assumed.
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64>;
 }
 
 /// A mutual-exclusion lock.
@@ -210,6 +285,17 @@ impl SyncAtomicU64 for RealAtomicU64 {
     #[inline]
     fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
         self.0.fetch_add(value, order)
+    }
+
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.0.compare_exchange(current, new, success, failure)
     }
 }
 

@@ -9,8 +9,33 @@
 #                              # p50/p90/p99 + tracing overhead)
 #   scripts/bench.sh --smoke   # CI gate: tiny op count, artifacts under
 #                              # target/ so the committed JSON survives
+#
+# Both modes end with a scaling-regression guard: the run fails if the
+# 8-thread lock-free (front-end) throughput falls below the 1-thread
+# number — the flat-scaling bug this column exists to keep fixed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cargo run --release -q -p acn-bench --bin exp_throughput -- "$@"
+
+# Resolve the artifact path the same way the binary does.
+artifact="BENCH_throughput.json"
+case " $* ${ACN_BENCH_SMOKE:+--smoke} " in
+    *" --smoke "*) artifact="target/BENCH_throughput.smoke.json" ;;
+esac
+artifact="${ACN_BENCH_OUT:-$artifact}"
+
+# Scaling-regression guard. The sed patterns rely on the greedy `.*`
+# to skip past scalar_lockfree_tokens_per_sec to the headline field.
+one=$(sed -n 's/.*"threads": 1,.*"lockfree_tokens_per_sec": \([0-9]*\).*/\1/p' "$artifact")
+eight=$(sed -n 's/.*"threads": 8,.*"lockfree_tokens_per_sec": \([0-9]*\).*/\1/p' "$artifact")
+if [ -z "$one" ] || [ -z "$eight" ]; then
+    echo "bench.sh: could not read lock-free throughput rows from $artifact" >&2
+    exit 1
+fi
+if [ "$eight" -lt "$one" ]; then
+    echo "bench.sh: scaling regression — 8-thread lock-free ($eight tok/s) is below 1-thread ($one tok/s)" >&2
+    exit 1
+fi
+echo "scaling guard ok: lock-free 1t=$one tok/s, 8t=$eight tok/s"
