@@ -51,7 +51,7 @@ use std::fmt;
 
 use acn_core::component::split_component;
 use acn_core::dist::{
-    force_merge_tag, force_split_tag, Deployment, Msg, Proc, COLLECTOR,
+    force_merge_tag, force_split_tag, Deployment, Msg, NodeProc, Proc, COLLECTOR,
 };
 use acn_overlay::NodeId;
 use acn_simnet::{DeliveryPolicy, PendingEvent, ProcessId, SimConfig};
@@ -96,6 +96,13 @@ pub enum DistAction {
     Repair,
     /// Inject one token on this input wire mid-run.
     Inject(usize),
+    /// Crash whichever live node currently has a split in flight
+    /// (enabled only while one exists and it is not the last node):
+    /// exercises the crash-mid-split rescue path in-protocol.
+    CrashMidSplit,
+    /// Crash whichever live node currently has a merge in flight:
+    /// exercises the crash-mid-merge orphan-adoption path.
+    CrashMidMerge,
 }
 
 impl fmt::Display for DistAction {
@@ -108,6 +115,8 @@ impl fmt::Display for DistAction {
             DistAction::Join => write!(f, "join a node"),
             DistAction::Repair => write!(f, "repair the cut"),
             DistAction::Inject(w) => write!(f, "inject on wire {w}"),
+            DistAction::CrashMidSplit => write!(f, "crash the split coordinator"),
+            DistAction::CrashMidMerge => write!(f, "crash the merge coordinator"),
         }
     }
 }
@@ -426,12 +435,43 @@ impl DistRun {
     }
 
     /// Terminal = no pending messages, every scripted action applied,
-    /// all nodes quiet, nothing frozen. (Pending timers are fine: the
-    /// level timer re-arms forever by design.)
+    /// all nodes quiet, nothing frozen, and every crash both detected
+    /// and tombstoned in every live view. (Pending timers are fine:
+    /// the level and failure-detector timers re-arm forever by design;
+    /// it is `recovery_complete` that keeps the drain firing them
+    /// until the in-protocol rescue has converged.)
     pub(crate) fn terminal(&self) -> bool {
         !self.has_pending_messages()
             && self.next_action >= self.scenario.actions.len()
             && self.all_quiet()
+            && self.recovery_complete()
+    }
+
+    /// Whether every crashed node has been tombstoned in the local
+    /// view of every live (non-departed, still-in-ring) node. Until
+    /// this holds the run is not terminal, so `settle_frontier` keeps
+    /// firing failure-detector ticks and the suspicion/rescue protocol
+    /// runs to convergence without any harness help. (`all_quiet`
+    /// already guarantees no rescue sweep or merge is mid-flight.)
+    pub(crate) fn recovery_complete(&self) -> bool {
+        let crashed: Vec<_> = {
+            let w = self.d.world.borrow();
+            w.crashed.keys().copied().collect()
+        };
+        if crashed.is_empty() {
+            return true;
+        }
+        for pid in self.d.sim.process_ids().collect::<Vec<_>>() {
+            if let Some(Proc::Node(np)) = self.d.sim.process(pid) {
+                if np.departed() {
+                    continue;
+                }
+                if crashed.iter().any(|&c| !np.view_dead_contains(c)) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Whether the next scripted action can fire in the current state.
@@ -449,8 +489,47 @@ impl DistRun {
                 let w = self.d.world.borrow();
                 w.ring.contains(node) && w.ring.len() > 1
             }
-            DistAction::Join | DistAction::Repair | DistAction::Inject(_) => true,
+            // The mid-op crashes are always enabled with ensure
+            // semantics (like `Split`/`Merge`): the preceding scripted
+            // action starts the split/merge *synchronously*, so at the
+            // first branch point the window is open and most schedules
+            // crash a genuinely mid-flight coordinator — but a
+            // schedule that drains the reconfiguration first must
+            // still terminate, so the closed-window case is a no-op
+            // rather than a never-enabled stuck state.
+            DistAction::Join
+            | DistAction::Repair
+            | DistAction::Inject(_)
+            | DistAction::CrashMidSplit
+            | DistAction::CrashMidMerge => true,
         }
+    }
+
+    /// A live in-ring node with a split currently in flight (and a
+    /// peer to survive it) — the victim for [`DistAction::CrashMidSplit`].
+    fn split_coordinator_node(&self) -> Option<NodeId> {
+        self.mid_op_victim(|np| np.splits_in_flight() > 0)
+    }
+
+    /// A live in-ring node with a merge currently in flight — the
+    /// victim for [`DistAction::CrashMidMerge`].
+    fn merge_coordinator_node(&self) -> Option<NodeId> {
+        self.mid_op_victim(|np| np.merges_in_flight() > 0)
+    }
+
+    fn mid_op_victim(&self, busy: impl Fn(&NodeProc) -> bool) -> Option<NodeId> {
+        let w = self.d.world.borrow();
+        if w.ring.len() <= 1 {
+            return None;
+        }
+        for pid in self.d.sim.process_ids().collect::<Vec<_>>() {
+            if let Some(Proc::Node(np)) = self.d.sim.process(pid) {
+                if !np.departed() && w.ring.contains(np.node_id()) && busy(np) {
+                    return Some(np.node_id());
+                }
+            }
+        }
+        None
     }
 
     /// The process hosting `id` live, unfrozen, and splittable *right
@@ -758,7 +837,24 @@ impl DistRun {
                 // else: the estimator auto-merged it back during the
                 // drain — ensure semantics, nothing left to force.
             }
-            DistAction::Crash(i) => self.d.crash_node(self.initial_nodes[*i]),
+            DistAction::Crash(i) => {
+                // Enabledness guaranteed a surviving peer.
+                self.d
+                    .crash_node(self.initial_nodes[*i])
+                    .expect("enabledness checked: not the last live node");
+            }
+            DistAction::CrashMidSplit => {
+                // Ensure semantics: no-op if the split already drained
+                // (or no crashable coordinator exists).
+                if let Some(victim) = self.split_coordinator_node() {
+                    self.d.crash_node(victim).expect("victim search checked ring.len() > 1");
+                }
+            }
+            DistAction::CrashMidMerge => {
+                if let Some(victim) = self.merge_coordinator_node() {
+                    self.d.crash_node(victim).expect("victim search checked ring.len() > 1");
+                }
+            }
             DistAction::Leave(i) => self.d.leave_node(self.initial_nodes[*i]),
             DistAction::Join => {
                 let _ = self.d.join_node();
@@ -833,6 +929,24 @@ fn msg_name(m: &Msg) -> String {
         Msg::CollectMissing { id, parent } => format!("CollectMissing({id} for {parent})"),
         Msg::RemoveFrozen { id } => format!("RemoveFrozen({id})"),
         Msg::AbortFreeze { id } => format!("AbortFreeze({id})"),
+        Msg::Ping => "Ping".to_string(),
+        Msg::Pong => "Pong".to_string(),
+        Msg::ViewGossip { known, dead } => {
+            format!("ViewGossip(known={}, dead={})", known.len(), dead.len())
+        }
+        Msg::RescueQuery => "RescueQuery".to_string(),
+        Msg::RescueReport { covered } => format!("RescueReport({} covered)", covered.len()),
+        Msg::RescueInstall { comp } => format!("RescueInstall({})", comp.id()),
+        Msg::RescueAck { id } => format!("RescueAck({id})"),
+        Msg::TokenBusy { guid } => format!("TokenBusy(guid={guid})"),
+        Msg::Migrate { comp, buffer, .. } => {
+            format!("Migrate({}, {} buffered)", comp.id(), buffer.len())
+        }
+        Msg::MigrateAck { id } => format!("MigrateAck({id})"),
+        Msg::MergeOrphan { child, parent } => format!("MergeOrphan({child} for {parent})"),
+        Msg::SplitListHandoff { entries } => {
+            format!("SplitListHandoff({} entries)", entries.len())
+        }
     }
 }
 

@@ -10,7 +10,10 @@
 //!   number of injected tokens. Scenarios that crash a node may lose
 //!   tokens that were resident on it, so there the oracle weakens to
 //!   "never *more* than injected" — duplication is a protocol bug
-//!   under any fault model, loss is not (under crashes).
+//!   under any fault model, loss is not (under crashes). The same
+//!   weakening applies when the failure detector fired during the run
+//!   (even a *false* suspicion excommunicates its victim and may
+//!   replace its components with history-less rescues).
 //! - **Step property**: the per-wire exit counts form a step sequence
 //!   ([`acn_topology::oracle::step_violation`]), i.e. the network
 //!   still *counts* after every explored reconfiguration.
@@ -61,6 +64,17 @@ pub struct OracleConfig {
     /// Stabilization detects an injected corruption and restores the
     /// snapshot to audit-clean.
     pub stabilize: bool,
+    /// Every crash was detected *in-protocol* (the failure detector
+    /// recorded a suspicion for it) within `detection_budget_periods`
+    /// level periods of the crash, and every live node's view has it
+    /// tombstoned at quiescence.
+    pub recovery: bool,
+    /// Detection-latency budget for the `recovery` oracle, in level
+    /// periods. Generous by default: suspicion needs
+    /// `FD_STRIKE_LIMIT` silent detector ticks, and a crash can
+    /// cascade (the first victim's successor inherits monitoring of
+    /// the next).
+    pub detection_budget_periods: u64,
 }
 
 impl Default for OracleConfig {
@@ -71,6 +85,8 @@ impl Default for OracleConfig {
             cut: true,
             audit: true,
             stabilize: true,
+            recovery: true,
+            detection_budget_periods: 16,
         }
     }
 }
@@ -78,11 +94,56 @@ impl Default for OracleConfig {
 /// Checks every configured oracle against a terminal (quiescent)
 /// state. Returns the first violation as a human-readable message.
 pub(crate) fn check_terminal(run: &DistRun, cfg: &OracleConfig) -> Result<(), String> {
-    let crashed = run
-        .scenario
-        .actions
-        .iter()
-        .any(|a| matches!(a, DistAction::Crash(_)));
+    let crashed = run.scenario.actions.iter().any(|a| {
+        matches!(
+            a,
+            DistAction::Crash(_) | DistAction::CrashMidSplit | DistAction::CrashMidMerge
+        )
+    });
+    // A *false* suspicion is indistinguishable from a crash to the
+    // protocol: the suspected node is excommunicated and the rescue
+    // sweep may re-cover its region with fresh (history-less)
+    // components. Under adversarial scheduling the explorer can
+    // manufacture suspicions without any crash action (no failure
+    // detector is perfect in an asynchronous network), so every
+    // history-dependent oracle weakens exactly as it does under real
+    // crashes whenever the detector fired. Conservation still holds:
+    // tokens may be lost with their host's history, never duplicated.
+    let disrupted = crashed || !run.d.world.borrow().detections.is_empty();
+
+    // --- In-protocol crash detection -------------------------------
+    // Every recorded crash must have a matching failure-detector
+    // suspicion within the period budget, and every live node's local
+    // view must carry the tombstone. The harness records *when* each
+    // crash happened; everything else (suspicion, gossip, rescue) is
+    // protocol traffic.
+    if cfg.recovery {
+        let w = run.d.world.borrow();
+        let budget = cfg.detection_budget_periods * run.d.level_period;
+        for (&node, &crashed_at) in &w.crashed {
+            let Some(&detected_at) = w.detections.get(&node) else {
+                return Err(format!(
+                    "crash of {node:?} was never detected by the failure detector"
+                ));
+            };
+            let latency = detected_at.saturating_sub(crashed_at);
+            if latency > budget {
+                return Err(format!(
+                    "crash of {node:?} detected after {latency} ticks, over the \
+                     budget of {budget} ({} periods)",
+                    cfg.detection_budget_periods
+                ));
+            }
+        }
+        drop(w);
+        if !run.recovery_complete() {
+            return Err(
+                "a live node's view still lacks a tombstone for a crashed node \
+                 at quiescence"
+                    .to_string(),
+            );
+        }
+    }
 
     // --- Exactly-once token counting -------------------------------
     let total = run.collector_total();
@@ -94,7 +155,7 @@ pub(crate) fn check_terminal(run: &DistRun, cfg: &OracleConfig) -> Result<(), St
                 run.injected
             ));
         }
-        if !crashed && total != run.injected {
+        if !disrupted && total != run.injected {
             return Err(format!(
                 "exactly-once counting violated: injected {} tokens but the \
                  collector counted {total}",
@@ -105,7 +166,7 @@ pub(crate) fn check_terminal(run: &DistRun, cfg: &OracleConfig) -> Result<(), St
 
     // --- Step property (gap-freedom) -------------------------------
     let exits = run.exit_counts();
-    if cfg.step && !crashed {
+    if cfg.step && !disrupted {
         if let Some(violation) = step_violation(&exits) {
             return Err(format!("step property violated at quiescence: {violation}"));
         }
@@ -116,9 +177,11 @@ pub(crate) fn check_terminal(run: &DistRun, cfg: &OracleConfig) -> Result<(), St
     // thaw; the snapshot doubles as the audit input below.
     let mut components: Vec<Component> = Vec::new();
     let mut seen: BTreeSet<ComponentId> = BTreeSet::new();
+    let mut hosts: Vec<String> = Vec::new();
     for pid in run.d.sim.process_ids().collect::<Vec<_>>() {
         if let Some(Proc::Node(np)) = run.d.sim.process(pid) {
             for (id, comp, frozen, buffered) in np.hosted_components() {
+                hosts.push(format!("{id}@{pid}"));
                 if frozen {
                     return Err(format!(
                         "component {id} on {pid} is still frozen at quiescence"
@@ -150,7 +213,9 @@ pub(crate) fn check_terminal(run: &DistRun, cfg: &OracleConfig) -> Result<(), St
         let world = run.d.world.borrow();
         if !cut.is_valid(&world.tree) {
             return Err(format!(
-                "live cut is not a valid antichain cover at quiescence: {cut}"
+                "live cut is not a valid antichain cover at quiescence: {cut} \
+                 (hosts: {})",
+                hosts.join(", ")
             ));
         }
     }
@@ -168,7 +233,7 @@ pub(crate) fn check_terminal(run: &DistRun, cfg: &OracleConfig) -> Result<(), St
             run.injected_per_wire.clone(),
             exits,
         );
-        if cfg.audit && !crashed {
+        if cfg.audit && !disrupted {
             let faults = stabilize::audit(&net);
             if let Some(fault) = faults.first() {
                 return Err(format!(

@@ -45,14 +45,17 @@ fn exhausts_two_nodes_two_tokens_with_concurrent_split() {
     );
 }
 
-/// The second acceptance config: 3 nodes, one crash mid-traffic, then
-/// a repair sweep. Tokens resident on the crashed node may be lost
-/// (conservation weakens to <=) but never duplicated, the repaired
-/// cut is valid, and stabilization restores a legal snapshot.
+/// The second acceptance config: 3 nodes, one crash mid-traffic, and
+/// **no scripted repair** — the failure detector must notice the
+/// crash, gossip the tombstone, and re-cover the cut entirely through
+/// protocol messages. Tokens resident on the crashed node may be lost
+/// (conservation weakens to <=) but never duplicated, the rescued cut
+/// is valid, the recovery oracle bounds detection latency, and
+/// stabilization restores a legal snapshot.
 #[test]
-fn exhausts_three_nodes_with_crash_and_stabilization() {
+fn exhausts_three_nodes_with_crash_and_in_protocol_recovery() {
     let mut scenario = DistScenario::new(2, 3, 0xD15C2, vec![0, 1]);
-    scenario.actions = vec![DistAction::Crash(1), DistAction::Repair];
+    scenario.actions = vec![DistAction::Crash(1)];
     let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
     report.assert_ok();
     assert!(report.fault_actions > 0, "the crash was actually explored: {report:?}");
@@ -246,6 +249,44 @@ fn found_estimator_automerge_iteration_is_clean_after_ensure_fix() {
     let report = check_dist(&DistCheckConfig::random(1, 0x7B99_7CC4_67F8_1090), &scenario);
     report.assert_ok();
     assert!(report.fault_actions > 0, "the faulty region was exercised: {report:?}");
+}
+
+/// Seed-pinned regression: crash the **split coordinator mid-flight**
+/// and recover without any harness `repair()` — the suspector's
+/// rescue sweep plus the split re-drive must re-cover the orphaned
+/// subtree through protocol messages alone. Exhaustive over a small
+/// space, so every interleaving of the crash against the in-flight
+/// `Install`/`InstallAck` traffic is covered; every terminal state
+/// passes the conservation (<= under crashes, never more), cut, and
+/// recovery oracles.
+#[test]
+fn crash_during_split_recovers_in_protocol() {
+    let root = ComponentId::root();
+    let mut scenario = DistScenario::new(4, 2, 0xD15C7, vec![0, 3]);
+    scenario.actions = vec![DistAction::Split(root), DistAction::CrashMidSplit];
+    let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    report.assert_ok();
+    assert!(report.fault_actions > 0, "the crash was actually explored: {report:?}");
+}
+
+/// Seed-pinned regression: crash the **merge coordinator mid-flight**.
+/// The children it froze are orphaned (`frozen_by` a tombstoned peer);
+/// their hosts must nudge the parent's view owner with `MergeOrphan`,
+/// which adopts the merge and collects the frozen children directly
+/// from their hosts — again with no harness help, and no token
+/// duplicated across the rescue.
+#[test]
+fn crash_during_merge_recovers_in_protocol() {
+    let root = ComponentId::root();
+    let mut scenario = DistScenario::new(4, 2, 0xD15C8, vec![0, 3]);
+    scenario.actions = vec![
+        DistAction::Split(root.clone()),
+        DistAction::Merge(root),
+        DistAction::CrashMidMerge,
+    ];
+    let report = check_dist(&DistCheckConfig::exhaustive(), &scenario);
+    report.assert_ok();
+    assert!(report.fault_actions > 0, "the crash was actually explored: {report:?}");
 }
 
 /// Randomized mode is a deterministic function of its seed, and its

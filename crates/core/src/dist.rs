@@ -60,6 +60,26 @@ use crate::component::{merge_components, split_component, Component};
 /// Timer tags used by [`NodeProc`].
 const TIMER_LEVEL: u64 = 0;
 const TIMER_RETRY: u64 = 1;
+/// The failure-detector lease tick: each node monitors its ring
+/// predecessor (the unique node whose successor it is), pinging it
+/// when it has been silent for a lease period and suspecting it after
+/// [`FD_STRIKE_LIMIT`] consecutive silent ticks.
+const TIMER_FD: u64 = 3;
+
+/// Consecutive silent failure-detector ticks before a node suspects
+/// its monitored predecessor. Each tick is one `level_period`, so
+/// detection takes at most `FD_STRIKE_LIMIT + 1` periods after the
+/// crash — far above the simulated RTT, so a live-but-slow peer is
+/// never falsely suspected under seeded delivery.
+const FD_STRIKE_LIMIT: u32 = 3;
+
+/// Default bound on tokens a *remote sender* may park in one frozen
+/// component's buffer. Past it the receiver sheds with a backpressure
+/// NACK ([`Msg::TokenBusy`]) and the sender retries under backoff.
+/// Locally re-routed tokens (buffer drains, client injections) are
+/// exempt — they have no sender to push back on — so the buffer stays
+/// bounded by wire admission plus a bounded local refill.
+const DEFAULT_FROZEN_BUFFER_CAP: usize = 64;
 
 /// Base of the harness-injected "force a split now" timer tags: the
 /// low bits carry the packed [`ComponentId`] (see
@@ -219,6 +239,84 @@ pub enum Msg {
         /// The frozen child to release.
         id: ComponentId,
     },
+    /// Failure-detector liveness probe: the sender has not heard from
+    /// the receiver for a lease period.
+    Ping,
+    /// Liveness reply to [`Msg::Ping`].
+    Pong,
+    /// Epoch-stamped membership gossip. Both sets grow monotonically
+    /// (node ids are never reused), so merging is a plain set union and
+    /// every node's view epoch `|known| + |dead|` only moves forward —
+    /// a state-based CRDT that converges regardless of delivery order.
+    ViewGossip {
+        /// Every node the sender has ever known.
+        known: BTreeSet<NodeId>,
+        /// Tombstones: nodes the sender knows to be crashed or departed.
+        dead: BTreeSet<NodeId>,
+    },
+    /// Rescue sweep: the coordinator (the suspector of a crash) asks a
+    /// peer for the slice of the cut it covers.
+    RescueQuery,
+    /// Reply to [`Msg::RescueQuery`]: components this node covers —
+    /// hosted ones plus in-flight obligations (pending split children,
+    /// merge parents awaiting install) — with their frozen flags.
+    RescueReport {
+        /// `(component, frozen)` for everything this node covers.
+        covered: Vec<(ComponentId, bool)>,
+    },
+    /// Install a freshly initialized replacement component for a
+    /// subtree orphaned by a crash. Token history of the lost component
+    /// is gone by definition; the receiver installs only if nothing it
+    /// hosts already overlaps the subtree, and acknowledges either way.
+    RescueInstall {
+        /// The replacement component (freshly initialized).
+        comp: Component,
+    },
+    /// Acknowledges a [`Msg::RescueInstall`].
+    RescueAck {
+        /// The replacement component's id.
+        id: ComponentId,
+    },
+    /// Backpressure NACK: the receiver's covering component is frozen
+    /// and its buffer is full. The sender keeps the obligation and
+    /// retries under escalated backoff.
+    TokenBusy {
+        /// The shed token's obligation id.
+        guid: u64,
+    },
+    /// Hand a component to its current hash owner (view-driven
+    /// migration). Carries the travelling idempotency ledger and the
+    /// frozen-buffer backlog; the sender keeps a copy until
+    /// [`Msg::MigrateAck`] so a crash of the target cannot lose it.
+    Migrate {
+        /// The migrating component.
+        comp: Component,
+        /// Its travelling `(token, addr)` idempotency ledger.
+        seen: SeenTokens,
+        /// Tokens that were buffered at the component.
+        buffer: Vec<BufferedToken>,
+    },
+    /// Acknowledges a [`Msg::Migrate`]; the sender drops its copy.
+    MigrateAck {
+        /// The migrated component.
+        id: ComponentId,
+    },
+    /// The sender hosts `child` frozen for a merge whose coordinator
+    /// died. The receiver is the current hash owner of `parent`: it
+    /// either adopts the merge obligation or, if it already hosts the
+    /// parent live, tells the sender to drop the leftover child.
+    MergeOrphan {
+        /// The frozen child orphaned by the coordinator's crash.
+        child: ComponentId,
+        /// The merge parent whose coordinator died.
+        parent: ComponentId,
+    },
+    /// Split-list obligations handed to the receiver (the entries'
+    /// current hash owner) by a gracefully departing node.
+    SplitListHandoff {
+        /// The handed-off split-list entries.
+        entries: Vec<ComponentId>,
+    },
 }
 
 /// Pre-resolved telemetry handles for the distributed runtime
@@ -257,10 +355,41 @@ pub(crate) struct DistMetrics {
     /// Node crashes injected by the harness.
     crashes: Counter,
     /// Components re-installed by cut repair after crashes.
-    repairs: Counter,
     /// Level-estimate changes observed at `level_tick` (the adaptivity
     /// signal of paper Section 3.2).
     level_changes: Counter,
+    /// Failure-detector pings sent (`acn.dist.fd.pings`).
+    fd_pings: Counter,
+    /// Crash suspicions raised (`acn.dist.fd.suspects`).
+    fd_suspects: Counter,
+    /// Virtual time from harness crash to first in-protocol suspicion
+    /// (`acn.dist.fd.detection_latency`).
+    fd_detection_latency: Histogram,
+    /// Membership gossip messages sent (`acn.dist.fd.gossip`).
+    fd_gossip: Counter,
+    /// Rescue sweeps started (`acn.dist.rescue.sweeps`).
+    rescue_sweeps: Counter,
+    /// Replacement components installed by rescue sweeps
+    /// (`acn.dist.rescue.installs`).
+    rescue_installs: Counter,
+    /// Virtual time from sweep start to last install ack
+    /// (`acn.dist.rescue.duration`).
+    rescue_duration: Histogram,
+    /// Leftover duplicate components discarded during a sweep
+    /// (`acn.dist.rescue.duplicate_discards`).
+    rescue_discards: Counter,
+    /// Retry-timer delays actually armed, jitter included
+    /// (`acn.dist.backoff.interval`).
+    backoff_interval: Histogram,
+    /// Backoff escalations — unproductive retry rounds or backpressure
+    /// NACKs doubling the interval (`acn.dist.backoff.escalations`).
+    backoff_escalations: Counter,
+    /// Backoff resets on acknowledged progress
+    /// (`acn.dist.backoff.resets`).
+    backoff_resets: Counter,
+    /// Tokens shed with a backpressure NACK at a full frozen buffer
+    /// (`acn.dist.backoff.sheds`).
+    busy_sheds: Counter,
     /// Instrumented size/level estimation (`acn.estimator.*`).
     estimator: acn_estimator::InstrumentedEstimator,
     /// Event stream for `split.*` / `merge.*` / `dist.*` events.
@@ -284,8 +413,19 @@ impl DistMetrics {
             split_drained: registry.counter("acn.dist.split_drained_tokens"),
             migrations: registry.counter("acn.dist.component_migrations"),
             crashes: registry.counter("acn.dist.crashes"),
-            repairs: registry.counter("acn.dist.repaired_components"),
             level_changes: registry.counter("acn.dist.level_changes"),
+            fd_pings: registry.counter("acn.dist.fd.pings"),
+            fd_suspects: registry.counter("acn.dist.fd.suspects"),
+            fd_detection_latency: registry.histogram("acn.dist.fd.detection_latency"),
+            fd_gossip: registry.counter("acn.dist.fd.gossip"),
+            rescue_sweeps: registry.counter("acn.dist.rescue.sweeps"),
+            rescue_installs: registry.counter("acn.dist.rescue.installs"),
+            rescue_duration: registry.histogram("acn.dist.rescue.duration"),
+            rescue_discards: registry.counter("acn.dist.rescue.duplicate_discards"),
+            backoff_interval: registry.histogram("acn.dist.backoff.interval"),
+            backoff_escalations: registry.counter("acn.dist.backoff.escalations"),
+            backoff_resets: registry.counter("acn.dist.backoff.resets"),
+            busy_sheds: registry.counter("acn.dist.backoff.sheds"),
             estimator: acn_estimator::InstrumentedEstimator::attach(registry),
             registry: registry.clone(),
         }
@@ -318,6 +458,14 @@ pub struct World {
     /// `(token, addr)` ledger (a re-routed retransmission raced its
     /// merely-delayed original).
     pub duplicate_traversal_drops: u64,
+    /// Harness-stamped crash log: node -> virtual crash time. Ground
+    /// truth for the detection-latency oracle and metric; no protocol
+    /// path reads it.
+    pub crashed: BTreeMap<NodeId, u64>,
+    /// First in-protocol suspicion per crashed/suspected node (min over
+    /// detectors). The recovery oracle checks every entry of `crashed`
+    /// appears here within the detection budget.
+    pub detections: BTreeMap<NodeId, u64>,
     /// Next globally unique per-send obligation id.
     next_guid: u64,
     /// Next globally unique end-to-end token id.
@@ -352,6 +500,8 @@ impl World {
             token_nacks: 0,
             token_retransmits: 0,
             duplicate_traversal_drops: 0,
+            crashed: BTreeMap::new(),
+            detections: BTreeMap::new(),
             next_guid: 0,
             next_token_id: 0,
             mutation_no_ack_dedup: false,
@@ -384,12 +534,34 @@ impl World {
         self.next_token_id
     }
 
-    /// The current hash owner of component `id`.
+    /// The current hash owner of component `id` per the harness's
+    /// ground-truth ring. Boot and harness paths only: protocol hot
+    /// paths resolve ownership against each node's *local membership
+    /// view* ([`NodeProc::owner_of`]), which is all a real node can see.
     #[must_use]
     pub fn host_of(&mut self, id: &ComponentId) -> NodeId {
         self.dht_lookups += 1;
         self.metrics.dht_lookups.inc();
         self.ring.owner_of_name(self.tree.preorder_index(id))
+    }
+
+    /// Records an in-protocol crash suspicion (min-merged across
+    /// detectors, so gossip adoption order cannot change the record).
+    pub(crate) fn note_detection(&mut self, node: NodeId, at: u64) {
+        self.metrics.fd_suspects.inc();
+        let first = !self.detections.contains_key(&node);
+        let entry = self.detections.entry(node).or_insert(at);
+        if at < *entry {
+            *entry = at;
+        }
+        if first {
+            if let Some(&crashed_at) = self.crashed.get(&node) {
+                self.metrics.fd_detection_latency.record(at.saturating_sub(crashed_at));
+            }
+            self.metrics.registry.emit(
+                TelemetryEvent::new("fd.suspect").at(at).node(node.0),
+            );
+        }
     }
 }
 
@@ -444,6 +616,13 @@ pub type SeenTokens = BTreeSet<(u64, WireAddress)>;
 struct Hosted {
     comp: Component,
     frozen: bool,
+    /// The remote coordinator that froze this component (a
+    /// `FreezeCollect` sender or nested-merge requester), if any.
+    /// `None` for locally driven freezes. When the freezer is later
+    /// tombstoned, the merge obligation is orphaned and this node
+    /// nudges the parent's current hash owner ([`Msg::MergeOrphan`])
+    /// instead of waiting forever.
+    frozen_by: Option<ProcessId>,
     /// Tokens buffered while frozen.
     buffer: Vec<BufferedToken>,
     /// The travelling `(token, addr)` idempotency ledger.
@@ -453,10 +632,49 @@ struct Hosted {
 /// An in-progress split at its coordinator.
 #[derive(Debug, Clone)]
 struct SplitOp {
-    /// Children still awaiting install acks.
-    pending: BTreeSet<ComponentId>,
+    /// Children still awaiting install acks, with their full state so
+    /// a stalled install (target crashed) can be re-sent to the
+    /// child's *new* hash owner.
+    pending: BTreeMap<ComponentId, Component>,
+    /// The parent's idempotency ledger (children inherit it), kept for
+    /// re-sent installs.
+    seen: SeenTokens,
+    /// Ticks without an install ack (re-drive trigger).
+    stalled_rounds: u32,
     /// When the split froze the parent (telemetry: split duration).
     started_at: u64,
+}
+
+/// A component handed off to its new owner, retained until the
+/// [`Msg::MigrateAck`] so a crash of the target cannot lose it.
+#[derive(Debug, Clone)]
+struct MigratingComponent {
+    comp: Component,
+    seen: SeenTokens,
+    buffer: Vec<BufferedToken>,
+    /// When the hand-off was (last) sent; stale entries are re-sent to
+    /// the *current* view owner by the retry timer.
+    sent_at: u64,
+}
+
+/// An in-progress rescue sweep at its coordinator (the node that
+/// suspected a crash). The sweep is global: it reassembles the whole
+/// covered cut from peer reports, discards leftover duplicates, and
+/// installs fresh components over every uncovered subtree — so a sweep
+/// triggered by one crash also heals holes left by earlier ones (e.g.
+/// a previous coordinator that died mid-sweep).
+#[derive(Debug, Clone)]
+struct RescueOp {
+    /// When the sweep started (telemetry: rescue duration).
+    started_at: u64,
+    /// Peers still to report their covered slice.
+    pending: BTreeSet<NodeId>,
+    /// Covered components reported so far: id -> (reporter, frozen).
+    covered: BTreeMap<ComponentId, (NodeId, bool)>,
+    /// Replacement installs awaiting acks: id -> last target.
+    installs: BTreeMap<ComponentId, NodeId>,
+    /// Failure-detector ticks without progress (re-drive trigger).
+    stalled_rounds: u32,
 }
 
 /// An in-progress merge at its coordinator.
@@ -507,6 +725,41 @@ pub struct NodeProc {
     /// Whether the node has gracefully departed (still NACKs tokens so
     /// none are lost while senders re-resolve).
     departed: bool,
+    /// Membership CRDT: every node ever known. Monotone (ids are never
+    /// reused), so the view epoch `|known| + |dead|` only grows and
+    /// gossip merge is a plain union.
+    view_known: BTreeSet<NodeId>,
+    /// Membership CRDT: tombstones for crashed/departed nodes.
+    view_dead: BTreeSet<NodeId>,
+    /// Materialized ring over `known - dead`: what *this node believes*
+    /// the membership is. All hot-path ownership lookups resolve here —
+    /// never against the harness's ground-truth `World::ring`.
+    view_ring: Ring,
+    /// Virtual time each peer was last heard from (any message counts
+    /// as a heartbeat; explicit pings fill idle gaps).
+    last_heard: BTreeMap<NodeId, u64>,
+    /// The predecessor currently being monitored (strikes reset when
+    /// the view changes it).
+    fd_target: Option<NodeId>,
+    /// Consecutive silent failure-detector ticks for `fd_target`.
+    fd_strikes: u32,
+    /// In-progress rescue sweep this node coordinates.
+    rescue: Option<RescueOp>,
+    /// A suspicion arrived while a sweep was running: run another
+    /// sweep when the current one completes.
+    rescue_again: bool,
+    /// Components handed off and awaiting [`Msg::MigrateAck`].
+    migrating: BTreeMap<ComponentId, MigratingComponent>,
+    /// Current retry backoff interval (0 = base `level_period/4 + 1`);
+    /// doubled on unproductive retries and backpressure NACKs up to
+    /// one `level_period`, reset to base on acknowledged progress.
+    retry_interval: u64,
+    /// Private splitmix64 stream for retry jitter. Seeded from the
+    /// node id, advanced only by this node's own arms — part of the
+    /// canonical state digest, unlike the shared sim RNG.
+    jitter_rng: u64,
+    /// Bound on remotely sent tokens parked in one frozen buffer.
+    frozen_buffer_cap: usize,
 }
 
 impl NodeProc {
@@ -528,6 +781,137 @@ impl NodeProc {
             level: 0,
             level_period,
             departed: false,
+            view_known: BTreeSet::from([node]),
+            view_dead: BTreeSet::new(),
+            view_ring: {
+                let mut r = Ring::new();
+                r.add_node(node);
+                r
+            },
+            last_heard: BTreeMap::new(),
+            fd_target: None,
+            fd_strikes: 0,
+            rescue: None,
+            rescue_again: false,
+            migrating: BTreeMap::new(),
+            retry_interval: 0,
+            jitter_rng: node.0 ^ 0x9E37_79B9_7F4A_7C15,
+            frozen_buffer_cap: DEFAULT_FROZEN_BUFFER_CAP,
+        }
+    }
+
+    /// Seeds the initial membership view (bootstrap/join contact list).
+    pub fn seed_view(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.view_known.extend(nodes);
+        self.view_known.insert(self.node);
+        self.rebuild_view_ring();
+    }
+
+    /// This node's membership epoch: `|known| + |dead|`. Both sets are
+    /// monotone, so the epoch totally orders a single node's view
+    /// history and a gossip merge never moves it backwards.
+    #[must_use]
+    pub fn view_epoch(&self) -> u64 {
+        (self.view_known.len() + self.view_dead.len()) as u64
+    }
+
+    /// Whether `n` is live in this node's view.
+    #[must_use]
+    pub fn view_live(&self, n: NodeId) -> bool {
+        self.view_known.contains(&n) && !self.view_dead.contains(&n)
+    }
+
+    /// Whether `n` is tombstoned in this node's view.
+    #[must_use]
+    pub fn view_dead_contains(&self, n: NodeId) -> bool {
+        self.view_dead.contains(&n)
+    }
+
+    /// Whether this node is currently coordinating a rescue sweep.
+    #[must_use]
+    pub fn rescue_active(&self) -> bool {
+        self.rescue.is_some()
+    }
+
+    /// In-flight split operations this node coordinates.
+    #[must_use]
+    pub fn splits_in_flight(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// In-flight merge operations this node coordinates.
+    #[must_use]
+    pub fn merges_in_flight(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Overrides the per-component frozen-buffer capacity (tests drive
+    /// the backpressure path with tiny caps).
+    pub fn set_frozen_buffer_cap(&mut self, cap: usize) {
+        self.frozen_buffer_cap = cap.max(1);
+    }
+
+    fn rebuild_view_ring(&mut self) {
+        let mut ring = Ring::new();
+        for &n in &self.view_known {
+            if !self.view_dead.contains(&n) {
+                ring.add_node(n);
+            }
+        }
+        self.view_ring = ring;
+    }
+
+    /// Union-merges a gossiped view into the local one. Returns whether
+    /// anything changed (the re-broadcast trigger).
+    fn merge_view(&mut self, known: &BTreeSet<NodeId>, dead: &BTreeSet<NodeId>) -> bool {
+        let before = self.view_epoch();
+        self.view_known.extend(known.iter().copied());
+        self.view_known.extend(dead.iter().copied());
+        self.view_dead.extend(dead.iter().copied());
+        let changed = self.view_epoch() != before;
+        if changed {
+            self.rebuild_view_ring();
+        }
+        changed
+    }
+
+    /// Gossips the local view to every known peer. Sent only on change,
+    /// so each membership event costs O(N^2) messages before every
+    /// view converges and the wave dies out. Tombstoned peers are
+    /// included deliberately: a ghost (departed, or falsely suspected)
+    /// may still hold frozen state whose coordinator just died, and it
+    /// needs the tombstone to nudge the orphan back into the protocol.
+    /// Sends to genuinely crashed processes are dropped by the plane.
+    fn broadcast_view(&mut self, ctx: &mut Context<'_, Msg>) {
+        let peers: Vec<NodeId> =
+            self.view_known.iter().copied().filter(|&n| n != self.node).collect();
+        self.world.borrow().metrics.fd_gossip.add(peers.len() as u64);
+        for peer in peers {
+            ctx.send(
+                ProcessId(peer.0),
+                Msg::ViewGossip {
+                    known: self.view_known.clone(),
+                    dead: self.view_dead.clone(),
+                },
+            );
+        }
+    }
+
+    /// The hash owner of component `id` per this node's *local view*
+    /// (one DHT lookup in a real deployment). Falls back to self when
+    /// the view ring is empty (an excommunicated ghost with no live
+    /// peers left — nothing useful to do but keep the state).
+    fn owner_of(&mut self, id: &ComponentId) -> NodeId {
+        let name = {
+            let mut w = self.world.borrow_mut();
+            w.dht_lookups += 1;
+            w.metrics.dht_lookups.inc();
+            w.tree.preorder_index(id)
+        };
+        if self.view_ring.is_empty() {
+            self.node
+        } else {
+            self.view_ring.owner_of_name(name)
         }
     }
 
@@ -555,7 +939,7 @@ impl NodeProc {
     pub fn install_component_with_seen(&mut self, comp: Component, seen: SeenTokens) {
         self.components.insert(
             comp.id().clone(),
-            Hosted { comp, frozen: false, buffer: Vec::new(), seen },
+            Hosted { comp, frozen: false, frozen_by: None, buffer: Vec::new(), seen },
         );
     }
 
@@ -617,11 +1001,13 @@ impl NodeProc {
         items
     }
 
-    /// Marks the node as departed: it stops owning components (the
-    /// harness migrates them first) and NACKs tokens so senders
-    /// re-resolve.
+    /// Marks the node as departed: it tombstones itself in its own
+    /// view (so its migration sweeps shed every component to the
+    /// remaining owners) and NACKs tokens so senders re-resolve.
     pub fn depart(&mut self) {
         self.departed = true;
+        self.view_dead.insert(self.node);
+        self.rebuild_view_ring();
     }
 
     /// Debug rendering of in-flight operations (diagnostics).
@@ -669,12 +1055,39 @@ impl NodeProc {
             && self.merges.is_empty()
             && self.unacked.is_empty()
             && self.stuck_collects.is_empty()
+            && self.migrating.is_empty()
+            && self.rescue.is_none()
     }
 
+    /// Arms the retry timer with the current backoff interval plus
+    /// deterministic seeded jitter. The base interval far exceeds the
+    /// simulated RTT, so a retransmission never races a still-pending
+    /// ack; escalation only widens that margin.
     fn arm_retry(&mut self, ctx: &mut Context<'_, Msg>) {
-        if !self.retry_armed {
-            self.retry_armed = true;
-            ctx.set_timer(self.level_period / 4 + 1, TIMER_RETRY);
+        if self.retry_armed {
+            return;
+        }
+        self.retry_armed = true;
+        let base = self.level_period / 4 + 1;
+        let interval = self.retry_interval.max(base);
+        let jitter = acn_overlay::splitmix64(&mut self.jitter_rng) % (interval / 4 + 1);
+        let delay = interval + jitter;
+        self.world.borrow().metrics.backoff_interval.record(delay);
+        ctx.set_timer(delay, TIMER_RETRY);
+    }
+
+    /// Doubles the retry backoff (cap: one level period).
+    fn escalate_backoff(&mut self) {
+        let base = self.level_period / 4 + 1;
+        self.retry_interval = (self.retry_interval.max(base) * 2).min(self.level_period);
+        self.world.borrow().metrics.backoff_escalations.inc();
+    }
+
+    /// Resets the backoff to base on acknowledged progress.
+    fn reset_backoff(&mut self) {
+        if self.retry_interval != 0 {
+            self.retry_interval = 0;
+            self.world.borrow().metrics.backoff_resets.inc();
         }
     }
 
@@ -837,7 +1250,7 @@ impl NodeProc {
                 self.arm_retry(ctx);
                 return;
             };
-            let host = self.world.borrow_mut().host_of(&guess);
+            let host = self.owner_of(&guess);
             if ProcessId(host.0) == ctx.self_id() && !self.components.contains_key(&guess) {
                 // We own this name and know it is dead; skip ahead.
                 attempt = if attempt == ATTEMPT_CACHED { 0 } else { attempt + 1 };
@@ -898,14 +1311,19 @@ impl NodeProc {
                 .component(id.to_string())
                 .with("level", id.level() as u64),
         );
-        let mut op = SplitOp { pending: BTreeSet::new(), started_at: ctx.now() };
+        let mut op = SplitOp {
+            pending: BTreeMap::new(),
+            seen: parent_seen.clone(),
+            stalled_rounds: 0,
+            started_at: ctx.now(),
+        };
         let mut local_installs = Vec::new();
         for child in children {
-            let host = self.world.borrow_mut().host_of(child.id());
+            let host = self.owner_of(child.id());
             if ProcessId(host.0) == ctx.self_id() {
                 local_installs.push(child);
             } else {
-                op.pending.insert(child.id().clone());
+                op.pending.insert(child.id().clone(), child.clone());
                 ctx.send(
                     ProcessId(host.0),
                     Msg::Install { comp: child, seen: parent_seen.clone() },
@@ -1015,7 +1433,7 @@ impl NodeProc {
                 self.start_merge(ctx, &child.clone(), Some((me, parent.clone())));
             }
         } else {
-            let host = self.world.borrow_mut().host_of(child);
+            let host = self.owner_of(child);
             if ProcessId(host.0) == ctx.self_id() {
                 // We own the name but have nothing: transient window.
                 self.stuck_collects.push((child.clone(), parent.clone()));
@@ -1084,11 +1502,13 @@ impl NodeProc {
         if let Some((req_pid, grandparent)) = nested_requester {
             // Reconstruct locally, frozen, and report upward; the
             // requester will `RemoveFrozen` us like any other child.
+            let frozen_by = (req_pid != ctx.self_id()).then_some(req_pid);
             self.components.insert(
                 parent.clone(),
                 Hosted {
                     comp: merged.clone(),
                     frozen: true,
+                    frozen_by,
                     buffer: Vec::new(),
                     seen: merged_seen.clone(),
                 },
@@ -1107,8 +1527,9 @@ impl NodeProc {
             }
             return;
         }
-        // Top-level merge: install the parent at its current hash owner.
-        let host = self.world.borrow_mut().host_of(&parent);
+        // Top-level merge: install the parent at its current hash owner
+        // per the local view.
+        let host = self.owner_of(&parent);
         if ProcessId(host.0) == ctx.self_id() {
             self.install_component_with_seen(merged, merged_seen);
             let started_at = self.cleanup_merge(ctx, &parent);
@@ -1210,6 +1631,7 @@ impl NodeProc {
     fn release_frozen(&mut self, ctx: &mut Context<'_, Msg>, id: &ComponentId) {
         if let Some(hosted) = self.components.get_mut(id) {
             hosted.frozen = false;
+            hosted.frozen_by = None;
             let buffered = std::mem::take(&mut hosted.buffer);
             for (token, addr, injected_at, hops) in buffered {
                 self.route_token(ctx, token, addr, injected_at, hops);
@@ -1229,17 +1651,32 @@ impl NodeProc {
     }
 
     /// The level-maintenance tick: re-estimate, split what is too
-    /// coarse, merge what is too fine (paper Section 3.2).
+    /// coarse, merge what is too fine (paper Section 3.2), shed
+    /// components whose view-owner changed, and re-drive stalled
+    /// operations.
     fn level_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.departed || !self.view_live(self.node) {
+            // Ghost (departed or excommunicated): no adaptivity
+            // decisions, but keep shedding state and finishing
+            // in-flight obligations, re-arming only while any remain.
+            self.migration_sweep(ctx);
+            self.redrive_splits(ctx);
+            self.redrive_merges(ctx);
+            if !(self.components.is_empty()
+                && self.splits.is_empty()
+                && self.merges.is_empty()
+                && self.migrating.is_empty())
+            {
+                ctx.set_timer(self.level_period, TIMER_LEVEL);
+            }
+            return;
+        }
         {
             let w = self.world.borrow();
-            if !w.ring.contains(self.node) {
-                return; // departed or crashed: do not re-arm
-            }
             let level = w
                 .metrics
                 .estimator
-                .node_level_at(&w.ring, self.node, ctx.now())
+                .node_level_at(&self.view_ring, self.node, ctx.now())
                 .min(w.tree.max_level());
             if level != self.level {
                 w.metrics.level_changes.inc();
@@ -1290,12 +1727,60 @@ impl NodeProc {
         for id in to_merge {
             self.start_merge(ctx, &id, None);
         }
-        // Re-drive stalled merges: children migrate under churn, so a
-        // FreezeCollect can land on a node that no longer (or does not
-        // yet) host the child. Re-request every still-missing child;
-        // merges that stall for many rounds are aborted — a genuinely
-        // merged-away ("zombie") obligation is then dropped, while a
-        // real one is retried from scratch with fresh topology.
+        self.redrive_splits(ctx);
+        self.redrive_merges(ctx);
+        self.migration_sweep(ctx);
+        ctx.set_timer(self.level_period, TIMER_LEVEL);
+    }
+
+    /// Re-sends `Install`s for split children whose ack is overdue
+    /// (the original target crashed): ownership is recomputed against
+    /// the current view, and a child we now own is installed locally.
+    fn redrive_splits(&mut self, ctx: &mut Context<'_, Msg>) {
+        let stalled: Vec<ComponentId> = self
+            .splits
+            .iter_mut()
+            .filter_map(|(id, op)| {
+                op.stalled_rounds += 1;
+                (op.stalled_rounds > 2).then(|| id.clone())
+            })
+            .collect();
+        for parent in stalled {
+            let (children, seen) = {
+                let op = self.splits.get_mut(&parent).expect("listed above");
+                op.stalled_rounds = 0;
+                (op.pending.clone(), op.seen.clone())
+            };
+            for (cid, comp) in children {
+                let host = self.owner_of(&cid);
+                if ProcessId(host.0) == ctx.self_id() {
+                    self.install_component_with_seen(comp, seen.clone());
+                    let op = self.splits.get_mut(&parent).expect("still present");
+                    op.pending.remove(&cid);
+                    if op.pending.is_empty() {
+                        let op = self.splits.remove(&parent).expect("present");
+                        self.finish_split(ctx, parent.clone(), op.started_at);
+                        break;
+                    }
+                } else {
+                    // Re-send; the receiver installs if absent and acks
+                    // either way, so a duplicate is harmless.
+                    ctx.send(
+                        ProcessId(host.0),
+                        Msg::Install { comp, seen: seen.clone() },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-drives stalled merges: children migrate under churn, so a
+    /// FreezeCollect can land on a node that no longer (or does not
+    /// yet) host the child. Re-request every still-missing child;
+    /// merges that stall for many rounds are aborted — a genuinely
+    /// merged-away ("zombie") obligation is then dropped, while a
+    /// real one is retried from scratch with fresh topology.
+    fn redrive_merges(&mut self, ctx: &mut Context<'_, Msg>) {
         let in_progress: Vec<ComponentId> = self
             .merges
             .iter()
@@ -1338,12 +1823,531 @@ impl NodeProc {
                 }
             }
         }
-        ctx.set_timer(self.level_period, TIMER_LEVEL);
+    }
+
+    /// Hands every unfrozen component whose view-owner is not this
+    /// node to that owner. The component is retained in `migrating`
+    /// until acked, so a crash of the target cannot lose it. This is
+    /// the in-protocol replacement for the old harness
+    /// `migrate_components` sweep: it runs on every level tick and
+    /// after every view change.
+    fn migration_sweep(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.view_ring.is_empty() {
+            return; // no live peer to shed to; keep the state
+        }
+        let ids: Vec<ComponentId> = self
+            .components
+            .iter()
+            .filter(|(_, h)| !h.frozen)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in ids {
+            let owner = self.owner_of(&id);
+            if owner == self.node && !self.departed {
+                continue;
+            }
+            if ProcessId(owner.0) == ctx.self_id() {
+                continue; // excommunicated with nowhere else to go
+            }
+            if self.migrating.contains_key(&id) {
+                continue; // already in flight; the retry timer re-sends
+            }
+            let Some((comp, buffer, seen)) = self.take_component(&id) else { continue };
+            {
+                let w = self.world.borrow();
+                w.metrics.migrations.inc();
+                w.metrics.registry.emit(
+                    TelemetryEvent::new("dist.migrate")
+                        .at(ctx.now())
+                        .node(owner.0)
+                        .component(id.to_string())
+                        .with("from", self.node.0),
+                );
+                if w.tracer.is_enabled() {
+                    w.tracer.record(
+                        Span::new("net.migrate", SYSTEM_TRACE)
+                            .at(ctx.now())
+                            .node(owner.0)
+                            .with("from", self.node.0)
+                            .with("level", id.level() as u64),
+                    );
+                }
+            }
+            self.migrating.insert(
+                id,
+                MigratingComponent {
+                    comp: comp.clone(),
+                    seen: seen.clone(),
+                    buffer: buffer.clone(),
+                    sent_at: ctx.now(),
+                },
+            );
+            ctx.send(ProcessId(owner.0), Msg::Migrate { comp, seen, buffer });
+            self.arm_retry(ctx);
+        }
+    }
+
+    /// The failure-detector tick: monitor the view predecessor, ping
+    /// it when silent for a lease period, suspect it after
+    /// [`FD_STRIKE_LIMIT`] consecutive silent ticks. Any received
+    /// message counts as a heartbeat (`last_heard`), so explicit pings
+    /// only flow when the link is otherwise idle.
+    fn fd_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        let period = self.level_period;
+        self.redrive_rescue(ctx);
+        if self.departed || !self.view_live(self.node) {
+            // Ghosts keep the lease timer only while they still have
+            // cleanup (a rescue they coordinate) to finish.
+            if self.rescue.is_some() {
+                ctx.set_timer(period, TIMER_FD);
+            }
+            return;
+        }
+        let pred = self.view_ring.predecessor(self.node);
+        if pred != self.node {
+            if self.fd_target != Some(pred) {
+                self.fd_target = Some(pred);
+                self.fd_strikes = 0;
+            }
+            let now = ctx.now();
+            let fresh = self
+                .last_heard
+                .get(&pred)
+                .is_some_and(|&t| now.saturating_sub(t) < period);
+            if fresh {
+                self.fd_strikes = 0;
+            } else {
+                self.fd_strikes += 1;
+                if self.fd_strikes >= FD_STRIKE_LIMIT {
+                    self.fd_strikes = 0;
+                    self.suspect(ctx, pred);
+                } else {
+                    self.world.borrow().metrics.fd_pings.inc();
+                    ctx.send(ProcessId(pred.0), Msg::Ping);
+                }
+            }
+        }
+        ctx.set_timer(period, TIMER_FD);
+    }
+
+    /// Declares `dead` crashed: tombstone it, gossip the new view, and
+    /// coordinate a rescue sweep. Only the suspector coordinates —
+    /// every node monitors exactly its predecessor, so each crash has
+    /// exactly one rescue coordinator (its successor at detection
+    /// time); if that coordinator dies mid-sweep, *its* suspector's
+    /// sweep re-covers everything, because sweeps are global.
+    fn suspect(&mut self, ctx: &mut Context<'_, Msg>, dead: NodeId) {
+        if self.view_dead.contains(&dead) {
+            return;
+        }
+        self.view_known.insert(dead);
+        self.view_dead.insert(dead);
+        self.rebuild_view_ring();
+        self.world.borrow_mut().note_detection(dead, ctx.now());
+        {
+            let w = self.world.borrow();
+            if w.tracer.is_enabled() {
+                w.tracer.record(
+                    Span::new("fd.suspect", SYSTEM_TRACE)
+                        .at(ctx.now())
+                        .node(self.node.0)
+                        .with("dead", dead.0)
+                        .with("epoch", self.view_epoch()),
+                );
+            }
+        }
+        self.broadcast_view(ctx);
+        self.after_view_change(ctx);
+        self.start_rescue_sweep(ctx);
+    }
+
+    /// Reacts to an adopted view change: self-excommunication check,
+    /// orphaned-merge nudges, and an ownership sweep.
+    fn after_view_change(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.view_dead.contains(&self.node) && !self.departed {
+            // We were (falsely or not) declared dead: stop claiming
+            // ownership and shed state like a graceful leaver, so the
+            // network converges to a single host per component.
+            self.departed = true;
+            self.rebuild_view_ring();
+        }
+        // Components frozen for a coordinator that is now tombstoned:
+        // the merge will never complete. Nudge the parent's current
+        // owner to adopt (or disown) the obligation.
+        let orphans: Vec<(ComponentId, ComponentId)> = self
+            .components
+            .iter()
+            .filter_map(|(id, h)| match h.frozen_by {
+                Some(pid) if self.view_dead.contains(&NodeId(pid.0)) => {
+                    id.parent().map(|p| (id.clone(), p))
+                }
+                _ => None,
+            })
+            .collect();
+        for (child, parent) in orphans {
+            let owner = self.owner_of(&parent);
+            if ProcessId(owner.0) == ctx.self_id() {
+                self.adopt_merge_orphan(ctx, None, child, parent);
+            } else {
+                ctx.send(ProcessId(owner.0), Msg::MergeOrphan { child, parent });
+            }
+        }
+        self.migration_sweep(ctx);
+    }
+
+    /// Handles a [`Msg::MergeOrphan`] nudge as the parent's hash owner
+    /// (`reporter` is `None` when the orphaned child is local).
+    fn adopt_merge_orphan(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        reporter: Option<ProcessId>,
+        child: ComponentId,
+        parent: ComponentId,
+    ) {
+        if let Some(h) = self.components.get(&parent) {
+            if !h.frozen {
+                // The parent is already live (the dead coordinator got
+                // its install out before crashing): the frozen child is
+                // a leftover duplicate of a region the parent covers.
+                match reporter {
+                    Some(pid) => ctx.send(pid, Msg::RemoveFrozen { id: child }),
+                    None => self.remove_frozen(ctx, &child),
+                }
+            }
+            return;
+        }
+        self.split_list.insert(parent.clone());
+        if !self.merges.contains_key(&parent) {
+            self.start_merge(ctx, &parent, None);
+        }
+        if let Some(pid) = reporter {
+            // The orphaned child lives on the reporter (typically a
+            // ghost), not at its hash owner — collect it directly so
+            // the merge does not stall probing an owner that has
+            // nothing. `FreezeCollect` re-homes `frozen_by` to us.
+            ctx.send(pid, Msg::FreezeCollect { id: child, parent });
+        }
+    }
+
+    /// Everything this node *covers* for a rescue sweep: hosted
+    /// components plus invisible in-flight obligations (split children
+    /// whose installs are pending, merge parents awaiting install,
+    /// rescue installs in flight, migrating hand-offs) — so a
+    /// concurrent sweep never installs a duplicate over them.
+    fn covered_report(&self) -> Vec<(ComponentId, bool)> {
+        let mut covered: Vec<(ComponentId, bool)> = self
+            .components
+            .iter()
+            .map(|(id, h)| (id.clone(), h.frozen))
+            .collect();
+        for op in self.splits.values() {
+            covered.extend(op.pending.keys().map(|id| (id.clone(), false)));
+        }
+        for (parent, op) in &self.merges {
+            if op.awaiting_install {
+                covered.push((parent.clone(), false));
+            }
+        }
+        if let Some(op) = &self.rescue {
+            covered.extend(op.installs.keys().map(|id| (id.clone(), false)));
+        }
+        covered.extend(self.migrating.keys().map(|id| (id.clone(), false)));
+        covered
+    }
+
+    /// Whether accepting a *fresh* copy of `id` would double-cover a
+    /// region this node already covers through something else: an
+    /// unfrozen resident, a pending split-child install, an in-flight
+    /// hand-off, or an active split of `id` itself. A positive answer
+    /// means the incoming copy is a stale duplicate of an obligation
+    /// already discharged (install/migrate retransmits race their
+    /// acks), and installing it would resurrect a component on top of
+    /// its own live descendants — an invalid cut. Frozen residents are
+    /// deliberately ignored: a merge-parent install legitimately lands
+    /// on a node still holding children it froze for that very merge.
+    fn accepting_would_double_cover(&self, id: &ComponentId) -> bool {
+        let hit = self.splits.contains_key(id)
+            || self
+                .components
+                .iter()
+                .filter(|(_, h)| !h.frozen)
+                .map(|(c, _)| c)
+                .chain(self.splits.values().flat_map(|op| op.pending.keys()))
+                .chain(self.migrating.keys())
+                .any(|c| c != id && (c.is_ancestor_of(id) || id.is_ancestor_of(c)));
+        hit
+    }
+
+    /// Starts (or queues) a global rescue sweep: collect every peer's
+    /// covered slice, then re-cover the holes.
+    fn start_rescue_sweep(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.rescue.is_some() {
+            self.rescue_again = true;
+            return;
+        }
+        let peers: BTreeSet<NodeId> =
+            self.view_ring.nodes().filter(|&n| n != self.node).collect();
+        let mut op = RescueOp {
+            started_at: ctx.now(),
+            pending: peers.clone(),
+            covered: BTreeMap::new(),
+            installs: BTreeMap::new(),
+            stalled_rounds: 0,
+        };
+        for (id, frozen) in self.covered_report() {
+            op.covered.insert(id, (self.node, frozen));
+        }
+        self.rescue = Some(op);
+        {
+            let w = self.world.borrow();
+            w.metrics.rescue_sweeps.inc();
+            w.metrics.registry.emit(
+                TelemetryEvent::new("rescue.begin").at(ctx.now()).node(self.node.0),
+            );
+            if w.tracer.is_enabled() {
+                w.tracer.record(
+                    Span::new("rescue.begin", SYSTEM_TRACE)
+                        .at(ctx.now())
+                        .node(self.node.0)
+                        .with("peers", peers.len() as u64),
+                );
+            }
+        }
+        // Make sure the sweep gets re-driven even if this node's FD
+        // lease timer is the only thing keeping time.
+        ctx.set_timer(self.level_period, TIMER_FD);
+        if peers.is_empty() {
+            self.finalize_rescue(ctx);
+        } else {
+            for p in peers {
+                ctx.send(ProcessId(p.0), Msg::RescueQuery);
+            }
+        }
+    }
+
+    /// Records a peer's covered slice; finalizes once all have
+    /// reported.
+    fn on_rescue_report(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: ProcessId,
+        covered: Vec<(ComponentId, bool)>,
+    ) {
+        let reporter = NodeId(from.0);
+        let done = {
+            let Some(op) = &mut self.rescue else { return };
+            if !op.pending.remove(&reporter) {
+                return; // stale or duplicate report
+            }
+            for (id, frozen) in covered {
+                op.covered.insert(id, (reporter, frozen));
+            }
+            op.stalled_rounds = 0;
+            op.pending.is_empty()
+        };
+        if done {
+            self.finalize_rescue(ctx);
+        }
+    }
+
+    /// All reports in: discard leftover duplicates, walk the tree for
+    /// uncovered maximal subtrees, and install fresh replacements at
+    /// their view-owners. Lost token history is gone by definition —
+    /// the bounded step-deviation after crashes is what the crash
+    /// experiments measure.
+    fn finalize_rescue(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(mut op) = self.rescue.take() else { return };
+        // The sweep's self-coverage was snapshotted when it started;
+        // components can land here while reports are in flight
+        // (migration shed from a departing peer, split-child installs).
+        // Refresh local coverage so the walk below doesn't resurrect an
+        // ancestor of something we now host.
+        for (id, h) in &self.components {
+            op.covered.insert(id.clone(), (self.node, h.frozen));
+        }
+        for id in self
+            .splits
+            .values()
+            .flat_map(|s| s.pending.keys())
+            .chain(self.migrating.keys())
+        {
+            op.covered.insert(id.clone(), (self.node, false));
+        }
+        // A *frozen* covered id under a *live* covered proper ancestor
+        // is a merge leftover (the coordinator died between installing
+        // the parent and dismissing the children): drop it. Split
+        // children under their frozen parent are live, so they are
+        // never discarded; the frozen split parent itself has no
+        // covered ancestor.
+        let discards: Vec<(ComponentId, NodeId)> = op
+            .covered
+            .iter()
+            .filter(|(id, (_, frozen))| {
+                *frozen
+                    && id.ancestors().any(|a| {
+                        op.covered.get(&a).is_some_and(|(_, afrozen)| !afrozen)
+                    })
+            })
+            .map(|(id, (reporter, _))| (id.clone(), *reporter))
+            .collect();
+        for (id, reporter) in discards {
+            self.world.borrow().metrics.rescue_discards.inc();
+            if reporter == self.node {
+                self.remove_frozen(ctx, &id);
+            } else {
+                ctx.send(ProcessId(reporter.0), Msg::RemoveFrozen { id });
+            }
+        }
+        // Uncovered maximal subtrees (same walk the old harness
+        // `repair` did, but over the *reported* cut).
+        let tree = self.world.borrow().tree;
+        let mut to_install: Vec<ComponentId> = Vec::new();
+        let mut stack = vec![ComponentId::root()];
+        while let Some(id) = stack.pop() {
+            if op.covered.contains_key(&id)
+                || id.ancestors().any(|a| op.covered.contains_key(&a))
+            {
+                continue;
+            }
+            let covered_below = op.covered.keys().any(|l| id.is_ancestor_of(l));
+            if !covered_below {
+                to_install.push(id);
+                continue;
+            }
+            let info = tree.info(&id).expect("valid node");
+            for c in 0..info.child_count() as u8 {
+                stack.push(id.child(c));
+            }
+        }
+        for id in to_install {
+            let owner = self.owner_of(&id);
+            {
+                let w = self.world.borrow();
+                w.metrics.rescue_installs.inc();
+                w.metrics.registry.emit(
+                    TelemetryEvent::new("rescue.install")
+                        .at(ctx.now())
+                        .node(owner.0)
+                        .component(id.to_string()),
+                );
+                if w.tracer.is_enabled() {
+                    w.tracer.record(
+                        Span::new("rescue.install", SYSTEM_TRACE)
+                            .at(ctx.now())
+                            .node(owner.0)
+                            .with("level", id.level() as u64),
+                    );
+                }
+            }
+            if ProcessId(owner.0) == ctx.self_id() && !self.departed {
+                self.install_component(Component::new(&tree, &id));
+            } else {
+                op.installs.insert(id.clone(), owner);
+                ctx.send(
+                    ProcessId(owner.0),
+                    Msg::RescueInstall { comp: Component::new(&tree, &id) },
+                );
+            }
+        }
+        if op.installs.is_empty() {
+            self.rescue_done(ctx, op.started_at);
+        } else {
+            self.rescue = Some(op);
+        }
+    }
+
+    /// The sweep is complete (all replacement installs acked).
+    fn rescue_done(&mut self, ctx: &mut Context<'_, Msg>, started_at: u64) {
+        {
+            let w = self.world.borrow();
+            let duration = ctx.now().saturating_sub(started_at);
+            w.metrics.rescue_duration.record(duration);
+            w.metrics.registry.emit(
+                TelemetryEvent::new("rescue.end")
+                    .at(ctx.now())
+                    .node(self.node.0)
+                    .with("duration", duration),
+            );
+            if w.tracer.is_enabled() {
+                w.tracer.record(
+                    Span::new("rescue.end", SYSTEM_TRACE)
+                        .between(started_at, ctx.now())
+                        .node(self.node.0),
+                );
+            }
+        }
+        if self.rescue_again {
+            self.rescue_again = false;
+            self.start_rescue_sweep(ctx);
+        }
+    }
+
+    /// Re-drives a stalled rescue sweep from the FD tick: prune
+    /// reporters that died since, re-query the stragglers, and re-send
+    /// pending installs to their *current* view-owners.
+    fn redrive_rescue(&mut self, ctx: &mut Context<'_, Msg>) {
+        let (requery, reinstall, finalize) = {
+            let dead = self.view_dead.clone();
+            let Some(op) = &mut self.rescue else { return };
+            op.stalled_rounds += 1;
+            if op.stalled_rounds <= 2 {
+                return;
+            }
+            op.stalled_rounds = 0;
+            op.pending.retain(|n| !dead.contains(n));
+            let requery: Vec<NodeId> = op.pending.iter().copied().collect();
+            let reinstall: Vec<ComponentId> = if requery.is_empty() {
+                op.installs.keys().cloned().collect()
+            } else {
+                Vec::new()
+            };
+            (requery, reinstall, op.pending.is_empty() && op.installs.is_empty())
+        };
+        if finalize {
+            self.finalize_rescue(ctx);
+            return;
+        }
+        for p in requery {
+            ctx.send(ProcessId(p.0), Msg::RescueQuery);
+        }
+        let tree = self.world.borrow().tree;
+        for id in reinstall {
+            let owner = self.owner_of(&id);
+            if ProcessId(owner.0) == ctx.self_id() && !self.departed {
+                // The install was computed at finalize time; state may
+                // have moved since (a migration landed, a split
+                // started). Same refusal the remote handler applies.
+                if !self.accepting_would_double_cover(&id) {
+                    self.install_component(Component::new(&tree, &id));
+                }
+                if let Some(op) = &mut self.rescue {
+                    op.installs.remove(&id);
+                    if op.pending.is_empty() && op.installs.is_empty() {
+                        let started_at = op.started_at;
+                        self.rescue = None;
+                        self.rescue_done(ctx, started_at);
+                    }
+                }
+            } else {
+                if let Some(op) = &mut self.rescue {
+                    op.installs.insert(id.clone(), owner);
+                }
+                ctx.send(
+                    ProcessId(owner.0),
+                    Msg::RescueInstall { comp: Component::new(&tree, &id) },
+                );
+            }
+        }
     }
 }
 
 impl Process<Msg> for NodeProc {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+        // Every protocol message doubles as a heartbeat: the failure
+        // detector only sends explicit pings over otherwise-idle links.
+        if from != ProcessId::EXTERNAL && from != COLLECTOR && from != ctx.self_id() {
+            self.last_heard.insert(NodeId(from.0), ctx.now());
+        }
         match msg {
             Msg::ClientInject { wire } => {
                 let (tree, style) = {
@@ -1410,6 +2414,29 @@ impl Process<Msg> for NodeProc {
                     } else {
                         ctx.send(from, Msg::TokenNack { guid, token, addr, injected_at, attempt });
                     }
+                } else if from != ProcessId::EXTERNAL
+                    && self
+                        .hosted_candidate(&addr)
+                        .and_then(|id| self.components.get(&id))
+                        .is_some_and(|h| {
+                            h.frozen && h.buffer.len() >= self.frozen_buffer_cap
+                        })
+                {
+                    // Backpressure: the owning component is frozen and
+                    // its buffer is at capacity. Shed the token back to
+                    // the sender instead of queueing unboundedly — the
+                    // sender keeps the obligation, escalates its
+                    // backoff, and retries after the freeze drains.
+                    self.world.borrow().metrics.busy_sheds.inc();
+                    if traced {
+                        tracer.record(
+                            Span::new("token.busy", token)
+                                .at(ctx.now())
+                                .node(self.node.0)
+                                .with("guid", guid),
+                        );
+                    }
+                    ctx.send(from, Msg::TokenBusy { guid });
                 } else {
                     self.seen.insert(guid);
                     if traced {
@@ -1428,7 +2455,9 @@ impl Process<Msg> for NodeProc {
                 }
             }
             Msg::TokenAck { guid } => {
-                self.unacked.remove(&guid);
+                if self.unacked.remove(&guid).is_some() {
+                    self.reset_backoff();
+                }
             }
             Msg::TokenNack { guid, token, addr, injected_at, attempt } => {
                 let Some(t) = self.unacked.remove(&guid) else {
@@ -1441,8 +2470,20 @@ impl Process<Msg> for NodeProc {
                 self.send_token(ctx, Some(guid), flight, next);
             }
             Msg::Install { comp, seen } => {
+                // Install-if-absent: a crash re-drive can duplicate an
+                // Install whose original (and its ack) were merely
+                // slow. The resident copy may already have processed
+                // tokens, so it must not be clobbered; likewise a
+                // stale duplicate must not resurrect a region we since
+                // split or re-covered. Ack either way — the sender's
+                // obligation is discharged by the region being
+                // covered, not by this exact copy landing.
                 let id = comp.id().clone();
-                self.install_component_with_seen(comp, seen);
+                if !self.components.contains_key(&id)
+                    && !self.accepting_would_double_cover(&id)
+                {
+                    self.install_component_with_seen(comp, seen);
+                }
                 ctx.send(from, Msg::InstallAck { id });
             }
             Msg::InstallAck { id } => {
@@ -1468,6 +2509,10 @@ impl Process<Msg> for NodeProc {
                 if self.components.contains_key(&id) && !self.splits.contains_key(&id) {
                     let hosted = self.components.get_mut(&id).expect("hosted");
                     hosted.frozen = true;
+                    // Remember who froze us: if the coordinator crashes
+                    // before the merge completes, the tombstone adoption
+                    // nudges the parent's new owner to take over.
+                    hosted.frozen_by = (from != ctx.self_id()).then_some(from);
                     let comp = hosted.comp.clone();
                     let seen = hosted.seen.clone();
                     ctx.send(from, Msg::CollectReply { comp, seen, parent });
@@ -1496,6 +2541,106 @@ impl Process<Msg> for NodeProc {
             Msg::AbortFreeze { id } => {
                 self.release_frozen(ctx, &id);
             }
+            Msg::Ping => {
+                ctx.send(from, Msg::Pong);
+            }
+            Msg::Pong => {
+                // The heartbeat refresh at the top of `on_message`
+                // already cleared the strike window.
+            }
+            Msg::ViewGossip { known, dead } => {
+                if self.merge_view(&known, &dead) {
+                    self.broadcast_view(ctx);
+                    self.after_view_change(ctx);
+                }
+            }
+            Msg::RescueQuery => {
+                let covered = self.covered_report();
+                ctx.send(from, Msg::RescueReport { covered });
+            }
+            Msg::RescueReport { covered } => {
+                self.on_rescue_report(ctx, from, covered);
+            }
+            Msg::RescueInstall { comp } => {
+                // Silence (no ack) when we cannot host: the
+                // coordinator's re-drive resolves the current owner.
+                if self.departed || !self.view_live(self.node) {
+                    return;
+                }
+                let id = comp.id().clone();
+                if !self.components.contains_key(&id)
+                    && !self.accepting_would_double_cover(&id)
+                {
+                    self.install_component(comp);
+                }
+                ctx.send(from, Msg::RescueAck { id });
+            }
+            Msg::RescueAck { id } => {
+                let done = {
+                    let Some(op) = &mut self.rescue else { return };
+                    op.installs.remove(&id);
+                    op.stalled_rounds = 0;
+                    op.pending.is_empty() && op.installs.is_empty()
+                };
+                if done {
+                    let started_at = self.rescue.take().expect("checked above").started_at;
+                    self.rescue_done(ctx, started_at);
+                }
+            }
+            Msg::TokenBusy { guid } => {
+                // The receiver shed our token under backpressure: the
+                // obligation stays ours. Make it immediately eligible
+                // for the next retry pass and widen the retry interval.
+                if let Some(t) = self.unacked.get_mut(&guid) {
+                    t.sent_at = ctx.now().saturating_sub(self.level_period);
+                    self.escalate_backoff();
+                    self.arm_retry(ctx);
+                }
+            }
+            Msg::Migrate { comp, seen, buffer } => {
+                if self.departed || !self.view_live(self.node) {
+                    // Cannot adopt: stay silent so the sender's retry
+                    // re-resolves ownership against a fresher view.
+                    return;
+                }
+                let id = comp.id().clone();
+                match self.components.get_mut(&id) {
+                    Some(h) => {
+                        // Double cover: a rescue installed a fresh
+                        // replacement while the authentic copy was in
+                        // flight. Keep the resident, union the ledgers
+                        // (so delayed duplicates still drop), and
+                        // re-route the travelling buffer.
+                        h.seen.extend(seen);
+                    }
+                    None => {
+                        // A retransmitted hand-off can race its own
+                        // ack: if we accepted the first copy and have
+                        // since split (or re-shed) the component, the
+                        // region is already covered and this copy is
+                        // stale — ack so the sender drops the
+                        // obligation, but do not resurrect it.
+                        if !self.accepting_would_double_cover(&id) {
+                            self.install_component_with_seen(comp, seen);
+                        }
+                    }
+                }
+                ctx.send(from, Msg::MigrateAck { id });
+                for (token, addr, injected_at, hops) in buffer {
+                    self.route_token(ctx, token, addr, injected_at, hops);
+                }
+            }
+            Msg::MigrateAck { id } => {
+                if self.migrating.remove(&id).is_some() {
+                    self.reset_backoff();
+                }
+            }
+            Msg::MergeOrphan { child, parent } => {
+                self.adopt_merge_orphan(ctx, Some(from), child, parent);
+            }
+            Msg::SplitListHandoff { entries } => {
+                self.split_list.extend(entries);
+            }
             Msg::Exit { .. } => {
                 debug_assert!(false, "Exit delivered to a node");
             }
@@ -1505,6 +2650,7 @@ impl Process<Msg> for NodeProc {
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
         match tag {
             TIMER_LEVEL => self.level_tick(ctx),
+            TIMER_FD => self.fd_tick(ctx),
             TIMER_RETRY => {
                 self.retry_armed = false;
                 // Retransmit every token obligation that has been silent
@@ -1520,6 +2666,11 @@ impl Process<Msg> for NodeProc {
                     .filter(|(_, t)| now.saturating_sub(t.sent_at) >= timeout)
                     .map(|(&g, _)| g)
                     .collect();
+                if !stale.is_empty() {
+                    // A full interval elapsed without an ack: widen the
+                    // next one (reset happens on the first ack).
+                    self.escalate_backoff();
+                }
                 for guid in stale {
                     let t = self.unacked.remove(&guid).expect("listed above");
                     {
@@ -1566,7 +2717,38 @@ impl Process<Msg> for NodeProc {
                         self.collect_child(ctx, &child, &parent);
                     }
                 }
-                if !self.unacked.is_empty() || !self.stuck_collects.is_empty() {
+                // Unacked migrations: the target may have crashed
+                // before acking. Re-resolve against the current view —
+                // ownership may even have swung back to us.
+                let stale_migrations: Vec<ComponentId> = self
+                    .migrating
+                    .iter()
+                    .filter(|(_, m)| now.saturating_sub(m.sent_at) >= timeout)
+                    .map(|(id, _)| id.clone())
+                    .collect();
+                for id in stale_migrations {
+                    let owner = self.owner_of(&id);
+                    if ProcessId(owner.0) == ctx.self_id() {
+                        if self.departed || !self.view_live(self.node) {
+                            continue; // nowhere to shed to yet; keep holding
+                        }
+                        let m = self.migrating.remove(&id).expect("listed above");
+                        self.install_component_with_seen(m.comp, m.seen);
+                        for (token, addr, injected_at, hops) in m.buffer {
+                            self.route_token(ctx, token, addr, injected_at, hops);
+                        }
+                    } else {
+                        let m = self.migrating.get_mut(&id).expect("listed above");
+                        m.sent_at = now;
+                        let (comp, seen, buffer) =
+                            (m.comp.clone(), m.seen.clone(), m.buffer.clone());
+                        ctx.send(ProcessId(owner.0), Msg::Migrate { comp, seen, buffer });
+                    }
+                }
+                if !self.unacked.is_empty()
+                    || !self.stuck_collects.is_empty()
+                    || !self.migrating.is_empty()
+                {
                     self.arm_retry(ctx);
                 }
             }
@@ -1736,6 +2918,27 @@ impl Process<Msg> for Proc {
     }
 }
 
+/// Why a [`Deployment::crash_node`] request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashError {
+    /// The target is the only live node: crashing it would leave no
+    /// suspector and no rescue target, so the deployment could never
+    /// recover. Chaos harnesses skip the action instead of aborting.
+    LastLiveNode,
+}
+
+impl std::fmt::Display for CrashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashError::LastLiveNode => {
+                write!(f, "refusing to crash the last live node (unrecoverable)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrashError {}
+
 /// A fully wired distributed deployment: simulator + world + helpers.
 /// This is the harness the integration tests and experiments drive.
 pub struct Deployment {
@@ -1797,13 +3000,25 @@ impl Deployment {
         let level_period = 2_000;
         let nodes: Vec<NodeId> = world.borrow().ring.nodes().collect();
         for (i, node) in nodes.iter().enumerate() {
-            let proc = NodeProc::new(Rc::clone(&world), *node, level_period);
+            let mut proc = NodeProc::new(Rc::clone(&world), *node, level_period);
+            // Boot membership is configuration, not failure recovery:
+            // every node starts with the full initial view. Everything
+            // after boot (joins, leaves, crashes) travels via
+            // `ViewGossip` and the failure detector.
+            proc.seed_view(nodes.iter().copied());
             sim.add_process(ProcessId(node.0), Proc::Node(proc));
             // Stagger the level timers.
             sim.set_timer_external(
                 ProcessId(node.0),
                 1 + (i as u64 * 37) % level_period,
                 TIMER_LEVEL,
+            );
+            // Stagger the failure-detector lease timers on a different
+            // phase so fd and level ticks interleave.
+            sim.set_timer_external(
+                ProcessId(node.0),
+                level_period / 2 + (i as u64 * 53) % level_period,
+                TIMER_FD,
             );
         }
         sim.add_process(COLLECTOR, Proc::Collector(Collector::new(w)));
@@ -1868,6 +3083,17 @@ impl Deployment {
         }
     }
 
+    /// Sets every node's frozen-buffer capacity (tests drive the
+    /// backpressure shed path with tiny caps).
+    pub fn set_frozen_buffer_cap(&mut self, cap: usize) {
+        let pids: Vec<ProcessId> = self.sim.process_ids().filter(|p| *p != COLLECTOR).collect();
+        for pid in pids {
+            if let Some(Proc::Node(np)) = self.sim.process_mut(pid) {
+                np.set_frozen_buffer_cap(cap);
+            }
+        }
+    }
+
     /// Injects a token on input wire `wire` via a uniformly random node.
     pub fn inject(&mut self, wire: usize) {
         let nodes: Vec<NodeId> = self.world.borrow().ring.nodes().collect();
@@ -1916,8 +3142,12 @@ impl Deployment {
         (Cut::from_leaves(leaves), busy)
     }
 
-    /// Node join: adds an overlay node and process, then migrates every
-    /// component whose hash owner it became (Section 3.4 "Node Joins").
+    /// Node join: adds an overlay node and process, then announces it
+    /// to its ring successor via [`Msg::ViewGossip`] (Section 3.4
+    /// "Node Joins"). Membership and component hand-off propagate
+    /// entirely in-protocol: the successor's gossip floods the new
+    /// view, and every node's next migration sweep sheds the
+    /// components the newcomer now owns.
     pub fn join_node(&mut self) -> NodeId {
         let node = {
             let mut w = self.world.borrow_mut();
@@ -1926,7 +3156,17 @@ impl Deployment {
         let proc = NodeProc::new(Rc::clone(&self.world), node, self.level_period);
         self.sim.add_process(ProcessId(node.0), Proc::Node(proc));
         self.sim.set_timer_external(ProcessId(node.0), 1, TIMER_LEVEL);
-        self.migrate_components();
+        self.sim.set_timer_external(ProcessId(node.0), 1 + self.level_period / 2, TIMER_FD);
+        let succ = self.world.borrow().ring.successor(node);
+        if succ != node {
+            self.sim.send_external(
+                ProcessId(succ.0),
+                Msg::ViewGossip {
+                    known: BTreeSet::from([node]),
+                    dead: BTreeSet::new(),
+                },
+            );
+        }
         node
     }
 
@@ -1960,10 +3200,10 @@ impl Deployment {
             assert!(w.ring.len() > 1, "cannot remove the last node");
             w.ring.remove_node(node);
         }
-        // Hand off the split list to the current owners of the entries —
-        // except entries whose merge is already in flight here: the
-        // departed ghost finishes those itself (handing them off too
-        // would duplicate the obligation).
+        // Hand off the split list to the ring successor via a protocol
+        // message — except entries whose merge is already in flight
+        // here: the departed ghost finishes those itself (handing them
+        // off too would duplicate the obligation).
         let entries: Vec<ComponentId> = match self.sim.process_mut(ProcessId(node.0)) {
             Some(Proc::Node(np)) => {
                 let drained = np.drain_split_list();
@@ -1974,31 +3214,55 @@ impl Deployment {
             }
             _ => Vec::new(),
         };
-        for id in entries {
-            let owner = self.world.borrow_mut().host_of(&id);
-            if let Some(Proc::Node(np)) = self.sim.process_mut(ProcessId(owner.0)) {
-                np.extend_split_list([id]);
-            }
+        let succ = self.world.borrow().ring.successor_of_point(node.0);
+        if !entries.is_empty() {
+            self.sim
+                .send_external(ProcessId(succ.0), Msg::SplitListHandoff { entries });
         }
         if let Some(Proc::Node(np)) = self.sim.process_mut(ProcessId(node.0)) {
             np.depart();
         }
+        // Announce the departure: the successor adopts the tombstone
+        // and gossip floods it; every node's next migration sweep then
+        // routes around the leaver, and the ghost sheds its own
+        // components to the new owners.
+        self.sim.send_external(
+            ProcessId(succ.0),
+            Msg::ViewGossip {
+                known: BTreeSet::from([node]),
+                dead: BTreeSet::from([node]),
+            },
+        );
         self.migrate_components();
     }
 
     /// Crash: the node vanishes with all its state (components are
-    /// lost). Follow with [`repair`](Deployment::repair).
-    pub fn crash_node(&mut self, node: NodeId) {
+    /// lost). Detection and recovery are in-protocol — the crashed
+    /// node's view successor suspects it after missed heartbeats and
+    /// coordinates a rescue sweep; keep the simulation running (e.g.
+    /// via [`settle`](Deployment::settle)) and the cut re-covers
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashError::LastLiveNode`] when `node` is the only
+    /// live node left: with every peer gone there is no suspector and
+    /// no rescue target, so the deployment would be unrecoverable.
+    /// Chaos sweeps treat this as a skipped action, not a panic.
+    pub fn crash_node(&mut self, node: NodeId) -> Result<(), CrashError> {
+        if self.world.borrow().ring.len() <= 1 {
+            return Err(CrashError::LastLiveNode);
+        }
         let lost_components = match self.sim.process(ProcessId(node.0)) {
             Some(Proc::Node(np)) => np.components().count() as u64,
             _ => 0,
         };
         {
             let mut w = self.world.borrow_mut();
-            assert!(w.ring.len() > 1, "cannot crash the last node");
             w.ring.remove_node(node);
             w.metrics.crashes.inc();
             let now = self.sim.now();
+            w.crashed.insert(node, now);
             w.metrics.registry.emit(
                 TelemetryEvent::new("dist.crash")
                     .at(now)
@@ -2007,121 +3271,24 @@ impl Deployment {
             );
         }
         self.sim.remove_process(ProcessId(node.0));
+        Ok(())
     }
 
-    /// Moves every live, unfrozen component to its current hash owner.
-    /// Frozen components stay put until their operation completes (the
-    /// next sweep picks them up).
+    /// Test-only wrapper: component placement is in-protocol now (each
+    /// node's per-tick migration sweep sheds what its local view says
+    /// it no longer owns), so this just advances the simulation far
+    /// enough for a round of sweeps to run.
     pub fn migrate_components(&mut self) {
-        let pids: Vec<ProcessId> = self.sim.process_ids().filter(|p| *p != COLLECTOR).collect();
-        for pid in pids {
-            let (ids, departed) = match self.sim.process(pid) {
-                Some(Proc::Node(np)) => (
-                    np.components()
-                        .filter(|(_, frozen)| !frozen)
-                        .map(|(id, _)| id.clone())
-                        .collect::<Vec<_>>(),
-                    np.departed(),
-                ),
-                _ => continue,
-            };
-            for id in ids {
-                let owner = self.world.borrow_mut().host_of(&id);
-                let owner_pid = ProcessId(owner.0);
-                if owner_pid == pid && !departed {
-                    continue;
-                }
-                let taken = match self.sim.process_mut(pid) {
-                    Some(Proc::Node(np)) => np.take_component(&id),
-                    _ => None,
-                };
-                if let Some((comp, buffer, seen)) = taken {
-                    if let Some(Proc::Node(np)) = self.sim.process_mut(owner_pid) {
-                        // The idempotency ledger migrates with the
-                        // component.
-                        np.install_component_with_seen(comp, seen);
-                    }
-                    {
-                        let w = self.world.borrow();
-                        w.metrics.migrations.inc();
-                        w.metrics.registry.emit(
-                            TelemetryEvent::new("dist.migrate")
-                                .at(self.sim.now())
-                                .node(owner.0)
-                                .component(id.to_string())
-                                .with("from", pid.0),
-                        );
-                        if w.tracer.is_enabled() {
-                            w.tracer.record(
-                                Span::new("net.migrate", SYSTEM_TRACE)
-                                    .at(self.sim.now())
-                                    .node(owner.0)
-                                    .with("from", pid.0)
-                                    .with("level", id.level() as u64),
-                            );
-                        }
-                    }
-                    // Re-inject buffered tokens via the new owner (it
-                    // hosts the component, so it will process them).
-                    // The end-to-end `token` identity is preserved; only
-                    // the per-send guid is fresh.
-                    for (token, addr, injected_at, hops) in buffer {
-                        let guid = self.world.borrow_mut().fresh_guid();
-                        self.sim.send_external(
-                            owner_pid,
-                            Msg::Token {
-                                guid,
-                                token,
-                                addr,
-                                injected_at,
-                                attempt: ATTEMPT_CACHED,
-                                hops,
-                            },
-                        );
-                    }
-                }
-            }
-        }
+        self.run_for(2 * self.level_period);
     }
 
-    /// Repairs the cut after crashes: for every maximal subtree with no
-    /// live component covering it, installs a fresh component at its
-    /// hash owner. Token history of lost components is gone — the
-    /// resulting bounded deviation from the ideal step sequence is what
-    /// the crash experiment measures.
+    /// Test-only wrapper: cut repair after crashes is in-protocol now
+    /// (failure detection → view gossip → rescue sweep), so this just
+    /// advances the simulation until the network is quiescent with a
+    /// valid cut (or a generous budget runs out). Kept so older
+    /// experiments read naturally; it performs no installs itself.
     pub fn repair(&mut self) {
-        let (cut, _) = self.live_cut();
-        let tree = self.world.borrow().tree;
-        let mut to_install: Vec<ComponentId> = Vec::new();
-        let mut stack = vec![ComponentId::root()];
-        while let Some(id) = stack.pop() {
-            if cut.contains(&id) || id.ancestors().any(|a| cut.contains(&a)) {
-                continue;
-            }
-            let covered_below = cut.leaves().iter().any(|l| id.is_ancestor_of(l));
-            if !covered_below {
-                to_install.push(id);
-                continue;
-            }
-            let info = tree.info(&id).expect("valid node");
-            for c in 0..info.child_count() as u8 {
-                stack.push(id.child(c));
-            }
-        }
-        for id in to_install {
-            let owner = self.world.borrow_mut().host_of(&id);
-            if let Some(Proc::Node(np)) = self.sim.process_mut(ProcessId(owner.0)) {
-                np.install_component(Component::new(&tree, &id));
-                let w = self.world.borrow();
-                w.metrics.repairs.inc();
-                w.metrics.registry.emit(
-                    TelemetryEvent::new("dist.repair")
-                        .at(self.sim.now())
-                        .node(owner.0)
-                        .component(id.to_string()),
-                );
-            }
-        }
+        self.settle(64);
     }
 
     /// Runs in level-period slices until the network is quiescent (live
@@ -2276,6 +3443,59 @@ impl Msg {
                 d.word(11);
                 d.item(id);
             }
+            Msg::Ping => d.word(12),
+            Msg::Pong => d.word(13),
+            Msg::ViewGossip { known, dead } => {
+                d.word(14);
+                d.item(known);
+                d.item(dead);
+            }
+            Msg::RescueQuery => d.word(15),
+            Msg::RescueReport { covered } => {
+                d.word(16);
+                d.word(covered.len() as u64);
+                for (id, frozen) in covered {
+                    d.item(id);
+                    d.word(u64::from(*frozen));
+                }
+            }
+            Msg::RescueInstall { comp } => {
+                d.word(17);
+                d.item(comp);
+            }
+            Msg::RescueAck { id } => {
+                d.word(18);
+                d.item(id);
+            }
+            Msg::TokenBusy { guid } => {
+                d.word(19);
+                d.guid(*guid);
+            }
+            Msg::Migrate { comp, seen, buffer } => {
+                d.word(20);
+                d.item(comp);
+                digest_seen(seen, d);
+                d.word(buffer.len() as u64);
+                for (token, addr, injected_at, hops) in buffer {
+                    d.token(*token);
+                    d.item(addr);
+                    d.word(*injected_at);
+                    d.word(*hops);
+                }
+            }
+            Msg::MigrateAck { id } => {
+                d.word(21);
+                d.item(id);
+            }
+            Msg::MergeOrphan { child, parent } => {
+                d.word(22);
+                d.item(child);
+                d.item(parent);
+            }
+            Msg::SplitListHandoff { entries } => {
+                d.word(23);
+                d.item(entries);
+            }
         }
     }
 }
@@ -2291,6 +3511,20 @@ impl World {
         d.word(self.ring.len() as u64);
         for n in self.ring.nodes() {
             d.word(n.0);
+        }
+        // Crash and detection logs fold in *with timestamps*: the
+        // recovery oracles' verdicts depend on both, so two states
+        // that differ only in when a crash was detected must not be
+        // memoized as one.
+        d.word(self.crashed.len() as u64);
+        for (n, t) in &self.crashed {
+            d.word(n.0);
+            d.word(*t);
+        }
+        d.word(self.detections.len() as u64);
+        for (n, t) in &self.detections {
+            d.word(n.0);
+            d.word(*t);
         }
         d.word(u64::from(self.mutation_no_ack_dedup));
     }
@@ -2310,6 +3544,7 @@ impl NodeProc {
             d.item(id);
             d.item(&hosted.comp);
             d.word(u64::from(hosted.frozen));
+            d.word(hosted.frozen_by.map_or(u64::MAX, |p| p.0));
             d.word(hosted.buffer.len() as u64);
             for (token, addr, injected_at, hops) in &hosted.buffer {
                 d.token(*token);
@@ -2324,6 +3559,8 @@ impl NodeProc {
         for (id, op) in &self.splits {
             d.item(id);
             d.item(&op.pending);
+            digest_seen(&op.seen, d);
+            d.word(u64::from(op.stalled_rounds));
         }
         d.word(self.merges.len() as u64);
         for (id, op) in &self.merges {
@@ -2373,6 +3610,56 @@ impl NodeProc {
             d.item(parent);
         }
         d.item(&self.cache);
+        // Failure-detector and membership state. `last_heard` carries
+        // raw timestamps: freshness decisions depend on them, so they
+        // must split states that would behave differently.
+        d.item(&self.view_known);
+        d.item(&self.view_dead);
+        d.word(self.last_heard.len() as u64);
+        for (n, t) in &self.last_heard {
+            d.word(n.0);
+            d.word(*t);
+        }
+        d.word(self.fd_target.map_or(u64::MAX, |n| n.0));
+        d.word(u64::from(self.fd_strikes));
+        match &self.rescue {
+            Some(op) => {
+                d.word(1);
+                d.word(op.started_at);
+                d.item(&op.pending);
+                d.word(op.covered.len() as u64);
+                for (id, (n, frozen)) in &op.covered {
+                    d.item(id);
+                    d.word(n.0);
+                    d.word(u64::from(*frozen));
+                }
+                d.word(op.installs.len() as u64);
+                for (id, n) in &op.installs {
+                    d.item(id);
+                    d.word(n.0);
+                }
+                d.word(u64::from(op.stalled_rounds));
+            }
+            None => d.word(0),
+        }
+        d.word(u64::from(self.rescue_again));
+        d.word(self.migrating.len() as u64);
+        for (id, m) in &self.migrating {
+            d.item(id);
+            d.item(&m.comp);
+            digest_seen(&m.seen, d);
+            d.word(m.buffer.len() as u64);
+            for (token, addr, injected_at, hops) in &m.buffer {
+                d.token(*token);
+                d.item(addr);
+                d.word(*injected_at);
+                d.word(*hops);
+            }
+            d.word(m.sent_at);
+        }
+        d.word(self.retry_interval);
+        d.word(self.jitter_rng);
+        d.word(self.frozen_buffer_cap as u64);
     }
 }
 
@@ -2586,7 +3873,7 @@ mod tests {
             }
             victim.expect("some node hosts a component")
         };
-        d.crash_node(victim);
+        d.crash_node(victim).expect("not the last node");
         d.repair();
         let (cut, _) = d.live_cut();
         assert!(cut.is_valid(&d.world.borrow().tree), "repair left an invalid cut: {cut}");
@@ -2662,7 +3949,7 @@ mod tests {
                 _ => None,
             })
             .expect("someone hosts a component");
-        d.crash_node(victim);
+        d.crash_node(victim).expect("not the last node");
         // Let in-flight protocol messages to the dead node drain, then
         // repair and settle.
         d.run_for(20_000);
@@ -2678,6 +3965,83 @@ mod tests {
         }
         d.run_for(300_000);
         assert_eq!(d.collector().total(), before + 25, "post-crash tokens lost");
+    }
+
+    #[test]
+    fn crash_last_node_is_recoverable_error() {
+        let mut d = Deployment::new(8, 1, 42);
+        let node = d.world.borrow().ring.nodes().next().expect("one node");
+        assert_eq!(d.crash_node(node), Err(CrashError::LastLiveNode));
+        // The refused crash left the deployment fully functional.
+        d.inject(0);
+        d.run_for(50_000);
+        assert_eq!(d.collector().total(), 1);
+    }
+
+    #[test]
+    fn crash_recovers_in_protocol_without_repair() {
+        let mut d = Deployment::new(16, 4, 0xBEEF);
+        assert!(d.settle(50));
+        let victim = d
+            .sim
+            .process_ids()
+            .filter(|p| *p != COLLECTOR)
+            .find_map(|pid| match d.sim.process(pid) {
+                Some(Proc::Node(np))
+                    if np.components().next().is_some() && !np.departed() =>
+                {
+                    Some(np.node_id())
+                }
+                _ => None,
+            })
+            .expect("someone hosts a component");
+        d.crash_node(victim).expect("not the last node");
+        // No repair()/migrate_components(): the failure detector must
+        // suspect the crash and the rescue sweep must re-cover the cut
+        // purely via protocol messages.
+        assert!(d.settle(100), "in-protocol recovery did not converge");
+        let w = d.world.borrow();
+        let detected_at = *w.detections.get(&victim).expect("crash went undetected");
+        let crashed_at = w.crashed[&victim];
+        assert!(
+            detected_at - crashed_at <= 16 * d.level_period,
+            "detection took {} periods",
+            (detected_at - crashed_at) / d.level_period
+        );
+        drop(w);
+        let (cut, _) = d.live_cut();
+        assert!(cut.is_valid(&d.world.borrow().tree), "cut not re-covered: {cut}");
+        // Counting still works end to end.
+        let before = d.collector().total();
+        for i in 0..16 {
+            d.inject(i % 16);
+        }
+        d.run_for(200_000);
+        assert_eq!(d.collector().total(), before + 16, "post-rescue tokens lost");
+    }
+
+    #[test]
+    fn tiny_frozen_buffer_cap_conserves_tokens() {
+        // With a capacity-1 frozen buffer, reconfiguration windows shed
+        // tokens back to their senders (TokenBusy); backoff + retry
+        // must still deliver every one exactly once.
+        let mut d = Deployment::new(32, 6, 0x77);
+        d.set_frozen_buffer_cap(1);
+        let mut seed = 1u64;
+        let mut injected = 0u64;
+        for i in 0..120u64 {
+            d.inject((acn_overlay::splitmix64(&mut seed) as usize) % 32);
+            injected += 1;
+            d.run_for(97);
+            if i % 40 == 20 {
+                d.join_node();
+            }
+        }
+        assert!(d.settle(300), "did not settle under backpressure");
+        d.run_for(300_000);
+        let c = d.collector();
+        assert_eq!(c.total(), injected, "token conservation violated under shed");
+        assert!(is_step_sequence(&c.counts), "{:?}", c.counts);
     }
 
     #[test]

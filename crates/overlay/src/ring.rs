@@ -148,6 +148,24 @@ impl Ring {
         }
     }
 
+    /// The immediate predecessor *node* of `node` (the nearest node
+    /// strictly counter-clockwise, wrapping; for a single-node ring
+    /// this is the node itself). The predecessor is the natural
+    /// monitor for `node` under consistent hashing: it is the unique
+    /// live node whose successor `node` is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    #[must_use]
+    pub fn predecessor(&self, node: NodeId) -> NodeId {
+        assert!(!self.nodes.is_empty(), "predecessor on empty ring");
+        match self.nodes.range(..node.0).next_back() {
+            Some((&k, ())) => NodeId(k),
+            None => NodeId(*self.nodes.keys().next_back().expect("ring is non-empty")),
+        }
+    }
+
     /// The `k`-th clockwise successor `succ_k(v)` (paper Section 3
     /// notation). `succ_0` is the node itself; the walk may wrap around
     /// the ring several times if `k >= N`.
@@ -265,6 +283,19 @@ mod tests {
         assert_eq!(ring.successor_of_point(15), NodeId(20));
         assert_eq!(ring.successor_of_point(31), NodeId(10));
         assert_eq!(ring.successor_of_point(20), NodeId(20));
+    }
+
+    #[test]
+    fn predecessor_wraps_around() {
+        let ring = ring_of(&[10, 20, 30]);
+        assert_eq!(ring.predecessor(NodeId(20)), NodeId(10));
+        assert_eq!(ring.predecessor(NodeId(10)), NodeId(30));
+        assert_eq!(ring.predecessor(NodeId(30)), NodeId(20));
+        let single = ring_of(&[7]);
+        assert_eq!(single.predecessor(NodeId(7)), NodeId(7));
+        for &id in &[10, 20, 30] {
+            assert_eq!(ring.successor(ring.predecessor(NodeId(id))), NodeId(id));
+        }
     }
 
     #[test]

@@ -42,6 +42,12 @@ echo "==> dist schedule explorer (bounded suite, small random budget)"
 ACN_EXPLORE_BUDGET="${ACN_EXPLORE_BUDGET:-50}" \
     cargo run -q --release -p acn-check --bin acn-dist-explore
 
+echo "==> chaos smoke (seeded recovery campaign, budget-guarded)"
+# A tiny slice of the seeded chaos campaign (scripts/chaos.sh):
+# generated crash/leave/reconfigure scenarios explored under the full
+# recovery-oracle set, including the detection-latency budget guard.
+scripts/chaos.sh --smoke
+
 echo "==> trace artifact (schema-validated smoke trace)"
 # The schema test runs a seeded deployment with a tracer attached,
 # validates the span stream against the trace schema, and exports a
